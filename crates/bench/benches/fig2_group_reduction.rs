@@ -1,0 +1,38 @@
+//! Criterion bench for Figure 2: the group reduction query at 4 and 8
+//! sites, with and without group reduction. Wall-clock complement to the
+//! `fig2` harness binary (which reports simulated time and exact bytes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use skalla_bench::workloads::*;
+use skalla_core::{OptFlags, Planner};
+
+fn bench(c: &mut Criterion) {
+    let parts = tpcr_partitions(BenchScale::quick());
+    let expr = group_reduction_query(Cardinality::High);
+    let mut g = c.benchmark_group("fig2_group_reduction");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for k in [4usize, 8] {
+        let cluster = cluster_of(&parts, k);
+        let planner = Planner::new(cluster.distribution());
+        for (label, flags) in [
+            ("none", OptFlags::none()),
+            ("site_gr", OptFlags {
+                group_reduction_site: true,
+                ..OptFlags::none()
+            }),
+            ("site_coord_gr", OptFlags::group_reduction_only()),
+        ] {
+            let plan = planner.optimize(&expr, flags);
+            g.bench_with_input(BenchmarkId::new(label, k), &plan, |b, plan| {
+                b.iter(|| cluster.execute(plan).expect("query runs"));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for Figure 3: the coalescing query, non-coalesced vs
+//! coalesced, at high and low grouping cardinality (8 sites).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use skalla_bench::workloads::*;
+use skalla_core::{OptFlags, Planner};
+
+fn bench(c: &mut Criterion) {
+    let parts = tpcr_partitions(BenchScale::quick());
+    let cluster = cluster_of(&parts, N_SITES);
+    let planner = Planner::new(cluster.distribution());
+    let mut g = c.benchmark_group("fig3_coalescing");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for card in [Cardinality::High, Cardinality::Low] {
+        let expr = coalescing_query(card);
+        for (label, flags) in [
+            ("non_coalesced", OptFlags::none()),
+            (
+                "coalesced",
+                OptFlags {
+                    coalesce: true,
+                    sync_reduction: true,
+                    ..OptFlags::none()
+                },
+            ),
+        ] {
+            let plan = planner.optimize(&expr, flags);
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("{card:?}")),
+                &plan,
+                |b, plan| {
+                    b.iter(|| cluster.execute(plan).expect("query runs"));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

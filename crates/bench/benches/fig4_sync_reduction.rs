@@ -1,0 +1,37 @@
+//! Criterion bench for Figure 4: the synchronization reduction query with
+//! and without the optimization, at high and low cardinality (8 sites).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use skalla_bench::workloads::*;
+use skalla_core::{OptFlags, Planner};
+
+fn bench(c: &mut Criterion) {
+    let parts = tpcr_partitions(BenchScale::quick());
+    let cluster = cluster_of(&parts, N_SITES);
+    let planner = Planner::new(cluster.distribution());
+    let mut g = c.benchmark_group("fig4_sync_reduction");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for card in [Cardinality::High, Cardinality::Low] {
+        let expr = sync_reduction_query(card);
+        for (label, flags) in [
+            ("no_sync_reduction", OptFlags::none()),
+            ("sync_reduction", OptFlags::sync_reduction_only()),
+        ] {
+            let plan = planner.optimize(&expr, flags);
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("{card:?}")),
+                &plan,
+                |b, plan| {
+                    b.iter(|| cluster.execute(plan).expect("query runs"));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for Figure 5: the combined reductions query on 4 sites
+//! at data scales ×1 and ×2 (criterion-sized; the `fig5` binary covers the
+//! full ×1…×4 sweep), all optimizations on vs off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use skalla_bench::workloads::*;
+use skalla_core::{OptFlags, Planner};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_scaleup");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let expr = combined_query(Cardinality::High);
+    for factor in [1usize, 2] {
+        let parts = tpcr_partitions(BenchScale::quick().scaled(factor, true));
+        let cluster = cluster_of(&parts, 4);
+        let planner = Planner::new(cluster.distribution());
+        for (label, flags) in [
+            ("none", OptFlags::none()),
+            ("all", OptFlags::all()),
+        ] {
+            let plan = planner.optimize(&expr, flags);
+            g.bench_with_input(BenchmarkId::new(label, factor), &plan, |b, plan| {
+                b.iter(|| cluster.execute(plan).expect("query runs"));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! **Figure 2 — the group reduction query** (speed-up experiment).
+//!
+//! The TPCR relation is divided equally among eight sites; the number of
+//! sites participating in the query varies from 1 to 8, so both the group
+//! count and the site count grow linearly. Series:
+//!
+//! * *no reduction* — quadratic time and bytes (k·g groups to k sites);
+//! * *site-side (distribution-independent) group reduction* — halves the
+//!   inefficiency (uplink becomes linear, downlink stays quadratic);
+//! * *site+coordinator (distribution-aware) group reduction* — linear.
+//!
+//! `--check-formula` additionally verifies the paper's Sect. 5.2 traffic
+//! analysis: reduced/unreduced groups = (2c + 2n + 1)/(4n + 1) within 5%.
+
+use skalla_bench::harness::*;
+use skalla_bench::workloads::*;
+use skalla_core::OptFlags;
+use skalla_net::CostModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if has_flag(&args, "--quick") {
+        BenchScale::quick()
+    } else {
+        BenchScale::default_scale()
+    };
+    let repeats: usize = arg_value(&args, "--repeats")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let cost = CostModel::lan();
+    let expr = group_reduction_query(Cardinality::High);
+
+    println!("# Figure 2: group reduction query (high cardinality, partition-attribute grouping)");
+    println!(
+        "# rows/site = {}, customers = {}, repeats = {repeats}",
+        scale.rows_per_site, scale.customers
+    );
+    let parts = tpcr_partitions(scale);
+
+    let variants = [
+        ("no reduction", OptFlags::none()),
+        (
+            "site GR (dist-indep)",
+            OptFlags {
+                group_reduction_site: true,
+                ..OptFlags::none()
+            },
+        ),
+        ("site+coord GR", OptFlags::group_reduction_only()),
+    ];
+
+    let ks: Vec<usize> = (1..=N_SITES).collect();
+    let mut series: Vec<Series> = Vec::new();
+    for (label, flags) in variants {
+        let mut points = Vec::new();
+        for &k in &ks {
+            let cluster = cluster_of(&parts, k);
+            points.push((k, run_median(&cluster, &expr, flags, &cost, repeats)));
+        }
+        series.push(Series {
+            label: label.to_string(),
+            points,
+        });
+    }
+
+    print_metric_table("query evaluation time (simulated, LAN)", "sites", &series, |m| {
+        fmt_secs(m.sim_total_s)
+    });
+    print_metric_table("data transferred", "sites", &series, |m| fmt_bytes(m.bytes));
+    print_metric_table("rows down/up", "sites", &series, |m| {
+        format!("{}/{}", m.rows.0, m.rows.1)
+    });
+
+    if has_flag(&args, "--check") {
+        let mut failures = Vec::new();
+        let bytes = |s: &Series| s.ys(|m| m.bytes as f64);
+        for (s, g) in [
+            (&series[0], Growth::Quadratic),
+            (&series[2], Growth::Linear),
+        ] {
+            if let Err(e) = assert_growth(&s.label, &ks, &bytes(s), g) {
+                failures.push(e);
+            }
+        }
+        // Site-side GR "solves half of the inefficiency": uplink becomes
+        // linear while the downlink stays quadratic.
+        let gr = &series[1];
+        if let Err(e) = assert_growth(
+            "site GR downlink rows",
+            &ks,
+            &gr.ys(|m| m.rows.0 as f64),
+            Growth::Quadratic,
+        ) {
+            failures.push(e);
+        }
+        if let Err(e) = assert_growth(
+            "site GR uplink rows",
+            &ks,
+            &gr.ys(|m| m.rows.1 as f64),
+            Growth::Linear,
+        ) {
+            failures.push(e);
+        }
+        // Lesser degree: site GR strictly below no-reduction at 8 sites.
+        let b0 = series[0].points.last().unwrap().1.bytes;
+        let b1 = series[1].points.last().unwrap().1.bytes;
+        let b2 = series[2].points.last().unwrap().1.bytes;
+        if !(b2 < b1 && b1 < b0) {
+            failures.push(format!("expected ordering coord<site<none: {b2} {b1} {b0}"));
+        }
+        assert!(failures.is_empty(), "shape checks failed:\n{}", failures.join("\n"));
+        println!("\nshape checks passed ✓");
+    }
+
+    if has_flag(&args, "--check-formula") {
+        println!("\n### Sect. 5.2 formula check: (2c+2n+1)/(4n+1), c = 1");
+        println!("| n | predicted | measured | error |");
+        println!("|---|-----------|----------|-------|");
+        for &n in &[2usize, 4, 8] {
+            let cluster = cluster_of(&parts, n);
+            let (_, base) = run_once(&cluster, &expr, OptFlags::none(), &cost);
+            let (_, red) = run_once(
+                &cluster,
+                &expr,
+                OptFlags {
+                    group_reduction_site: true,
+                    ..OptFlags::none()
+                },
+                &cost,
+            );
+            let predicted = (2.0 + 2.0 * n as f64 + 1.0) / (4.0 * n as f64 + 1.0);
+            let measured = (red.rows.0 + red.rows.1) as f64 / (base.rows.0 + base.rows.1) as f64;
+            let err = (measured - predicted).abs() / predicted;
+            println!(
+                "| {n} | {predicted:.4} | {measured:.4} | {:.2}% |",
+                err * 100.0
+            );
+            assert!(err < 0.05, "formula off by more than 5% at n={n}");
+        }
+        println!("formula matches within 5% ✓");
+    }
+}

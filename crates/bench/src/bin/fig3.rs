@@ -1,0 +1,123 @@
+//! **Figure 3 — the coalescing query** (speed-up experiment).
+//!
+//! Two independent GMDJs over the same grouping, evaluated non-coalesced
+//! (three rounds) versus coalesced (one operator; with the base fold the
+//! whole query runs in a single round, as the paper describes: "there is
+//! only one evaluation round, at the end of which the sites send their
+//! results to the coordinator").
+//!
+//! Left plot: high cardinality (per-customer) — non-coalesced grows
+//! quadratically, coalesced linearly. Right plot: low cardinality — the
+//! difference is smaller (~30% in the paper) and comes mostly from doing
+//! one pass over the detail relation instead of two.
+
+use skalla_bench::harness::*;
+use skalla_bench::workloads::*;
+use skalla_core::OptFlags;
+use skalla_net::CostModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if has_flag(&args, "--quick") {
+        BenchScale::quick()
+    } else {
+        BenchScale::default_scale()
+    };
+    let repeats: usize = arg_value(&args, "--repeats")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let cost = CostModel::lan();
+    println!("# Figure 3: coalescing query");
+    println!(
+        "# rows/site = {}, customers = {}, repeats = {repeats}",
+        scale.rows_per_site, scale.customers
+    );
+    let parts = tpcr_partitions(scale);
+    let ks: Vec<usize> = (1..=N_SITES).collect();
+
+    // Coalesced = coalescing + the Prop 2 base fold (single round), the
+    // paper's described execution; non-coalesced = the plain plan.
+    let variants = [
+        ("non-coalesced", OptFlags::none()),
+        (
+            "coalesced",
+            OptFlags {
+                coalesce: true,
+                sync_reduction: true,
+                ..OptFlags::none()
+            },
+        ),
+    ];
+
+    let mut all_failures = Vec::new();
+    for card in [Cardinality::High, Cardinality::Low] {
+        let expr = coalescing_query(card);
+        let mut series = Vec::new();
+        for (label, flags) in variants {
+            let mut points = Vec::new();
+            for &k in &ks {
+                let cluster = cluster_of(&parts, k);
+                points.push((k, run_median(&cluster, &expr, flags, &cost, repeats)));
+            }
+            series.push(Series {
+                label: label.to_string(),
+                points,
+            });
+        }
+        print_metric_table(
+            &format!("{card:?} cardinality: query evaluation time (simulated, LAN)"),
+            "sites",
+            &series,
+            |m| fmt_secs(m.sim_total_s),
+        );
+        print_metric_table(
+            &format!("{card:?} cardinality: data transferred / rounds"),
+            "sites",
+            &series,
+            |m| format!("{} ({} rounds)", fmt_bytes(m.bytes), m.rounds),
+        );
+
+        if has_flag(&args, "--check") {
+            let bytes0 = series[0].ys(|m| m.bytes as f64);
+            let bytes1 = series[1].ys(|m| m.bytes as f64);
+            match card {
+                Cardinality::High => {
+                    if let Err(e) =
+                        assert_growth("non-coalesced (high)", &ks, &bytes0, Growth::Quadratic)
+                    {
+                        all_failures.push(e);
+                    }
+                    if let Err(e) = assert_growth("coalesced (high)", &ks, &bytes1, Growth::Linear)
+                    {
+                        all_failures.push(e);
+                    }
+                }
+                Cardinality::Low => {
+                    // The paper reports ~30% total-time win at low
+                    // cardinality; traffic-wise the coalesced plan must
+                    // simply be cheaper everywhere.
+                    let worse = bytes1
+                        .iter()
+                        .zip(&bytes0)
+                        .any(|(c, n)| c >= n);
+                    if worse {
+                        all_failures
+                            .push("coalesced not cheaper at low cardinality".to_string());
+                    }
+                }
+            }
+            // Coalesced plan is a single round at every k.
+            if series[1].points.iter().any(|(_, m)| m.rounds != 1) {
+                all_failures.push("coalesced plan should be a single round".to_string());
+            }
+        }
+    }
+    if has_flag(&args, "--check") {
+        assert!(
+            all_failures.is_empty(),
+            "shape checks failed:\n{}",
+            all_failures.join("\n")
+        );
+        println!("\nshape checks passed ✓");
+    }
+}

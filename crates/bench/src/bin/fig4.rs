@@ -1,0 +1,98 @@
+//! **Figure 4 — the synchronization reduction query** (speed-up
+//! experiment).
+//!
+//! The correlated two-GMDJ query (not coalescible: θ₂ references MD₁'s
+//! AVG) evaluated with and without synchronization reduction. The
+//! groupings entail equality on the partition attribute, so with the
+//! optimization the whole chain evaluates locally and the query runs in a
+//! single round — linear in the number of sites; without it, three rounds
+//! of shipping k·g groups to k sites grow quadratically (high
+//! cardinality). At low cardinality the win is the synchronization
+//! overhead only, smaller than coalescing's (which also saves a pass over
+//! the detail relation).
+
+use skalla_bench::harness::*;
+use skalla_bench::workloads::*;
+use skalla_core::OptFlags;
+use skalla_net::CostModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if has_flag(&args, "--quick") {
+        BenchScale::quick()
+    } else {
+        BenchScale::default_scale()
+    };
+    let repeats: usize = arg_value(&args, "--repeats")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let cost = CostModel::lan();
+    println!("# Figure 4: synchronization reduction query");
+    println!(
+        "# rows/site = {}, customers = {}, repeats = {repeats}",
+        scale.rows_per_site, scale.customers
+    );
+    let parts = tpcr_partitions(scale);
+    let ks: Vec<usize> = (1..=N_SITES).collect();
+
+    let variants = [
+        ("no sync reduction", OptFlags::none()),
+        ("sync reduction", OptFlags::sync_reduction_only()),
+    ];
+
+    let mut failures = Vec::new();
+    for card in [Cardinality::High, Cardinality::Low] {
+        let expr = sync_reduction_query(card);
+        let mut series = Vec::new();
+        for (label, flags) in variants {
+            let mut points = Vec::new();
+            for &k in &ks {
+                let cluster = cluster_of(&parts, k);
+                points.push((k, run_median(&cluster, &expr, flags, &cost, repeats)));
+            }
+            series.push(Series {
+                label: label.to_string(),
+                points,
+            });
+        }
+        print_metric_table(
+            &format!("{card:?} cardinality: query evaluation time (simulated, LAN)"),
+            "sites",
+            &series,
+            |m| fmt_secs(m.sim_total_s),
+        );
+        print_metric_table(
+            &format!("{card:?} cardinality: data transferred / rounds"),
+            "sites",
+            &series,
+            |m| format!("{} ({} rounds)", fmt_bytes(m.bytes), m.rounds),
+        );
+
+        if has_flag(&args, "--check") {
+            let bytes0 = series[0].ys(|m| m.bytes as f64);
+            let bytes1 = series[1].ys(|m| m.bytes as f64);
+            if card == Cardinality::High {
+                if let Err(e) =
+                    assert_growth("no sync reduction (high)", &ks, &bytes0, Growth::Quadratic)
+                {
+                    failures.push(e);
+                }
+                if let Err(e) =
+                    assert_growth("sync reduction (high)", &ks, &bytes1, Growth::Linear)
+                {
+                    failures.push(e);
+                }
+            }
+            if series[1].points.iter().any(|(_, m)| m.rounds != 1) {
+                failures.push(format!("{card:?}: reduced plan should be single-round"));
+            }
+            if bytes1.iter().zip(&bytes0).any(|(r, n)| r >= n) {
+                failures.push(format!("{card:?}: reduction did not cut traffic"));
+            }
+        }
+    }
+    if has_flag(&args, "--check") {
+        assert!(failures.is_empty(), "shape checks failed:\n{}", failures.join("\n"));
+        println!("\nshape checks passed ✓");
+    }
+}

@@ -1,0 +1,139 @@
+//! **Figure 5 — the combined reductions query** (scale-up experiment).
+//!
+//! Four sites; the data set size per site grows ×1…×4; the combined
+//! reductions query runs with all optimizations on or all off. The paper
+//! reports: linear growth in both cases, with optimizations cutting
+//! evaluation time roughly in half (left), and a per-component breakdown
+//! (site compute / coordinator compute / communication), each growing
+//! linearly (right). A second run keeps the group count constant while
+//! the data grows ("we obtained comparable results").
+
+use skalla_bench::harness::*;
+use skalla_bench::workloads::*;
+use skalla_core::{Cluster, OptFlags};
+use skalla_net::CostModel;
+
+const SITES: usize = 4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let base_scale = if has_flag(&args, "--quick") {
+        BenchScale::quick()
+    } else {
+        BenchScale::default_scale()
+    };
+    let repeats: usize = arg_value(&args, "--repeats")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let cost = CostModel::lan();
+    let expr = combined_query(Cardinality::High);
+    println!("# Figure 5: combined reductions query (scale-up, {SITES} sites)");
+    println!(
+        "# base rows/site = {}, base customers = {}, repeats = {repeats}",
+        base_scale.rows_per_site, base_scale.customers
+    );
+
+    let factors: Vec<usize> = vec![1, 2, 3, 4];
+    let mut failures: Vec<String> = Vec::new();
+
+    for grow_groups in [true, false] {
+        let regime = if grow_groups {
+            "groups grow with data"
+        } else {
+            "constant groups"
+        };
+        let mut series = vec![
+            Series {
+                label: "no optimizations".into(),
+                points: Vec::new(),
+            },
+            Series {
+                label: "all optimizations".into(),
+                points: Vec::new(),
+            },
+        ];
+        let mut breakdown: Vec<(usize, Measurement)> = Vec::new();
+        for &f in &factors {
+            let scale = base_scale.scaled(f, grow_groups);
+            let parts = tpcr_partitions(scale);
+            let cluster: Cluster = cluster_of(&parts, SITES);
+            let none = run_median(&cluster, &expr, OptFlags::none(), &cost, repeats);
+            let all = run_median(&cluster, &expr, OptFlags::all(), &cost, repeats);
+            breakdown.push((f, all.clone()));
+            series[0].points.push((f, none));
+            series[1].points.push((f, all));
+        }
+
+        print_metric_table(
+            &format!("{regime}: query evaluation time (simulated, LAN)"),
+            "scale",
+            &series,
+            |m| fmt_secs(m.sim_total_s),
+        );
+        print_metric_table(
+            &format!("{regime}: data transferred"),
+            "scale",
+            &series,
+            |m| fmt_bytes(m.bytes),
+        );
+
+        println!("\n### {regime}: optimized-query breakdown (Fig. 5 right)");
+        println!("| scale | site compute | coordinator | communication | total |");
+        println!("|------:|-------------:|------------:|--------------:|------:|");
+        for (f, m) in &breakdown {
+            println!(
+                "| {f:>5} | {:>12} | {:>11} | {:>13} | {:>5} |",
+                fmt_secs(m.sim_site_s),
+                fmt_secs(m.sim_coord_s),
+                fmt_secs(m.sim_comm_s),
+                fmt_secs(m.sim_total_s)
+            );
+        }
+
+        if has_flag(&args, "--check") {
+            // Optimizations cut evaluation time substantially at every
+            // scale (paper: "nearly half").
+            for ((_, none), (_, all)) in series[0].points.iter().zip(&series[1].points) {
+                if all.sim_total_s >= 0.8 * none.sim_total_s {
+                    failures.push(format!(
+                        "{regime}: optimized {:.3}s not well below {:.3}s",
+                        all.sim_total_s, none.sim_total_s
+                    ));
+                }
+            }
+            // Site compute grows with the data in both regimes (wall-clock
+            // measurements are noisy at small scales, so bound the 1→4
+            // ratio loosely instead of fitting an exponent).
+            let site = series[1].points.iter().map(|(_, m)| m.sim_site_s).collect::<Vec<_>>();
+            let ratio = site.last().unwrap() / site.first().unwrap().max(1e-9);
+            if !(1.5..=16.0).contains(&ratio) {
+                failures.push(format!(
+                    "{regime}: site compute 1→4 ratio {ratio:.2} outside [1.5, 16]"
+                ));
+            }
+            if grow_groups {
+                // Traffic grows linearly with the group count.
+                let bytes = series[1].points.iter().map(|(_, m)| m.bytes as f64).collect::<Vec<_>>();
+                if let Err(e) =
+                    assert_growth(&format!("{regime}: bytes"), &factors, &bytes, Growth::Linear)
+                {
+                    failures.push(e);
+                }
+            } else {
+                // Constant groups: traffic must stay flat as data grows.
+                let b1 = series[1].points.first().unwrap().1.bytes as f64;
+                let b4 = series[1].points.last().unwrap().1.bytes as f64;
+                if b4 > 1.25 * b1 {
+                    failures.push(format!(
+                        "{regime}: traffic should stay ~constant ({b1} → {b4})"
+                    ));
+                }
+            }
+        }
+    }
+
+    if has_flag(&args, "--check") {
+        assert!(failures.is_empty(), "shape checks failed:\n{}", failures.join("\n"));
+        println!("\nshape checks passed ✓");
+    }
+}

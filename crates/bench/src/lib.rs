@@ -1,0 +1,22 @@
+//! # skalla-bench — benchmark harness for every figure of the paper
+//!
+//! Workload definitions ([`workloads`]) and measurement utilities
+//! ([`harness`]) shared by the `fig2`…`fig5` harness binaries (which print
+//! the series each paper figure plots) and the criterion benches.
+//!
+//! Regenerate the evaluation with:
+//!
+//! ```text
+//! cargo run -p skalla-bench --release --bin fig2   # group reduction
+//! cargo run -p skalla-bench --release --bin fig3   # coalescing
+//! cargo run -p skalla-bench --release --bin fig4   # synchronization reduction
+//! cargo run -p skalla-bench --release --bin fig5   # scale-up
+//! ```
+//!
+//! Each accepts `--quick` (smaller data), `--check` (assert the paper's
+//! curve shapes) and `--repeats N`.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod workloads;

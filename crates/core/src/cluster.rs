@@ -1,0 +1,736 @@
+//! The distributed data warehouse runtime.
+//!
+//! A [`Cluster`] owns the partitioned fact relations of the warehouse
+//! sites, spawns one thread per site connected to the coordinator by the
+//! `skalla-net` star transport, and drives Alg. GMDJDistribEval over a
+//! [`DistributedPlan`]: per stage, ship the base structure down, let the
+//! sites compute, synchronize the sub-results, finalize. It also provides
+//! the ship-everything centralized baseline that Skalla's design avoids.
+
+use crate::coordinator::{empty_aggregates, BaseSync, ChainSync, MergeSync};
+use crate::distribution::DistributionInfo;
+use crate::plan::{DistributedPlan, SiteFilter, StageKind};
+use crate::protocol;
+use crate::stats::{ExecStats, QueryResult, StageTimes};
+use parking_lot::Mutex;
+use skalla_gmdj::eval::EvalOptions;
+use skalla_gmdj::{BaseQuery, GmdjExpr};
+use skalla_net::{star, CoordinatorNet, Direction, NetStats, SiteNet};
+use skalla_relation::{DomainMap, Error, Relation, Result, Schema};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A distributed data warehouse: `n` sites, each holding a horizontal
+/// fragment of every fact relation, plus the coordinator logic.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    sites: Vec<HashMap<String, Arc<Relation>>>,
+    dist: DistributionInfo,
+    eval: EvalOptions,
+    timeout: Duration,
+    chunk_rows: Option<usize>,
+}
+
+impl Cluster {
+    /// An empty cluster of `n_sites` sites.
+    pub fn new(n_sites: usize) -> Cluster {
+        assert!(n_sites > 0, "a cluster needs at least one site");
+        Cluster {
+            sites: vec![HashMap::new(); n_sites],
+            dist: DistributionInfo::new(n_sites),
+            eval: EvalOptions::default(),
+            timeout: Duration::from_secs(120),
+            chunk_rows: None,
+        }
+    }
+
+    /// Register a partitioned fact relation: one fragment (with its φ
+    /// description) per site, in site order.
+    ///
+    /// # Panics
+    /// Panics if the fragment count differs from the cluster size or the
+    /// fragments disagree on schema.
+    pub fn add_table<P: Into<(Relation, DomainMap)>>(
+        &mut self,
+        table: impl Into<String>,
+        parts: Vec<P>,
+    ) -> &mut Cluster {
+        let table = table.into();
+        assert_eq!(
+            parts.len(),
+            self.sites.len(),
+            "one fragment per site required"
+        );
+        let mut domains = Vec::with_capacity(parts.len());
+        let mut schema: Option<Schema> = None;
+        for (site, p) in parts.into_iter().enumerate() {
+            let (rel, dom) = p.into();
+            match &schema {
+                None => schema = Some(rel.schema().clone()),
+                Some(s) => assert_eq!(
+                    s,
+                    rel.schema(),
+                    "fragment schemas must agree across sites"
+                ),
+            }
+            domains.push(dom);
+            self.sites[site].insert(table.clone(), Arc::new(rel));
+        }
+        self.dist.set_table(table, domains);
+        self
+    }
+
+    /// Build a cluster directly from one table's partitions (the common
+    /// single-fact-table case).
+    pub fn from_partitions<P: Into<(Relation, DomainMap)>>(
+        table: impl Into<String>,
+        parts: Vec<P>,
+    ) -> Cluster {
+        let mut c = Cluster::new(parts.len());
+        c.add_table(table, parts);
+        c
+    }
+
+    /// Number of sites.
+    pub fn n_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The coordinator's distribution knowledge (feed this to
+    /// [`crate::plan::Planner::new`]).
+    pub fn distribution(&self) -> DistributionInfo {
+        self.dist.clone()
+    }
+
+    /// Local evaluation options used at every site (hash vs nested loop).
+    pub fn set_eval_options(&mut self, eval: EvalOptions) -> &mut Cluster {
+        self.eval = eval;
+        self
+    }
+
+    /// Per-round receive timeout.
+    pub fn set_timeout(&mut self, timeout: Duration) -> &mut Cluster {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Enable row blocking: sites ship their sub-results in chunks of
+    /// `rows`, and the coordinator synchronizes chunks as they arrive
+    /// (paper Sect. 3.2). `None` ships one message per stage.
+    pub fn set_chunk_rows(&mut self, rows: Option<usize>) -> &mut Cluster {
+        self.chunk_rows = rows.filter(|r| *r > 0);
+        self
+    }
+
+    /// One site's catalog (for tests and for plan validation).
+    pub fn site_catalog(&self, site: usize) -> &HashMap<String, Arc<Relation>> {
+        &self.sites[site]
+    }
+
+    /// The union of all fragments of every table — the conceptual global
+    /// fact relations (test oracle input).
+    pub fn global_catalog(&self) -> HashMap<String, Relation> {
+        let mut out: HashMap<String, Relation> = HashMap::new();
+        for site in &self.sites {
+            for (name, rel) in site {
+                match out.get_mut(name) {
+                    None => {
+                        out.insert(name.clone(), rel.as_ref().clone());
+                    }
+                    Some(acc) => {
+                        *acc = acc
+                            .union_all(rel)
+                            .expect("fragment schemas agree by construction");
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Execute a distributed plan: spawn the site threads, run the
+    /// coordinator, and return the result with full statistics.
+    pub fn execute(&self, plan: &DistributedPlan) -> Result<QueryResult> {
+        let n = self.n_sites();
+        let wall_start = Instant::now();
+        plan.check_structure(n)?;
+        // Validate once against site 0's schemas; B₀…B_m schemas drive
+        // finalization typing.
+        let schemas = plan.expr.validate(&self.sites[0])?;
+        let detail_schemas: HashMap<String, Schema> = self.sites[0]
+            .iter()
+            .map(|(k, v)| (k.clone(), v.schema().clone()))
+            .collect();
+
+        let (coord, site_nets) = star(n);
+        let times: Arc<Mutex<Vec<(usize, usize, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let mut handles = Vec::with_capacity(n);
+        for site_net in site_nets {
+            let catalog = self.sites[site_net.site_id()].clone();
+            let times = Arc::clone(&times);
+            let eval = self.eval;
+            let chunk_rows = self.chunk_rows;
+            handles.push(std::thread::spawn(move || {
+                site_loop(catalog, site_net, times, eval, chunk_rows)
+            }));
+        }
+
+        // Ship the plan itself over the accounted transport (round 0).
+        coord.stats().begin_round("plan");
+        let plan_bytes = crate::plan_codec::encode_plan(plan);
+        let plan_msg = skalla_net::Message::new(protocol::TAG_PLAN, plan_bytes);
+        let dispatch = coord.broadcast(&plan_msg).map_err(net_err);
+
+        let run = dispatch.and_then(|()| {
+            self.run_coordinator(&coord, plan, &schemas, &detail_schemas)
+        });
+
+        // Always release the sites, even on error.
+        let _ = coord.broadcast(&protocol::shutdown());
+        for h in handles {
+            h.join()
+                .map_err(|_| Error::Execution("site thread panicked".into()))?;
+        }
+
+        let (relation, mut stage_times) = run?;
+        // Leading entry for the plan-distribution round.
+        stage_times.insert(
+            0,
+            StageTimes {
+                label: "plan".to_string(),
+                site_busy_s: vec![0.0; n],
+                ..StageTimes::default()
+            },
+        );
+        for (site, stage, secs) in times.lock().iter() {
+            if let Some(st) = stage_times.get_mut(*stage + 1) {
+                st.site_busy_s[*site] += secs;
+            }
+        }
+        let net = finished_rounds(coord.stats());
+        Ok(QueryResult {
+            relation,
+            stats: ExecStats {
+                stages: stage_times,
+                net,
+                wall_s: wall_start.elapsed().as_secs_f64(),
+            },
+        })
+    }
+
+    fn run_coordinator(
+        &self,
+        coord: &CoordinatorNet,
+        plan: &DistributedPlan,
+        schemas: &[Schema],
+        detail_schemas: &HashMap<String, Schema>,
+    ) -> Result<(Relation, Vec<StageTimes>)> {
+        let n = self.n_sites();
+        let mut b_cur: Option<Relation> = match &plan.expr.base {
+            BaseQuery::Literal(rel) => Some(rel.clone()),
+            BaseQuery::DistinctProject { .. } => None,
+        };
+        let mut stage_times = Vec::with_capacity(plan.stages.len());
+
+        for (sidx, stage) in plan.stages.iter().enumerate() {
+            coord.stats().begin_round(stage.label.clone());
+            let mut st = StageTimes {
+                label: stage.label.clone(),
+                site_busy_s: vec![0.0; n],
+                ..StageTimes::default()
+            };
+
+            match &stage.kind {
+                StageKind::Base => {
+                    coord
+                        .broadcast(&protocol::run_stage(sidx as u32, None))
+                        .map_err(net_err)?;
+                    let mut sync = BaseSync::new();
+                    st.coord_s += self.collect(coord, n, sidx as u32, |rel| {
+                        st.rows_up += rel.len() as u64;
+                        sync.absorb(rel)
+                    })?;
+                    let t = Instant::now();
+                    b_cur = Some(sync.finish(&plan.key)?);
+                    st.coord_s += t.elapsed().as_secs_f64();
+                }
+                StageKind::Unit(unit) => {
+                    // 1. Ship base fragments to participating sites.
+                    let t = Instant::now();
+                    let mut participants = 0usize;
+                    let shared_fragment: Option<Relation> = if unit.fold_base {
+                        None
+                    } else {
+                        let b = b_cur.as_ref().ok_or_else(|| {
+                            Error::Execution("unit stage with no base structure".into())
+                        })?;
+                        Some(project_ship(b, &unit.ship_columns)?)
+                    };
+                    for site in 0..n {
+                        let fragment = match &unit.site_filters[site] {
+                            SiteFilter::Skip => continue,
+                            SiteFilter::All => shared_fragment.clone(),
+                            SiteFilter::Predicate(p) => {
+                                let b = b_cur.as_ref().expect("checked above");
+                                let bound = p.bind(b.schema(), None)?;
+                                Some(project_ship(&b.select(&bound)?, &unit.ship_columns)?)
+                            }
+                        };
+                        participants += 1;
+                        if let Some(f) = &fragment {
+                            st.rows_down += f.len() as u64;
+                        }
+                        coord
+                            .send(site, protocol::run_stage(sidx as u32, fragment.as_ref()))
+                            .map_err(net_err)?;
+                    }
+                    st.coord_s += t.elapsed().as_secs_f64();
+
+                    // 2. Synchronize sub-results.
+                    let ops = &plan.expr.ops[unit.ops.clone()];
+                    let b_in_schema = &schemas[unit.ops.start];
+                    let out_schema = schemas[unit.ops.end].clone();
+                    if unit.local_chain {
+                        let mut sync = ChainSync::new(plan.key.len());
+                        st.coord_s += self.collect(coord, participants, sidx as u32, |rel| {
+                            st.rows_up += rel.len() as u64;
+                            sync.absorb(&rel)
+                        })?;
+                        let t = Instant::now();
+                        b_cur = Some(if unit.fold_base {
+                            sync.finish_folded(out_schema)?
+                        } else {
+                            let empty = empty_aggregates(ops)?;
+                            let b = b_cur.take().expect("checked above");
+                            sync.finish_against(&b, &plan.key, &empty, out_schema)?
+                        });
+                        st.coord_s += t.elapsed().as_secs_f64();
+                    } else {
+                        let op = &ops[0];
+                        let mut sync = MergeSync::new(
+                            if unit.fold_base { None } else { b_cur.as_ref() },
+                            &plan.key,
+                            op,
+                        )?;
+                        st.coord_s += self.collect(coord, participants, sidx as u32, |rel| {
+                            st.rows_up += rel.len() as u64;
+                            sync.absorb(&rel)
+                        })?;
+                        let t = Instant::now();
+                        let detail = detail_schemas.get(&unit.table).ok_or_else(|| {
+                            Error::Plan(format!("unknown table {:?}", unit.table))
+                        })?;
+                        b_cur = Some(sync.finish(b_in_schema, op, detail)?);
+                        st.coord_s += t.elapsed().as_secs_f64();
+                    }
+                }
+            }
+            stage_times.push(st);
+        }
+
+        let relation = b_cur
+            .ok_or_else(|| Error::Execution("plan produced no result".into()))?;
+        Ok((relation, stage_times))
+    }
+
+    /// Receive stage results from `expected` sites (each possibly split
+    /// into row-blocked chunks), feeding every chunk into `absorb` as it
+    /// arrives; returns coordinator busy seconds (decode + absorb,
+    /// excluding waits).
+    fn collect(
+        &self,
+        coord: &CoordinatorNet,
+        expected: usize,
+        stage: u32,
+        mut absorb: impl FnMut(Relation) -> Result<()>,
+    ) -> Result<f64> {
+        let mut busy = 0.0;
+        let mut finished = 0usize;
+        while finished < expected {
+            let (_site, msg) = coord.recv(self.timeout).map_err(net_err)?;
+            let t = Instant::now();
+            match msg.tag {
+                protocol::TAG_RESULT => {
+                    let (s, last, rel) = protocol::decode_result(&msg.payload)?;
+                    if s != stage {
+                        return Err(Error::Execution(format!(
+                            "result for stage {s} while synchronizing stage {stage}"
+                        )));
+                    }
+                    if last {
+                        finished += 1;
+                    }
+                    absorb(rel)?;
+                }
+                protocol::TAG_ERROR => {
+                    return Err(Error::Execution(format!(
+                        "site failed: {}",
+                        protocol::decode_error(&msg.payload)
+                    )));
+                }
+                t => {
+                    return Err(Error::Execution(format!(
+                        "unexpected message tag {t} from site"
+                    )))
+                }
+            }
+            busy += t.elapsed().as_secs_f64();
+        }
+        Ok(busy)
+    }
+
+    /// The ship-everything baseline: gather every referenced fragment at
+    /// the coordinator (accounting the detail bytes the Skalla design
+    /// never ships) and evaluate centrally.
+    pub fn execute_centralized(&self, expr: &GmdjExpr) -> Result<QueryResult> {
+        let n = self.n_sites();
+        let wall_start = Instant::now();
+        let mut tables: Vec<String> = expr.ops.iter().map(|o| o.detail.clone()).collect();
+        if let Some(t) = expr.base.table() {
+            tables.push(t.to_string());
+        }
+        tables.sort();
+        tables.dedup();
+
+        let stats = NetStats::new(n);
+        stats.begin_round("ship detail");
+        let mut gather = StageTimes {
+            label: "ship detail".to_string(),
+            site_busy_s: vec![0.0; n],
+            ..StageTimes::default()
+        };
+        let mut catalog: HashMap<String, Relation> = HashMap::new();
+        let t0 = Instant::now();
+        for table in &tables {
+            for (site, data) in self.sites.iter().enumerate() {
+                let frag = data
+                    .get(table)
+                    .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?;
+                stats.record(site, Direction::Up, frag.encoded_size() as u64);
+                gather.rows_up += frag.len() as u64;
+                match catalog.get_mut(table) {
+                    None => {
+                        catalog.insert(table.clone(), frag.as_ref().clone());
+                    }
+                    Some(acc) => *acc = acc.union_all(frag)?,
+                }
+            }
+        }
+        gather.coord_s = t0.elapsed().as_secs_f64();
+
+        let mut evaluate = StageTimes {
+            label: "evaluate".to_string(),
+            site_busy_s: vec![0.0; n],
+            ..StageTimes::default()
+        };
+        let t1 = Instant::now();
+        let relation = expr.eval_centralized(&catalog, self.eval)?;
+        evaluate.coord_s = t1.elapsed().as_secs_f64();
+
+        Ok(QueryResult {
+            relation,
+            stats: ExecStats {
+                stages: vec![gather, evaluate],
+                net: finished_rounds(&stats),
+                wall_s: wall_start.elapsed().as_secs_f64(),
+            },
+        })
+    }
+}
+
+/// Project the base structure to the shipped columns.
+fn project_ship(b: &Relation, ship_columns: &[String]) -> Result<Relation> {
+    b.project(&ship_columns.iter().map(String::as_str).collect::<Vec<_>>())
+}
+
+fn net_err(e: skalla_net::NetError) -> Error {
+    Error::Execution(format!("network: {e}"))
+}
+
+/// All traffic rounds, skipping the implicit empty round the accounting
+/// opens before the first stage.
+fn finished_rounds(stats: &NetStats) -> Vec<skalla_net::RoundStats> {
+    let rounds = stats.rounds();
+    debug_assert!(
+        rounds
+            .first()
+            .map(|r| r.totals().total_bytes() == 0)
+            .unwrap_or(true),
+        "traffic before the first stage"
+    );
+    rounds
+        .into_iter()
+        .skip(1)
+        .collect()
+}
+
+/// The per-site worker loop: receive the plan, then wait for stage tasks,
+/// execute, reply.
+fn site_loop(
+    catalog: HashMap<String, Arc<Relation>>,
+    net: SiteNet,
+    times: Arc<Mutex<Vec<(usize, usize, f64)>>>,
+    eval: EvalOptions,
+    chunk_rows: Option<usize>,
+) {
+    let mut plan: Option<DistributedPlan> = None;
+    loop {
+        let Ok(msg) = net.recv() else {
+            return; // coordinator hung up
+        };
+        match msg.tag {
+            protocol::TAG_SHUTDOWN => return,
+            protocol::TAG_PLAN => match crate::plan_codec::decode_plan(&msg.payload) {
+                Ok(p) => plan = Some(p),
+                Err(e) => {
+                    let _ = net.send(protocol::error(&format!("bad plan: {e}")));
+                }
+            },
+            protocol::TAG_RUN_STAGE => {
+                let Some(plan) = &plan else {
+                    let _ = net.send(protocol::error("stage task before plan"));
+                    continue;
+                };
+                let replies = match protocol::decode_run_stage(&msg.payload) {
+                    Ok((stage, fragment)) => {
+                        let t = Instant::now();
+                        let out = crate::site::execute_stage(
+                            &catalog,
+                            plan,
+                            stage as usize,
+                            fragment,
+                            eval,
+                        );
+                        times
+                            .lock()
+                            .push((net.site_id(), stage as usize, t.elapsed().as_secs_f64()));
+                        match out {
+                            Ok(rel) => chunked_results(stage, &rel, chunk_rows),
+                            Err(e) => vec![protocol::error(&e.to_string())],
+                        }
+                    }
+                    Err(e) => vec![protocol::error(&e.to_string())],
+                };
+                for reply in replies {
+                    if net.send(reply).is_err() {
+                        return;
+                    }
+                }
+            }
+            _ => {
+                let _ = net.send(protocol::error("unexpected message tag"));
+            }
+        }
+    }
+}
+
+/// Split a stage result into row-blocked RESULT messages (one final
+/// message when chunking is off or the relation is small).
+fn chunked_results(
+    stage: u32,
+    rel: &Relation,
+    chunk_rows: Option<usize>,
+) -> Vec<skalla_net::Message> {
+    match chunk_rows {
+        Some(chunk) if rel.len() > chunk => {
+            let schema = rel.schema_ref();
+            let chunks: Vec<&[skalla_relation::Row]> = rel.rows().chunks(chunk).collect();
+            let n = chunks.len();
+            chunks
+                .into_iter()
+                .enumerate()
+                .map(|(i, rows)| {
+                    let part = Relation::from_shared(Arc::clone(&schema), rows.to_vec());
+                    protocol::result_chunk(stage, &part, i + 1 == n)
+                })
+                .collect()
+        }
+        _ => vec![protocol::result(stage, rel)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{OptFlags, Planner};
+    use skalla_gmdj::prelude::*;
+    use skalla_relation::{row, DataType, Domain};
+
+    /// Two sites partitioned on g: site 0 has g ∈ {1, 2}, site 1 has g = 3.
+    fn cluster() -> Cluster {
+        let schema = Schema::of(&[("g", DataType::Int), ("v", DataType::Int)]);
+        let p0 = Relation::new(
+            schema.clone(),
+            vec![row![1i64, 10i64], row![1i64, 30i64], row![2i64, 5i64]],
+        )
+        .unwrap();
+        let p1 = Relation::new(schema, vec![row![3i64, 7i64], row![3i64, 9i64]]).unwrap();
+        Cluster::from_partitions(
+            "t",
+            vec![
+                (p0, DomainMap::new().with("g", Domain::IntRange(1, 2))),
+                (p1, DomainMap::new().with("g", Domain::IntRange(3, 3))),
+            ],
+        )
+    }
+
+    fn expr() -> GmdjExpr {
+        GmdjExprBuilder::distinct_base("t", &["g"])
+            .gmdj(Gmdj::new("t").block(
+                ThetaBuilder::group_by(&["g"]).build(),
+                vec![AggSpec::count("cnt"), AggSpec::avg("v", "avg")],
+            ))
+            .gmdj(Gmdj::new("t").block(
+                ThetaBuilder::group_by(&["g"])
+                    .and(Expr::dcol("v").ge(Expr::bcol("avg")))
+                    .build(),
+                vec![AggSpec::count("above")],
+            ))
+            .build()
+    }
+
+    fn expected() -> Vec<Row> {
+        vec![
+            row![1i64, 2i64, 20.0, 1i64],
+            row![2i64, 1i64, 5.0, 1i64],
+            row![3i64, 2i64, 8.0, 1i64],
+        ]
+    }
+
+    #[test]
+    fn unoptimized_execution_matches_oracle() {
+        let c = cluster();
+        let plan = Planner::new(c.distribution()).optimize(&expr(), OptFlags::none());
+        assert_eq!(plan.n_rounds(), 3);
+        let out = c.execute(&plan).unwrap();
+        let sorted = out.relation.sorted_by(&["g"]).unwrap();
+        assert_eq!(sorted.rows(), expected().as_slice());
+        // Oracle agreement.
+        let oracle = expr()
+            .eval_centralized(&c.global_catalog(), EvalOptions::default())
+            .unwrap();
+        assert!(out.relation.same_bag(&oracle));
+        // Stats shape.
+        assert_eq!(out.stats.n_rounds(), 3);
+        assert!(out.stats.total_bytes() > 0);
+        let (down, up) = out.stats.total_rows();
+        assert!(down > 0 && up > 0);
+    }
+
+    #[test]
+    fn every_optimization_combination_is_equivalent() {
+        let c = cluster();
+        let oracle = expr()
+            .eval_centralized(&c.global_catalog(), EvalOptions::default())
+            .unwrap();
+        for bits in 0..16u32 {
+            let flags = OptFlags {
+                coalesce: bits & 1 != 0,
+                group_reduction_site: bits & 2 != 0,
+                group_reduction_coord: bits & 4 != 0,
+                sync_reduction: bits & 8 != 0,
+            };
+            let plan = Planner::new(c.distribution()).optimize(&expr(), flags);
+            let out = c.execute(&plan).unwrap_or_else(|e| {
+                panic!("flags {flags:?} failed: {e}\n{}", plan.explain())
+            });
+            assert!(
+                out.relation.same_bag(&oracle),
+                "flags {flags:?} wrong result\n{}",
+                plan.explain()
+            );
+        }
+    }
+
+    #[test]
+    fn full_sync_reduction_runs_one_round_and_less_traffic() {
+        let c = cluster();
+        let planner = Planner::new(c.distribution());
+        let slow = c
+            .execute(&planner.optimize(&expr(), OptFlags::none()))
+            .unwrap();
+        let fast_plan = planner.optimize(&expr(), OptFlags::all());
+        assert_eq!(fast_plan.n_rounds(), 1, "{}", fast_plan.explain());
+        let fast = c.execute(&fast_plan).unwrap();
+        assert!(fast.relation.same_bag(&slow.relation));
+        assert!(
+            fast.stats.total_bytes() < slow.stats.total_bytes(),
+            "optimized {} vs unoptimized {}",
+            fast.stats.total_bytes(),
+            slow.stats.total_bytes()
+        );
+    }
+
+    #[test]
+    fn group_reduction_reduces_shipped_rows() {
+        let c = cluster();
+        let planner = Planner::new(c.distribution());
+        let none = c
+            .execute(&planner.optimize(&expr(), OptFlags::none()))
+            .unwrap();
+        let gr = c
+            .execute(&planner.optimize(&expr(), OptFlags::group_reduction_only()))
+            .unwrap();
+        assert!(gr.relation.same_bag(&none.relation));
+        let (d0, u0) = none.stats.total_rows();
+        let (d1, u1) = gr.stats.total_rows();
+        assert!(d1 < d0, "coordinator-side reduction: {d1} < {d0}");
+        assert!(u1 <= u0, "site-side reduction: {u1} <= {u0}");
+    }
+
+    #[test]
+    fn centralized_baseline_matches_and_ships_detail() {
+        let c = cluster();
+        let base = c.execute_centralized(&expr()).unwrap();
+        let plan = Planner::new(c.distribution()).optimize(&expr(), OptFlags::none());
+        let dist = c.execute(&plan).unwrap();
+        assert!(base.relation.same_bag(&dist.relation));
+        // The baseline ships all 5 detail rows.
+        let (_, up) = base.stats.total_rows();
+        assert_eq!(up, 5);
+    }
+
+    #[test]
+    fn literal_base_execution() {
+        let c = cluster();
+        let groups = Relation::new(
+            Schema::of(&[("g", DataType::Int)]),
+            vec![row![1i64], row![99i64]],
+        )
+        .unwrap();
+        let e = GmdjExprBuilder::literal_base(groups)
+            .gmdj(Gmdj::new("t").block(
+                ThetaBuilder::group_by(&["g"]).build(),
+                vec![AggSpec::count("cnt")],
+            ))
+            .build();
+        let plan = Planner::new(c.distribution()).optimize(&e, OptFlags::none());
+        let out = c.execute(&plan).unwrap();
+        let sorted = out.relation.sorted_by(&["g"]).unwrap();
+        assert_eq!(sorted.rows()[0], row![1i64, 2i64]);
+        assert_eq!(sorted.rows()[1], row![99i64, 0i64]);
+    }
+
+    #[test]
+    fn site_error_propagates() {
+        // A plan referencing a missing table fails validation up front.
+        let c = cluster();
+        let e = GmdjExprBuilder::distinct_base("missing", &["g"])
+            .gmdj(Gmdj::new("missing").block(
+                ThetaBuilder::group_by(&["g"]).build(),
+                vec![AggSpec::count("cnt")],
+            ))
+            .build();
+        let plan = Planner::new(c.distribution()).optimize(&e, OptFlags::none());
+        assert!(c.execute(&plan).is_err());
+    }
+
+    #[test]
+    fn global_catalog_unions_fragments() {
+        let c = cluster();
+        let g = c.global_catalog();
+        assert_eq!(g["t"].len(), 5);
+    }
+}

@@ -1,0 +1,597 @@
+//! Coordinator-side synchronization.
+//!
+//! The coordinator maintains the base-result structure X, indexed on the
+//! key attributes K, and consolidates each site's sub-results into it as
+//! they arrive — O(|H|) per incoming relation (paper Sect. 3.2). Three
+//! synchronizers cover the three stage shapes:
+//!
+//! * [`BaseSync`] — union + duplicate elimination of base fragments;
+//! * [`MergeSync`] — super-aggregate merging of physical accumulators
+//!   (Theorem 1), with insert-on-first-sight for folded units (Prop 2);
+//! * [`ChainSync`] — disjoint assembly of locally-finalized results from
+//!   synchronization-reduced units (Thm 5 / Cor 1), which *verifies* the
+//!   partition assumption by rejecting duplicate keys.
+
+use skalla_gmdj::agg::AccLayout;
+use skalla_gmdj::operator::Gmdj;
+use skalla_relation::{Error, Relation, Result, Row, Schema, Value};
+use std::collections::HashMap;
+
+/// Check that `key` column values are unique in `rel`; returns the key
+/// column indexes.
+pub fn verify_unique_key(rel: &Relation, key: &[String]) -> Result<Vec<usize>> {
+    let idx = rel
+        .schema()
+        .indexes_of(&key.iter().map(String::as_str).collect::<Vec<_>>())?;
+    let mut seen: HashMap<Vec<Value>, ()> = HashMap::with_capacity(rel.len());
+    for row in rel {
+        if seen.insert(row.key(&idx), ()).is_some() {
+            return Err(Error::Execution(format!(
+                "base-values relation has duplicate key {:?}",
+                row.key(&idx)
+            )));
+        }
+    }
+    Ok(idx)
+}
+
+/// Synchronizer for the base round: collects each site's distinct groups.
+#[derive(Debug)]
+pub struct BaseSync {
+    acc: Option<Relation>,
+}
+
+impl BaseSync {
+    /// Start with nothing collected.
+    pub fn new() -> BaseSync {
+        BaseSync { acc: None }
+    }
+
+    /// Absorb one site's base fragment.
+    pub fn absorb(&mut self, fragment: Relation) -> Result<()> {
+        self.acc = Some(match self.acc.take() {
+            None => fragment,
+            Some(acc) => acc.union_all(&fragment)?,
+        });
+        Ok(())
+    }
+
+    /// Deduplicate into B₀ and verify the key is unique.
+    pub fn finish(self, key: &[String]) -> Result<Relation> {
+        let b = self
+            .acc
+            .ok_or_else(|| Error::Execution("no base fragments received".into()))?
+            .distinct();
+        verify_unique_key(&b, key)?;
+        Ok(b)
+    }
+}
+
+impl Default for BaseSync {
+    fn default() -> Self {
+        BaseSync::new()
+    }
+}
+
+/// Synchronizer for a single-operator unit: merges physical sub-aggregates
+/// into X per Theorem 1.
+#[derive(Debug)]
+pub struct MergeSync {
+    /// Full current-B rows (or key rows when folded) with accumulator
+    /// columns appended.
+    rows: Vec<Row>,
+    index: HashMap<Vec<Value>, usize>,
+    key_idx: Vec<usize>,
+    base_arity: usize,
+    layout: AccLayout,
+    fold: bool,
+}
+
+impl MergeSync {
+    /// Build X from the current base structure (`None` for folded units,
+    /// where X grows from the incoming sub-results).
+    pub fn new(b_cur: Option<&Relation>, key: &[String], op: &Gmdj) -> Result<MergeSync> {
+        let layout = op.layout();
+        match b_cur {
+            Some(b) => {
+                let key_idx = verify_unique_key(b, key)?;
+                let init = layout.init();
+                let mut index = HashMap::with_capacity(b.len());
+                let mut rows = Vec::with_capacity(b.len());
+                for (i, row) in b.iter().enumerate() {
+                    index.insert(row.key(&key_idx), i);
+                    rows.push(row.extend(&init));
+                }
+                Ok(MergeSync {
+                    rows,
+                    index,
+                    key_idx,
+                    base_arity: b.schema().len(),
+                    layout,
+                    fold: false,
+                })
+            }
+            None => Ok(MergeSync {
+                rows: Vec::new(),
+                index: HashMap::new(),
+                key_idx: (0..key.len()).collect(),
+                base_arity: key.len(),
+                layout,
+                fold: true,
+            }),
+        }
+    }
+
+    /// Absorb one site's sub-result. `h` has the key columns first, then
+    /// the physical accumulator columns.
+    pub fn absorb(&mut self, h: &Relation) -> Result<()> {
+        let key_len = self.key_idx.len();
+        let width = self.layout.width();
+        if h.schema().len() != key_len + width {
+            return Err(Error::Execution(format!(
+                "sub-result arity {} != key {} + accumulators {}",
+                h.schema().len(),
+                key_len,
+                width
+            )));
+        }
+        for row in h {
+            let key: Vec<Value> = row.values()[..key_len].to_vec();
+            match self.index.get(&key) {
+                Some(&pos) => {
+                    let dst = &mut self.rows[pos];
+                    let mut vals = dst.values().to_vec();
+                    self.layout
+                        .merge(&mut vals[self.base_arity..], &row.values()[key_len..])?;
+                    *dst = Row::new(vals);
+                }
+                None if self.fold => {
+                    // Prop 2: first sighting of this group — its base part
+                    // is exactly its key.
+                    self.index.insert(key, self.rows.len());
+                    self.rows.push(row.clone());
+                }
+                None => {
+                    return Err(Error::Execution(format!(
+                        "site reported unknown group {key:?}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalize X into B_next with the logical output schema.
+    pub fn finish(self, b_in_schema: &Schema, op: &Gmdj, detail: &Schema) -> Result<Relation> {
+        let out_schema = op.output_schema(b_in_schema, detail)?;
+        let mut rows = Vec::with_capacity(self.rows.len());
+        for row in &self.rows {
+            let (base_part, acc_part) = row.values().split_at(self.base_arity);
+            let logical = self.layout.finalize(acc_part)?;
+            let mut vs = Vec::with_capacity(base_part.len() + logical.len());
+            vs.extend_from_slice(base_part);
+            vs.extend(logical);
+            rows.push(Row::new(vs));
+        }
+        let mut rel = Relation::new(out_schema, rows)?;
+        if self.fold {
+            // Insertion order is site-arrival order; sort for determinism.
+            let key_cols: Vec<&str> = (0..self.key_idx.len())
+                .map(|i| rel.schema().field(i).name())
+                .map(|s| s as &str)
+                .collect::<Vec<_>>()
+                .clone();
+            let key_cols: Vec<String> = key_cols.iter().map(|s| s.to_string()).collect();
+            rel = rel.sorted_by(&key_cols.iter().map(String::as_str).collect::<Vec<_>>())?;
+        }
+        Ok(rel)
+    }
+}
+
+/// Synchronizer for a locally-chained unit: assembles disjoint finalized
+/// results.
+#[derive(Debug)]
+pub struct ChainSync {
+    /// key → logical aggregate values for the unit's operators.
+    map: HashMap<Vec<Value>, Vec<Value>>,
+    /// Arrival order of keys (used for folded output assembly).
+    order: Vec<Vec<Value>>,
+    key_len: usize,
+}
+
+impl ChainSync {
+    /// A synchronizer expecting `key_len` leading key columns.
+    pub fn new(key_len: usize) -> ChainSync {
+        ChainSync {
+            map: HashMap::new(),
+            order: Vec::new(),
+            key_len,
+        }
+    }
+
+    /// Absorb one site's finalized result (key columns + logical
+    /// aggregates). Duplicate keys mean the partition-attribute assumption
+    /// was violated — an execution error, not silent wrong answers.
+    pub fn absorb(&mut self, h: &Relation) -> Result<()> {
+        for row in h {
+            let (k, aggs) = row.values().split_at(self.key_len);
+            let key = k.to_vec();
+            if self
+                .map
+                .insert(key.clone(), aggs.to_vec())
+                .is_some()
+            {
+                return Err(Error::Execution(format!(
+                    "two sites reported group {key:?}: partition attribute assumption violated"
+                )));
+            }
+            self.order.push(key);
+        }
+        Ok(())
+    }
+
+    /// Assemble B_next against the coordinator's current B (non-folded):
+    /// every group of `b_cur` gets its site-computed aggregates, or
+    /// `empty_aggs` when no site owned it.
+    pub fn finish_against(
+        mut self,
+        b_cur: &Relation,
+        key: &[String],
+        empty_aggs: &[Value],
+        out_schema: Schema,
+    ) -> Result<Relation> {
+        let key_idx = verify_unique_key(b_cur, key)?;
+        let mut rows = Vec::with_capacity(b_cur.len());
+        for row in b_cur {
+            let k = row.key(&key_idx);
+            let aggs = self.map.remove(&k).unwrap_or_else(|| empty_aggs.to_vec());
+            rows.push(row.extend(&aggs));
+        }
+        if !self.map.is_empty() {
+            return Err(Error::Execution(format!(
+                "sites reported {} group(s) not in the base structure",
+                self.map.len()
+            )));
+        }
+        Relation::new(out_schema, rows)
+    }
+
+    /// Assemble B_next for a folded unit: the collected rows *are* the
+    /// result (sorted by key for determinism).
+    pub fn finish_folded(self, out_schema: Schema) -> Result<Relation> {
+        let key_len = self.key_len;
+        let mut rows: Vec<Row> = self
+            .order
+            .iter()
+            .map(|k| {
+                let aggs = self.map.get(k).expect("ordered keys are in the map");
+                let mut vs = Vec::with_capacity(key_len + aggs.len());
+                vs.extend_from_slice(k);
+                vs.extend_from_slice(aggs);
+                Row::new(vs)
+            })
+            .collect();
+        rows.sort_by(|a, b| a.values()[..key_len].cmp(&b.values()[..key_len]));
+        Relation::new(out_schema, rows)
+    }
+}
+
+/// A *partial* merger of physical sub-aggregates that does **not**
+/// finalize: regional coordinators in the multi-tier topology use it to
+/// combine their sites' sub-results into one still-mergeable relation
+/// before forwarding to the root (Theorem 1 applied recursively — merge is
+/// associative, so any intermediate grouping of the partition is valid).
+#[derive(Debug)]
+pub struct PartialMerge {
+    map: HashMap<Vec<Value>, Vec<Value>>,
+    order: Vec<Vec<Value>>,
+    key_len: usize,
+    layout: AccLayout,
+}
+
+impl PartialMerge {
+    /// A partial merger for sub-results of `op` keyed on `key_len` leading
+    /// columns.
+    pub fn new(key_len: usize, op: &Gmdj) -> PartialMerge {
+        PartialMerge {
+            map: HashMap::new(),
+            order: Vec::new(),
+            key_len,
+            layout: op.layout(),
+        }
+    }
+
+    /// Merge one sub-result (key columns + physical accumulators).
+    pub fn absorb(&mut self, h: &Relation) -> Result<()> {
+        let width = self.layout.width();
+        if h.schema().len() != self.key_len + width {
+            return Err(Error::Execution(format!(
+                "partial merge arity {} != key {} + accumulators {width}",
+                h.schema().len(),
+                self.key_len
+            )));
+        }
+        for row in h {
+            let (k, accs) = row.values().split_at(self.key_len);
+            match self.map.get_mut(k) {
+                Some(dst) => self.layout.merge(dst, accs)?,
+                None => {
+                    self.map.insert(k.to_vec(), accs.to_vec());
+                    self.order.push(k.to_vec());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The merged (still physical) relation, in first-arrival key order.
+    pub fn into_relation(self, schema: skalla_relation::SchemaRef) -> Relation {
+        let rows = self
+            .order
+            .into_iter()
+            .map(|k| {
+                let accs = self.map.get(&k).expect("ordered keys are present");
+                let mut vs = Vec::with_capacity(self.key_len + accs.len());
+                vs.extend_from_slice(&k);
+                vs.extend_from_slice(accs);
+                Row::new(vs)
+            })
+            .collect();
+        Relation::from_shared(schema, rows)
+    }
+}
+
+/// The finalize-of-nothing aggregate values for a run of operators: what a
+/// group's outputs are when no detail tuple anywhere matches it.
+pub fn empty_aggregates(ops: &[Gmdj]) -> Result<Vec<Value>> {
+    let mut out = Vec::new();
+    for op in ops {
+        let layout = op.layout();
+        out.extend(layout.finalize(&layout.init())?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_gmdj::agg::AggSpec;
+    use skalla_gmdj::theta::ThetaBuilder;
+    use skalla_relation::{row, DataType};
+
+    fn key() -> Vec<String> {
+        vec!["g".to_string()]
+    }
+
+    fn op() -> Gmdj {
+        Gmdj::new("t").block(
+            ThetaBuilder::group_by(&["g"]).build(),
+            vec![AggSpec::count("cnt"), AggSpec::avg("v", "avg")],
+        )
+    }
+
+    fn b0() -> Relation {
+        Relation::new(
+            Schema::of(&[("g", DataType::Int)]),
+            vec![row![1i64], row![2i64]],
+        )
+        .unwrap()
+    }
+
+    fn detail_schema() -> Schema {
+        Schema::of(&[("g", DataType::Int), ("v", DataType::Int)])
+    }
+
+    #[test]
+    fn base_sync_dedups_and_checks_key() {
+        let mut s = BaseSync::new();
+        s.absorb(b0()).unwrap();
+        s.absorb(b0()).unwrap();
+        let b = s.finish(&key()).unwrap();
+        assert_eq!(b.len(), 2);
+
+        // Duplicate keys (distinct rows, same key) are rejected.
+        let dup = Relation::new(
+            Schema::of(&[("g", DataType::Int), ("x", DataType::Int)]),
+            vec![row![1i64, 1i64], row![1i64, 2i64]],
+        )
+        .unwrap();
+        let mut s = BaseSync::new();
+        s.absorb(dup).unwrap();
+        assert!(s.finish(&key()).is_err());
+
+        assert!(BaseSync::new().finish(&key()).is_err());
+    }
+
+    /// Sub-results from two sites merge per Theorem 1 (COUNT sums, AVG
+    /// merges sums and counts).
+    #[test]
+    fn merge_sync_super_aggregates() {
+        let mut sync = MergeSync::new(Some(&b0()), &key(), &op()).unwrap();
+        // h schema: g, cnt, avg__sum, avg__cnt.
+        let h_schema = Schema::of(&[
+            ("g", DataType::Int),
+            ("cnt", DataType::Int),
+            ("avg__sum", DataType::Int),
+            ("avg__cnt", DataType::Int),
+        ]);
+        let h1 = Relation::new(
+            h_schema.clone(),
+            vec![row![1i64, 2i64, 30i64, 2i64], row![2i64, 1i64, 8i64, 1i64]],
+        )
+        .unwrap();
+        let h2 = Relation::new(
+            h_schema,
+            vec![row![1i64, 1i64, 30i64, 1i64]],
+        )
+        .unwrap();
+        sync.absorb(&h1).unwrap();
+        sync.absorb(&h2).unwrap();
+        let out = sync
+            .finish(b0().schema(), &op(), &detail_schema())
+            .unwrap();
+        assert_eq!(out.rows()[0], row![1i64, 3i64, 20.0]);
+        assert_eq!(out.rows()[1], row![2i64, 1i64, 8.0]);
+    }
+
+    #[test]
+    fn merge_sync_rejects_unknown_groups_and_bad_arity() {
+        let mut sync = MergeSync::new(Some(&b0()), &key(), &op()).unwrap();
+        let h = Relation::new(
+            Schema::of(&[
+                ("g", DataType::Int),
+                ("cnt", DataType::Int),
+                ("avg__sum", DataType::Int),
+                ("avg__cnt", DataType::Int),
+            ]),
+            vec![row![9i64, 1i64, 1i64, 1i64]],
+        )
+        .unwrap();
+        assert!(sync.absorb(&h).is_err());
+        let bad = Relation::new(
+            Schema::of(&[("g", DataType::Int), ("cnt", DataType::Int)]),
+            vec![row![1i64, 1i64]],
+        )
+        .unwrap();
+        assert!(sync.absorb(&bad).is_err());
+    }
+
+    #[test]
+    fn merge_sync_folded_inserts_new_groups() {
+        let mut sync = MergeSync::new(None, &key(), &op()).unwrap();
+        let h_schema = Schema::of(&[
+            ("g", DataType::Int),
+            ("cnt", DataType::Int),
+            ("avg__sum", DataType::Int),
+            ("avg__cnt", DataType::Int),
+        ]);
+        sync.absorb(
+            &Relation::new(h_schema.clone(), vec![row![2i64, 1i64, 8i64, 1i64]]).unwrap(),
+        )
+        .unwrap();
+        sync.absorb(
+            &Relation::new(
+                h_schema,
+                vec![row![1i64, 2i64, 30i64, 2i64], row![2i64, 2i64, 4i64, 2i64]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let out = sync
+            .finish(b0().schema(), &op(), &detail_schema())
+            .unwrap();
+        // Sorted by key despite arrival order.
+        assert_eq!(out.rows()[0], row![1i64, 2i64, 15.0]);
+        assert_eq!(out.rows()[1], row![2i64, 3i64, 4.0]);
+    }
+
+    #[test]
+    fn chain_sync_rejects_duplicate_groups() {
+        let mut sync = ChainSync::new(1);
+        let h = Relation::new(
+            Schema::of(&[("g", DataType::Int), ("cnt", DataType::Int)]),
+            vec![row![1i64, 5i64]],
+        )
+        .unwrap();
+        sync.absorb(&h).unwrap();
+        assert!(sync.absorb(&h).is_err());
+    }
+
+    #[test]
+    fn chain_sync_fills_unowned_groups() {
+        let mut sync = ChainSync::new(1);
+        let h = Relation::new(
+            Schema::of(&[("g", DataType::Int), ("cnt", DataType::Int)]),
+            vec![row![1i64, 5i64]],
+        )
+        .unwrap();
+        sync.absorb(&h).unwrap();
+        let out_schema = Schema::of(&[("g", DataType::Int), ("cnt", DataType::Int)]);
+        let out = sync
+            .finish_against(&b0(), &key(), &[Value::Int(0)], out_schema)
+            .unwrap();
+        assert_eq!(out.rows()[0], row![1i64, 5i64]);
+        assert_eq!(out.rows()[1], row![2i64, 0i64]);
+    }
+
+    #[test]
+    fn chain_sync_folded_sorts_by_key() {
+        let mut sync = ChainSync::new(1);
+        let schema = Schema::of(&[("g", DataType::Int), ("cnt", DataType::Int)]);
+        sync.absorb(&Relation::new(schema.clone(), vec![row![5i64, 1i64]]).unwrap())
+            .unwrap();
+        sync.absorb(&Relation::new(schema.clone(), vec![row![2i64, 3i64]]).unwrap())
+            .unwrap();
+        let out = sync.finish_folded(schema).unwrap();
+        assert_eq!(out.rows()[0], row![2i64, 3i64]);
+        assert_eq!(out.rows()[1], row![5i64, 1i64]);
+    }
+
+    #[test]
+    fn chain_sync_rejects_groups_outside_base() {
+        let mut sync = ChainSync::new(1);
+        let h = Relation::new(
+            Schema::of(&[("g", DataType::Int), ("cnt", DataType::Int)]),
+            vec![row![9i64, 5i64]],
+        )
+        .unwrap();
+        sync.absorb(&h).unwrap();
+        let out_schema = Schema::of(&[("g", DataType::Int), ("cnt", DataType::Int)]);
+        assert!(sync
+            .finish_against(&b0(), &key(), &[Value::Int(0)], out_schema)
+            .is_err());
+    }
+
+    #[test]
+    fn partial_merge_is_associative_with_merge_sync() {
+        // Merging h1+h2 regionally and then into X must equal absorbing
+        // them directly.
+        let h_schema = Schema::of(&[
+            ("g", DataType::Int),
+            ("cnt", DataType::Int),
+            ("avg__sum", DataType::Int),
+            ("avg__cnt", DataType::Int),
+        ]);
+        let h1 = Relation::new(
+            h_schema.clone(),
+            vec![row![1i64, 2i64, 30i64, 2i64], row![2i64, 1i64, 8i64, 1i64]],
+        )
+        .unwrap();
+        let h2 = Relation::new(h_schema.clone(), vec![row![1i64, 1i64, 30i64, 1i64]]).unwrap();
+
+        // Direct path.
+        let mut direct = MergeSync::new(Some(&b0()), &key(), &op()).unwrap();
+        direct.absorb(&h1).unwrap();
+        direct.absorb(&h2).unwrap();
+        let direct_out = direct.finish(b0().schema(), &op(), &detail_schema()).unwrap();
+
+        // Regional path.
+        let mut region = PartialMerge::new(1, &op());
+        region.absorb(&h1).unwrap();
+        region.absorb(&h2).unwrap();
+        let regional = region.into_relation(std::sync::Arc::new(h_schema));
+        assert_eq!(regional.len(), 2, "groups merged regionally");
+        let mut root = MergeSync::new(Some(&b0()), &key(), &op()).unwrap();
+        root.absorb(&regional).unwrap();
+        let tree_out = root.finish(b0().schema(), &op(), &detail_schema()).unwrap();
+
+        assert_eq!(direct_out, tree_out);
+    }
+
+    #[test]
+    fn partial_merge_rejects_bad_arity() {
+        let mut pm = PartialMerge::new(1, &op());
+        let bad = Relation::new(
+            Schema::of(&[("g", DataType::Int), ("cnt", DataType::Int)]),
+            vec![row![1i64, 1i64]],
+        )
+        .unwrap();
+        assert!(pm.absorb(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_aggregates_finalize_init() {
+        let aggs = empty_aggregates(&[op()]).unwrap();
+        assert_eq!(aggs, vec![Value::Int(0), Value::Null]);
+    }
+}

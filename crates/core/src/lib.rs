@@ -1,0 +1,36 @@
+//! # skalla-core — the Skalla distributed OLAP engine
+//!
+//! The paper's contribution: distributed evaluation of complex OLAP
+//! queries (GMDJ expressions) over a coordinator + local-warehouse-sites
+//! architecture, shipping only aggregate structures — never detail data.
+//!
+//! * [`cluster::Cluster`] — the runtime: threaded sites, coordinator,
+//!   Alg. GMDJDistribEval, and the ship-everything centralized baseline.
+//! * [`plan::Planner`] — the Egil planner: coalescing, distribution-aware
+//!   and distribution-independent group reduction, synchronization
+//!   reduction (Prop 2, Thm 5/Cor 1).
+//! * [`distribution::DistributionInfo`] — per-site φ knowledge and
+//!   partition-attribute detection (Definition 2).
+//! * [`coordinator`] — the base-result structure and the Theorem 1
+//!   synchronization.
+//! * [`stats`] — per-round traffic/compute measurements and the simulated
+//!   cost breakdown.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod coordinator;
+pub mod distribution;
+pub mod plan;
+pub mod plan_codec;
+pub mod protocol;
+pub mod site;
+pub mod stats;
+pub mod topology;
+
+pub use cluster::Cluster;
+pub use distribution::DistributionInfo;
+pub use plan::{DistributedPlan, OptFlags, Planner, SiteFilter, Stage, StageKind, Unit};
+pub use plan_codec::{decode_plan, encode_plan};
+pub use stats::{ExecStats, QueryResult, SimBreakdown, StageTimes};
+pub use topology::{execute_tree, TreeQueryResult, TreeTopology};

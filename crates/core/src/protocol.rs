@@ -1,0 +1,162 @@
+//! Wire protocol between the coordinator and the sites.
+//!
+//! Data that the paper's cost analysis counts — base-structure fragments
+//! shipped down, sub-aggregate relations shipped up — travels as
+//! codec-serialized payloads whose bytes are recorded by `skalla-net`. The
+//! *plan* itself is distributed out-of-band (sites receive an `Arc` of the
+//! plan at spawn time): plan text is a few hundred bytes sent once, which
+//! the paper does not account, and keeping it out-of-band avoids
+//! maintaining a serializer for expression trees.
+
+use skalla_net::Message;
+use skalla_relation::codec::{Decoder, Encoder};
+use skalla_relation::{Error, Relation, Result};
+
+/// Coordinator → site: run a stage (optionally with a base fragment).
+pub const TAG_RUN_STAGE: u8 = 1;
+/// Site → coordinator: a stage's result relation.
+pub const TAG_RESULT: u8 = 2;
+/// Site → coordinator: execution failed.
+pub const TAG_ERROR: u8 = 3;
+/// Coordinator → site: query finished, thread may exit.
+pub const TAG_SHUTDOWN: u8 = 4;
+/// Coordinator → site: the distributed plan for the upcoming query.
+pub const TAG_PLAN: u8 = 5;
+
+/// Encode a `RUN_STAGE` message.
+pub fn run_stage(stage: u32, fragment: Option<&Relation>) -> Message {
+    let mut enc = Encoder::with_capacity(
+        8 + fragment.map(|r| r.encoded_size()).unwrap_or(0),
+    );
+    enc.put_u32(stage);
+    match fragment {
+        Some(rel) => {
+            enc.put_u8(1);
+            enc.put_relation(rel);
+        }
+        None => enc.put_u8(0),
+    }
+    Message::new(TAG_RUN_STAGE, enc.finish())
+}
+
+/// Decode a `RUN_STAGE` payload.
+pub fn decode_run_stage(payload: &[u8]) -> Result<(u32, Option<Relation>)> {
+    let mut dec = Decoder::new(payload);
+    let stage = dec.get_u32()?;
+    let fragment = match dec.get_u8()? {
+        0 => None,
+        1 => Some(dec.get_relation()?),
+        t => return Err(Error::Codec(format!("bad fragment flag {t}"))),
+    };
+    if dec.remaining() != 0 {
+        return Err(Error::Codec("trailing bytes in RUN_STAGE".into()));
+    }
+    Ok((stage, fragment))
+}
+
+/// Encode a `RESULT` message. `last` marks the final chunk of a stage
+/// (row blocking, paper Sect. 3.2: the coordinator synchronizes chunks as
+/// they arrive instead of waiting for whole sub-results).
+pub fn result_chunk(stage: u32, rel: &Relation, last: bool) -> Message {
+    let mut enc = Encoder::with_capacity(9 + rel.encoded_size());
+    enc.put_u32(stage);
+    enc.put_u8(last as u8);
+    enc.put_relation(rel);
+    Message::new(TAG_RESULT, enc.finish())
+}
+
+/// Encode an unchunked (single, final) `RESULT` message.
+pub fn result(stage: u32, rel: &Relation) -> Message {
+    result_chunk(stage, rel, true)
+}
+
+/// Decode a `RESULT` payload into `(stage, last-chunk flag, relation)`.
+pub fn decode_result(payload: &[u8]) -> Result<(u32, bool, Relation)> {
+    let mut dec = Decoder::new(payload);
+    let stage = dec.get_u32()?;
+    let last = match dec.get_u8()? {
+        0 => false,
+        1 => true,
+        t => return Err(Error::Codec(format!("bad last-chunk flag {t}"))),
+    };
+    let rel = dec.get_relation()?;
+    if dec.remaining() != 0 {
+        return Err(Error::Codec("trailing bytes in RESULT".into()));
+    }
+    Ok((stage, last, rel))
+}
+
+/// Encode an `ERROR` message.
+pub fn error(message: &str) -> Message {
+    let mut enc = Encoder::new();
+    enc.put_str(message);
+    Message::new(TAG_ERROR, enc.finish())
+}
+
+/// Decode an `ERROR` payload.
+pub fn decode_error(payload: &[u8]) -> String {
+    Decoder::new(payload)
+        .get_str()
+        .unwrap_or_else(|_| "malformed error message".to_string())
+}
+
+/// Encode a `SHUTDOWN` message.
+pub fn shutdown() -> Message {
+    Message::new(TAG_SHUTDOWN, Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_relation::{row, DataType, Schema};
+
+    fn rel() -> Relation {
+        Relation::new(
+            Schema::of(&[("k", DataType::Int)]),
+            vec![row![1i64], row![2i64]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn run_stage_round_trip() {
+        let m = run_stage(3, Some(&rel()));
+        assert_eq!(m.tag, TAG_RUN_STAGE);
+        let (stage, frag) = decode_run_stage(&m.payload).unwrap();
+        assert_eq!(stage, 3);
+        assert_eq!(frag.unwrap(), rel());
+
+        let m = run_stage(0, None);
+        let (stage, frag) = decode_run_stage(&m.payload).unwrap();
+        assert_eq!(stage, 0);
+        assert!(frag.is_none());
+    }
+
+    #[test]
+    fn result_round_trip() {
+        let m = result(7, &rel());
+        let (stage, last, r) = decode_result(&m.payload).unwrap();
+        assert_eq!(stage, 7);
+        assert!(last);
+        assert_eq!(r, rel());
+        let m = result_chunk(7, &rel(), false);
+        let (_, last, _) = decode_result(&m.payload).unwrap();
+        assert!(!last);
+    }
+
+    #[test]
+    fn error_round_trip() {
+        let m = error("something broke");
+        assert_eq!(decode_error(&m.payload), "something broke");
+        assert_eq!(decode_error(&[0xFF]), "malformed error message");
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        assert!(decode_run_stage(&[1, 0, 0, 0, 9]).is_err());
+        assert!(decode_result(&[1]).is_err());
+        let mut m = run_stage(1, None).payload;
+        m.push(0);
+        assert!(decode_run_stage(&m).is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! Site-side stage execution.
+//!
+//! Each Skalla site is a local warehouse fully capable of evaluating GMDJ
+//! expressions over its partition (paper Sect. 2.1). [`execute_stage`] is
+//! the pure function a site thread runs per round: given the shared plan,
+//! the stage index and the base-structure fragment received from the
+//! coordinator, it produces the relation to ship back.
+
+use crate::plan::{DistributedPlan, StageKind, Unit};
+use skalla_gmdj::eval::{eval_full, eval_local, EvalOptions};
+use skalla_gmdj::{BaseQuery, Catalog};
+use skalla_relation::{Error, Relation, Result, Value};
+use std::collections::HashSet;
+
+/// Execute one stage at a site. `incoming` is the base fragment shipped by
+/// the coordinator (`None` for base stages and folded units).
+pub fn execute_stage(
+    catalog: &dyn Catalog,
+    plan: &DistributedPlan,
+    stage: usize,
+    incoming: Option<Relation>,
+    eval: EvalOptions,
+) -> Result<Relation> {
+    let st = plan
+        .stages
+        .get(stage)
+        .ok_or_else(|| Error::Execution(format!("no stage {stage}")))?;
+    match &st.kind {
+        StageKind::Base => plan.base_fragment(catalog),
+        StageKind::Unit(unit) => execute_unit(catalog, plan, unit, incoming, eval),
+    }
+}
+
+impl DistributedPlan {
+    /// The local base fragment: the base query evaluated over this site's
+    /// partition.
+    pub fn base_fragment(&self, catalog: &dyn Catalog) -> Result<Relation> {
+        self.expr.base.eval(catalog)
+    }
+}
+
+fn base_input(
+    catalog: &dyn Catalog,
+    plan: &DistributedPlan,
+    unit: &Unit,
+    incoming: Option<Relation>,
+) -> Result<Relation> {
+    if unit.fold_base {
+        // Prop 2: derive the local groups from the local detail partition.
+        match &plan.expr.base {
+            BaseQuery::DistinctProject { .. } => plan.base_fragment(catalog),
+            BaseQuery::Literal(_) => Err(Error::Plan(
+                "fold_base with a literal base relation".into(),
+            )),
+        }
+    } else {
+        incoming.ok_or_else(|| {
+            Error::Execution("unit stage without a base fragment".into())
+        })
+    }
+}
+
+fn execute_unit(
+    catalog: &dyn Catalog,
+    plan: &DistributedPlan,
+    unit: &Unit,
+    incoming: Option<Relation>,
+    eval: EvalOptions,
+) -> Result<Relation> {
+    let detail = catalog.table(&unit.table)?;
+    let b_frag = base_input(catalog, plan, unit, incoming)?;
+    let key: Vec<&str> = plan.key.iter().map(String::as_str).collect();
+
+    if unit.local_chain {
+        // Thm 5 / Cor 1: evaluate the whole unit locally on owned groups,
+        // finalizing between operators, and ship logical results.
+        let owned = if unit.fold_base {
+            b_frag
+        } else {
+            let (bcol, dcol) = unit
+                .ownership
+                .as_ref()
+                .ok_or_else(|| Error::Plan("chained unit without ownership".into()))?;
+            let local_values: HashSet<Value> = {
+                let di = detail.schema().index_of(dcol)?;
+                detail.iter().map(|r| r.get(di).clone()).collect()
+            };
+            let bi = b_frag.schema().index_of(bcol)?;
+            b_frag.filter(|row| local_values.contains(row.get(bi)))
+        };
+        let mut cur = owned;
+        for op in &plan.expr.ops[unit.ops.clone()] {
+            cur = eval_full(&cur, detail, op, eval)?;
+        }
+        // Ship K + every logical aggregate the unit produced.
+        let mut cols = key.clone();
+        for op in &plan.expr.ops[unit.ops.clone()] {
+            cols.extend(op.output_names());
+        }
+        cur.project(&cols)
+    } else {
+        // One operator: sub-aggregates, shipped as physical accumulators.
+        debug_assert_eq!(unit.ops.len(), 1);
+        let op = &plan.expr.ops[unit.ops.start];
+        let local = eval_local(&b_frag, detail, op, eval)?;
+        let shipped = if unit.site_reduce {
+            local.reduced()
+        } else {
+            local.physical
+        };
+        // Project to K + the physical accumulator columns.
+        let base_arity = b_frag.schema().len();
+        let mut idx: Vec<usize> = Vec::with_capacity(key.len());
+        for k in &key {
+            idx.push(shipped.schema().index_of(k)?);
+        }
+        idx.extend(base_arity..shipped.schema().len());
+        let schema = shipped.schema().project(&idx)?;
+        let rows = shipped.iter().map(|r| r.project(&idx)).collect();
+        Relation::new(schema, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::DistributionInfo;
+    use crate::plan::{OptFlags, Planner};
+    use skalla_gmdj::prelude::*;
+    use skalla_relation::{row, DataType, Schema};
+    use std::collections::HashMap;
+
+    fn site_catalog() -> HashMap<String, Relation> {
+        let t = Relation::new(
+            Schema::of(&[("g", DataType::Int), ("v", DataType::Int)]),
+            vec![row![1i64, 10i64], row![1i64, 30i64], row![2i64, 7i64]],
+        )
+        .unwrap();
+        HashMap::from([("t".to_string(), t)])
+    }
+
+    fn expr() -> GmdjExpr {
+        GmdjExprBuilder::distinct_base("t", &["g"])
+            .gmdj(Gmdj::new("t").block(
+                ThetaBuilder::group_by(&["g"]).build(),
+                vec![AggSpec::count("cnt"), AggSpec::avg("v", "avg")],
+            ))
+            .build()
+    }
+
+    #[test]
+    fn base_stage_ships_local_groups() {
+        let plan = Planner::new(DistributionInfo::new(1)).optimize(&expr(), OptFlags::none());
+        let cat = site_catalog();
+        let out = execute_stage(&cat, &plan, 0, None, EvalOptions::default()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.schema().column_names(), ["g"]);
+    }
+
+    #[test]
+    fn unit_stage_ships_key_plus_accumulators() {
+        let plan = Planner::new(DistributionInfo::new(1)).optimize(&expr(), OptFlags::none());
+        let cat = site_catalog();
+        let b = Relation::new(
+            Schema::of(&[("g", DataType::Int)]),
+            vec![row![1i64], row![2i64], row![3i64]],
+        )
+        .unwrap();
+        let out = execute_stage(&cat, &plan, 1, Some(b), EvalOptions::default()).unwrap();
+        assert_eq!(
+            out.schema().column_names(),
+            ["g", "cnt", "avg__sum", "avg__cnt"]
+        );
+        assert_eq!(out.len(), 3);
+        // Group 3 has no local tuples, but without site reduction it ships.
+        assert_eq!(out.rows()[2], Row::new(vec![
+            Value::Int(3),
+            Value::Int(0),
+            Value::Null,
+            Value::Int(0),
+        ]));
+    }
+
+    #[test]
+    fn site_reduce_drops_unmatched_groups() {
+        let flags = OptFlags {
+            group_reduction_site: true,
+            ..OptFlags::none()
+        };
+        let plan = Planner::new(DistributionInfo::new(1)).optimize(&expr(), flags);
+        let cat = site_catalog();
+        let b = Relation::new(
+            Schema::of(&[("g", DataType::Int)]),
+            vec![row![1i64], row![3i64]],
+        )
+        .unwrap();
+        let out = execute_stage(&cat, &plan, 1, Some(b), EvalOptions::default()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0].get(0), &Value::Int(1));
+    }
+
+    #[test]
+    fn missing_fragment_is_an_error() {
+        let plan = Planner::new(DistributionInfo::new(1)).optimize(&expr(), OptFlags::none());
+        let cat = site_catalog();
+        assert!(execute_stage(&cat, &plan, 1, None, EvalOptions::default()).is_err());
+        assert!(execute_stage(&cat, &plan, 9, None, EvalOptions::default()).is_err());
+    }
+}

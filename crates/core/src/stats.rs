@@ -1,0 +1,189 @@
+//! Execution statistics.
+//!
+//! Every query execution reports, per synchronization round: site busy
+//! times, coordinator time, and rows/bytes shipped each way — the raw
+//! series behind each figure of the paper. [`ExecStats::simulated`]
+//! combines measured compute with the [`CostModel`]'s wire time into the
+//! site/coordinator/communication breakdown of Figure 5 (right).
+
+use skalla_net::{CostModel, RoundStats};
+use skalla_relation::Relation;
+
+/// Per-round measurements taken by the coordinator.
+#[derive(Debug, Clone, Default)]
+pub struct StageTimes {
+    /// Stage label (matches the plan's stage label).
+    pub label: String,
+    /// Busy seconds per site (only sites that participated are non-zero).
+    pub site_busy_s: Vec<f64>,
+    /// Coordinator compute seconds (fragment building + synchronization).
+    pub coord_s: f64,
+    /// Base-structure rows shipped coordinator → sites (total).
+    pub rows_down: u64,
+    /// Result rows shipped sites → coordinator (total).
+    pub rows_up: u64,
+}
+
+/// The simulated breakdown of a query's evaluation time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimBreakdown {
+    /// Site computation (per round, the slowest participating site).
+    pub site_s: f64,
+    /// Coordinator computation.
+    pub coord_s: f64,
+    /// Communication (from the cost model over recorded traffic).
+    pub comm_s: f64,
+}
+
+impl SimBreakdown {
+    /// Total simulated evaluation time.
+    pub fn total_s(&self) -> f64 {
+        self.site_s + self.coord_s + self.comm_s
+    }
+}
+
+/// Statistics for one distributed query execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Per-round compute measurements.
+    pub stages: Vec<StageTimes>,
+    /// Per-round traffic (parallel to `stages`).
+    pub net: Vec<RoundStats>,
+    /// Real wall-clock seconds for the whole execution.
+    pub wall_s: f64,
+}
+
+impl ExecStats {
+    /// Total bytes transferred in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.net.iter().map(|r| r.totals().total_bytes()).sum()
+    }
+
+    /// Bytes shipped coordinator → sites.
+    pub fn bytes_down(&self) -> u64 {
+        self.net.iter().map(|r| r.totals().down_bytes).sum()
+    }
+
+    /// Bytes shipped sites → coordinator.
+    pub fn bytes_up(&self) -> u64 {
+        self.net.iter().map(|r| r.totals().up_bytes).sum()
+    }
+
+    /// Total messages both ways.
+    pub fn total_messages(&self) -> u64 {
+        self.net
+            .iter()
+            .map(|r| {
+                let t = r.totals();
+                t.down_msgs + t.up_msgs
+            })
+            .sum()
+    }
+
+    /// Rows shipped down / up over all rounds.
+    pub fn total_rows(&self) -> (u64, u64) {
+        let down = self.stages.iter().map(|s| s.rows_down).sum();
+        let up = self.stages.iter().map(|s| s.rows_up).sum();
+        (down, up)
+    }
+
+    /// Number of synchronization rounds (the plan-distribution round is
+    /// bookkeeping, not a synchronization, and is excluded).
+    pub fn n_rounds(&self) -> usize {
+        self.stages.iter().filter(|s| s.label != "plan").count()
+    }
+
+    /// Simulated evaluation-time breakdown under a cost model. Site time
+    /// counts the slowest site per round (sites run in parallel; the
+    /// coordinator barriers each round).
+    pub fn simulated(&self, cost: &CostModel) -> SimBreakdown {
+        let site_s = self
+            .stages
+            .iter()
+            .map(|s| s.site_busy_s.iter().cloned().fold(0.0, f64::max))
+            .sum();
+        let coord_s = self.stages.iter().map(|s| s.coord_s).sum();
+        let comm_s = self.net.iter().map(|r| cost.round_time_s(r)).sum();
+        SimBreakdown {
+            site_s,
+            coord_s,
+            comm_s,
+        }
+    }
+}
+
+/// The outcome of a distributed query: the result relation plus the
+/// execution statistics.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The query answer.
+    pub relation: Relation,
+    /// Measurements.
+    pub stats: ExecStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_net::LinkStats;
+
+    fn round(label: &str, down: u64, up: u64) -> RoundStats {
+        RoundStats {
+            label: label.into(),
+            per_site: vec![LinkStats {
+                down_bytes: down,
+                up_bytes: up,
+                down_msgs: (down > 0) as u64,
+                up_msgs: (up > 0) as u64,
+            }],
+        }
+    }
+
+    fn stats() -> ExecStats {
+        ExecStats {
+            stages: vec![
+                StageTimes {
+                    label: "base".into(),
+                    site_busy_s: vec![0.1, 0.3],
+                    coord_s: 0.05,
+                    rows_down: 0,
+                    rows_up: 100,
+                },
+                StageTimes {
+                    label: "gmdj 1".into(),
+                    site_busy_s: vec![0.2, 0.1],
+                    coord_s: 0.05,
+                    rows_down: 200,
+                    rows_up: 100,
+                },
+            ],
+            net: vec![round("base", 0, 1000), round("gmdj 1", 2000, 1000)],
+            wall_s: 1.0,
+        }
+    }
+
+    #[test]
+    fn byte_and_row_totals() {
+        let s = stats();
+        assert_eq!(s.total_bytes(), 4000);
+        assert_eq!(s.bytes_down(), 2000);
+        assert_eq!(s.bytes_up(), 2000);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.total_rows(), (200, 200));
+        assert_eq!(s.n_rounds(), 2);
+    }
+
+    #[test]
+    fn simulated_breakdown_takes_max_site_per_round() {
+        let s = stats();
+        let model = CostModel {
+            latency_s: 0.0,
+            bandwidth_bytes_per_s: 1000.0,
+        };
+        let sim = s.simulated(&model);
+        assert!((sim.site_s - 0.5).abs() < 1e-12); // 0.3 + 0.2
+        assert!((sim.coord_s - 0.1).abs() < 1e-12);
+        assert!((sim.comm_s - 4.0).abs() < 1e-12);
+        assert!((sim.total_s() - 4.6).abs() < 1e-12);
+    }
+}

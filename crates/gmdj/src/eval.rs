@@ -1,0 +1,445 @@
+//! Centralized / per-site GMDJ evaluation.
+//!
+//! Conventional groupwise aggregation does not apply to GMDJs because the
+//! ranges `RNG(b, R, θ)` of different base tuples may overlap. The engine
+//! therefore evaluates each block `(θᵢ, lᵢ)` by one of two strategies,
+//! chosen from the [θ analysis](crate::theta::analyze_theta):
+//!
+//! * **Hash path** — when θᵢ contains equi-key conjuncts `b.x = r.y`, base
+//!   tuples are hash-indexed on their key columns and each detail tuple
+//!   probes the index, applying the residual condition to the candidates.
+//!   Cost `O(|B| + |R|·candidates)`. This mirrors the efficient centralized
+//!   evaluation of [2, 7] cited by the paper.
+//! * **Nested loop** — the general fallback, `O(|B|·|R|)`.
+//!
+//! [`eval_local`] produces *physical* (sub-aggregate) accumulators plus a
+//! per-group match flag — exactly what a warehouse site ships to the
+//! coordinator; [`eval_full`] additionally finalizes, for single-machine
+//! evaluation and as the test oracle.
+
+use crate::agg::AccLayout;
+use crate::operator::Gmdj;
+use crate::theta::analyze_theta;
+use skalla_relation::{BoundExpr, Relation, Result, Row, Schema, Value};
+use std::collections::HashMap;
+
+/// Evaluation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Use the hash fast path when θ has equi-key conjuncts (on by
+    /// default; disable for the nested-loop ablation bench).
+    pub hash_path: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { hash_path: true }
+    }
+}
+
+/// The result of evaluating a GMDJ at one site.
+#[derive(Debug, Clone)]
+pub struct LocalGmdj {
+    /// Base columns ⊕ physical accumulator columns, one row per base tuple
+    /// (same order as the input base relation).
+    pub physical: Relation,
+    /// Per base tuple: did any detail tuple at this site match any θᵢ?
+    /// (`|RNG(b, Rᵢ, θ₁ ∨ … ∨ θ_m)| > 0` — the distribution-independent
+    /// group-reduction test of Proposition 1.)
+    pub matched: Vec<bool>,
+}
+
+impl LocalGmdj {
+    /// The physical rows whose group matched at least one detail tuple —
+    /// what a site ships when distribution-independent group reduction is
+    /// enabled.
+    pub fn reduced(&self) -> Relation {
+        let rows = self
+            .physical
+            .rows()
+            .iter()
+            .zip(&self.matched)
+            .filter(|(_, m)| **m)
+            .map(|(r, _)| r.clone())
+            .collect();
+        Relation::from_shared(self.physical.schema_ref(), rows)
+    }
+}
+
+struct PreparedBlock {
+    /// Base-side positions of equi-key columns (empty ⇒ nested loop).
+    base_keys: Vec<usize>,
+    /// Detail-side positions of equi-key columns.
+    detail_keys: Vec<usize>,
+    /// Bound residual (or the full θ for the nested-loop path).
+    condition: BoundExpr,
+    /// `true` when `condition` is only the residual of an equi split.
+    hash: bool,
+    /// Bound aggregate inputs (`None` for `COUNT(*)`), with the slot
+    /// offset of each aggregate.
+    aggs: Vec<(Option<BoundExpr>, usize)>,
+}
+
+fn prepare_blocks(
+    gmdj: &Gmdj,
+    base: &Schema,
+    detail: &Schema,
+    opts: EvalOptions,
+) -> Result<(AccLayout, Vec<PreparedBlock>)> {
+    let layout = gmdj.layout();
+    // Map each (block, agg) to its slot offset.
+    let mut offsets_per_block: Vec<Vec<usize>> = vec![Vec::new(); gmdj.blocks.len()];
+    for (bi, agg, off) in layout.entries() {
+        let _ = agg;
+        offsets_per_block[*bi].push(*off);
+    }
+    let mut blocks = Vec::with_capacity(gmdj.blocks.len());
+    for (bi, block) in gmdj.blocks.iter().enumerate() {
+        let analysis = analyze_theta(&block.theta);
+        let use_hash = opts.hash_path && !analysis.equi.is_empty();
+        let (base_keys, detail_keys, condition) = if use_hash {
+            let mut bk = Vec::with_capacity(analysis.equi.len());
+            let mut dk = Vec::with_capacity(analysis.equi.len());
+            for (b, d) in &analysis.equi {
+                bk.push(base.index_of(b)?);
+                dk.push(detail.index_of(d)?);
+            }
+            (bk, dk, analysis.residual.bind(base, Some(detail))?)
+        } else {
+            (
+                Vec::new(),
+                Vec::new(),
+                block.theta.bind(base, Some(detail))?,
+            )
+        };
+        let mut aggs = Vec::with_capacity(block.aggs.len());
+        for (a, off) in block.aggs.iter().zip(&offsets_per_block[bi]) {
+            let bound = match &a.input {
+                Some(e) => Some(e.bind(base, Some(detail))?),
+                None => None,
+            };
+            aggs.push((bound, *off));
+        }
+        blocks.push(PreparedBlock {
+            base_keys,
+            detail_keys,
+            condition,
+            hash: use_hash,
+            aggs,
+        });
+    }
+    Ok((layout, blocks))
+}
+
+/// Evaluate a GMDJ at one site: sub-aggregates only.
+pub fn eval_local(
+    base: &Relation,
+    detail: &Relation,
+    gmdj: &Gmdj,
+    opts: EvalOptions,
+) -> Result<LocalGmdj> {
+    gmdj.validate(base.schema(), detail.schema())?;
+    let (layout, blocks) = prepare_blocks(gmdj, base.schema(), detail.schema(), opts)?;
+
+    let mut accs: Vec<Vec<Value>> = (0..base.len()).map(|_| layout.init()).collect();
+    let mut matched = vec![false; base.len()];
+
+    for (bi, pb) in blocks.iter().enumerate() {
+        let block = &gmdj.blocks[bi];
+        if pb.hash {
+            // Hash path: index base tuples on their equi-key columns.
+            let mut index: HashMap<Vec<Value>, Vec<usize>> =
+                HashMap::with_capacity(base.len());
+            for (pos, row) in base.iter().enumerate() {
+                index.entry(row.key(&pb.base_keys)).or_default().push(pos);
+            }
+            let is_trivial_residual =
+                matches!(pb.condition, BoundExpr::Lit(ref v) if v.is_truthy());
+            for r in detail {
+                let Some(cands) = index.get(&r.key(&pb.detail_keys)) else {
+                    continue;
+                };
+                for &pos in cands {
+                    let b = &base.rows()[pos];
+                    if !is_trivial_residual && !pb.condition.eval(b, r)?.is_truthy() {
+                        continue;
+                    }
+                    matched[pos] = true;
+                    update_aggs(block, pb, &mut accs[pos], b, r)?;
+                }
+            }
+        } else {
+            // Nested loop: evaluate θ for every (b, r) pair.
+            for (pos, b) in base.iter().enumerate() {
+                let acc = &mut accs[pos];
+                for r in detail {
+                    if pb.condition.eval(b, r)?.is_truthy() {
+                        matched[pos] = true;
+                        update_aggs(block, pb, acc, b, r)?;
+                    }
+                }
+            }
+        }
+    }
+
+    let phys_schema = gmdj.physical_schema(base.schema(), detail.schema())?;
+    let rows: Vec<Row> = base
+        .iter()
+        .zip(accs)
+        .map(|(b, acc)| b.extend(&acc))
+        .collect();
+    Ok(LocalGmdj {
+        physical: Relation::new(phys_schema, rows)?,
+        matched,
+    })
+}
+
+fn update_aggs(
+    block: &crate::operator::GmdjBlock,
+    pb: &PreparedBlock,
+    acc: &mut [Value],
+    b: &Row,
+    r: &Row,
+) -> Result<()> {
+    for (a, (input, off)) in block.aggs.iter().zip(&pb.aggs) {
+        let w = a.acc_width();
+        match input {
+            Some(e) => {
+                let v = e.eval(b, r)?;
+                a.update(&mut acc[*off..off + w], Some(&v))?;
+            }
+            None => a.update(&mut acc[*off..off + w], None)?,
+        }
+    }
+    Ok(())
+}
+
+/// Finalize a physical (accumulator) relation into the logical output.
+///
+/// `base_arity` is the number of leading base columns; `detail` supplies
+/// types for the logical aggregate fields.
+pub fn finalize_physical(
+    physical: &Relation,
+    base_arity: usize,
+    gmdj: &Gmdj,
+    detail: &Schema,
+) -> Result<Relation> {
+    let layout = gmdj.layout();
+    let base_schema = physical
+        .schema()
+        .project(&(0..base_arity).collect::<Vec<_>>())?;
+    let out_schema = gmdj.output_schema(&base_schema, detail)?;
+    let mut rows = Vec::with_capacity(physical.len());
+    for row in physical {
+        let (base_part, acc_part) = row.values().split_at(base_arity);
+        let logical = layout.finalize(acc_part)?;
+        let mut vs = Vec::with_capacity(base_arity + logical.len());
+        vs.extend_from_slice(base_part);
+        vs.extend(logical);
+        rows.push(Row::new(vs));
+    }
+    Relation::new(out_schema, rows)
+}
+
+/// Evaluate a GMDJ to its logical output on one machine (the oracle and
+/// the single-site fast path).
+pub fn eval_full(
+    base: &Relation,
+    detail: &Relation,
+    gmdj: &Gmdj,
+    opts: EvalOptions,
+) -> Result<Relation> {
+    let local = eval_local(base, detail, gmdj, opts)?;
+    finalize_physical(&local.physical, base.schema().len(), gmdj, detail.schema())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggSpec;
+    use crate::theta::ThetaBuilder;
+    use skalla_relation::{row, DataType, Expr};
+
+    fn detail() -> Relation {
+        Relation::new(
+            Schema::of(&[("g", DataType::Int), ("v", DataType::Int)]),
+            vec![
+                row![1i64, 10i64],
+                row![1i64, 20i64],
+                row![2i64, 5i64],
+                row![2i64, 7i64],
+                row![2i64, 9i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn base() -> Relation {
+        Relation::new(
+            Schema::of(&[("g", DataType::Int)]),
+            vec![row![1i64], row![2i64], row![3i64]],
+        )
+        .unwrap()
+    }
+
+    fn simple_gmdj() -> Gmdj {
+        Gmdj::new("t").block(
+            ThetaBuilder::group_by(&["g"]).build(),
+            vec![AggSpec::count("cnt"), AggSpec::avg("v", "avg")],
+        )
+    }
+
+    #[test]
+    fn grouped_count_and_avg() {
+        let out = eval_full(&base(), &detail(), &simple_gmdj(), EvalOptions::default()).unwrap();
+        assert_eq!(out.schema().column_names(), ["g", "cnt", "avg"]);
+        assert_eq!(out.rows()[0], row![1i64, 2i64, 15.0]);
+        assert_eq!(out.rows()[1], row![2i64, 3i64, 7.0]);
+        // Group 3 has no detail tuples: COUNT 0, AVG NULL.
+        assert_eq!(
+            out.rows()[2],
+            Row::new(vec![Value::Int(3), Value::Int(0), Value::Null])
+        );
+    }
+
+    #[test]
+    fn hash_and_nested_loop_agree() {
+        let hash = eval_full(&base(), &detail(), &simple_gmdj(), EvalOptions { hash_path: true })
+            .unwrap();
+        let nl = eval_full(&base(), &detail(), &simple_gmdj(), EvalOptions { hash_path: false })
+            .unwrap();
+        assert_eq!(hash, nl);
+    }
+
+    #[test]
+    fn overlapping_ranges_nested_loop() {
+        // θ: r.v >= b.lo — ranges overlap across base tuples (not a group-by).
+        let base = Relation::new(
+            Schema::of(&[("lo", DataType::Int)]),
+            vec![row![0i64], row![8i64]],
+        )
+        .unwrap();
+        let g = Gmdj::new("t").block(
+            Expr::dcol("v").ge(Expr::bcol("lo")),
+            vec![AggSpec::count("cnt")],
+        );
+        let out = eval_full(&base, &detail(), &g, EvalOptions::default()).unwrap();
+        // lo=0 matches all 5; lo=8 matches v ∈ {10, 20, 9}.
+        assert_eq!(out.rows()[0], row![0i64, 5i64]);
+        assert_eq!(out.rows()[1], row![8i64, 3i64]);
+    }
+
+    #[test]
+    fn correlated_second_block_uses_first_outputs() {
+        // Two-step: first compute avg per group, then count tuples above it
+        // (paper Example 1 collapsed to one partition).
+        let b1 = eval_full(&base(), &detail(), &simple_gmdj(), EvalOptions::default()).unwrap();
+        let g2 = Gmdj::new("t").block(
+            ThetaBuilder::group_by(&["g"])
+                .and(Expr::dcol("v").ge(Expr::bcol("avg")))
+                .build(),
+            vec![AggSpec::count("cnt2")],
+        );
+        let out = eval_full(&b1, &detail(), &g2, EvalOptions::default()).unwrap();
+        // Group 1: avg 15, v ∈ {20} above-or-equal → wait, v ∈ {10, 20}; 20 >= 15 → 1.
+        assert_eq!(out.rows()[0], row![1i64, 2i64, 15.0, 1i64]);
+        // Group 2: avg 7, v ∈ {7, 9} ≥ 7 → 2.
+        assert_eq!(out.rows()[1], row![2i64, 3i64, 7.0, 2i64]);
+        // Group 3: no tuples.
+        assert_eq!(out.rows()[2].get(3), &Value::Int(0));
+    }
+
+    #[test]
+    fn local_eval_matched_flags_and_reduction() {
+        let local = eval_local(&base(), &detail(), &simple_gmdj(), EvalOptions::default())
+            .unwrap();
+        assert_eq!(local.matched, vec![true, true, false]);
+        let reduced = local.reduced();
+        assert_eq!(reduced.len(), 2);
+        // Physical schema carries the AVG decomposition.
+        assert_eq!(
+            local.physical.schema().column_names(),
+            ["g", "cnt", "avg__sum", "avg__cnt"]
+        );
+    }
+
+    #[test]
+    fn sub_super_aggregation_matches_direct() {
+        // Split detail into two partitions, evaluate locally, merge, and
+        // compare against direct evaluation (Theorem 1).
+        let d = detail();
+        let p1 = Relation::from_shared(d.schema_ref(), d.rows()[..2].to_vec());
+        let p2 = Relation::from_shared(d.schema_ref(), d.rows()[2..].to_vec());
+        let g = simple_gmdj();
+        let l1 = eval_local(&base(), &p1, &g, EvalOptions::default()).unwrap();
+        let l2 = eval_local(&base(), &p2, &g, EvalOptions::default()).unwrap();
+
+        let layout = g.layout();
+        let base_arity = base().schema().len();
+        let mut merged = l1.physical.clone();
+        for (dst, src) in merged
+            .rows_mut()
+            .iter_mut()
+            .zip(l2.physical.rows())
+        {
+            let mut dvals = dst.values().to_vec();
+            layout
+                .merge(&mut dvals[base_arity..], &src.values()[base_arity..])
+                .unwrap();
+            *dst = Row::new(dvals);
+        }
+        let merged_final =
+            finalize_physical(&merged, base_arity, &g, d.schema()).unwrap();
+        let direct = eval_full(&base(), &d, &g, EvalOptions::default()).unwrap();
+        assert_eq!(merged_final, direct);
+    }
+
+    #[test]
+    fn empty_detail_relation() {
+        let d = Relation::empty(detail().schema().clone());
+        let out = eval_full(&base(), &d, &simple_gmdj(), EvalOptions::default()).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.rows()[0].get(1), &Value::Int(0));
+        assert!(out.rows()[0].get(2).is_null());
+    }
+
+    #[test]
+    fn empty_base_relation() {
+        let b = Relation::empty(base().schema().clone());
+        let out = eval_full(&b, &detail(), &simple_gmdj(), EvalOptions::default()).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.schema().column_names(), ["g", "cnt", "avg"]);
+    }
+
+    #[test]
+    fn multi_block_different_thetas() {
+        let g = Gmdj::new("t")
+            .block(
+                ThetaBuilder::group_by(&["g"]).build(),
+                vec![AggSpec::count("all_cnt")],
+            )
+            .block(
+                ThetaBuilder::group_by(&["g"])
+                    .and(Expr::dcol("v").gt(Expr::lit(8i64)))
+                    .build(),
+                vec![AggSpec::count("big_cnt"), AggSpec::max("v", "big_max")],
+            );
+        let out = eval_full(&base(), &detail(), &g, EvalOptions::default()).unwrap();
+        assert_eq!(out.rows()[0], row![1i64, 2i64, 2i64, 20i64]);
+        assert_eq!(out.rows()[1], row![2i64, 3i64, 1i64, 9i64]);
+    }
+
+    #[test]
+    fn duplicate_base_tuples_each_get_aggregates() {
+        // Definition 1 allows duplicate base tuples; each contributes an
+        // output tuple.
+        let b = Relation::new(
+            Schema::of(&[("g", DataType::Int)]),
+            vec![row![1i64], row![1i64]],
+        )
+        .unwrap();
+        let out = eval_full(&b, &detail(), &simple_gmdj(), EvalOptions::default()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.rows()[0], out.rows()[1]);
+    }
+}

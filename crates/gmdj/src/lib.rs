@@ -1,0 +1,39 @@
+//! # skalla-gmdj — the GMDJ operator algebra and centralized evaluator
+//!
+//! Implements the Generalized Multi-Dimensional Join of Akinde & Böhlen
+//! (the OLAP operator underlying the Skalla system): the operator itself
+//! ([`operator::Gmdj`]), aggregate functions with sub-/super-aggregate
+//! decomposition ([`agg`]), condition analysis ([`theta`]), complex GMDJ
+//! expressions ([`chain`]), coalescing rewrites ([`rewrite`]), and an
+//! efficient centralized evaluator ([`eval`]) with hash and nested-loop
+//! strategies.
+//!
+//! Distributed evaluation of these expressions lives in `skalla-core`.
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod chain;
+pub mod codec;
+pub mod eval;
+pub mod operator;
+pub mod patterns;
+pub mod rewrite;
+pub mod theta;
+
+pub use agg::{AccLayout, AggFunc, AggSpec};
+pub use chain::{BaseQuery, Catalog, GmdjExpr, GmdjExprBuilder};
+pub use eval::{eval_full, eval_local, finalize_physical, EvalOptions, LocalGmdj};
+pub use operator::{Gmdj, GmdjBlock};
+pub use rewrite::{can_coalesce, coalesce, coalesce_chain, CoalesceReport};
+pub use theta::{analyze_theta, ThetaAnalysis, ThetaBuilder};
+
+/// Convenience re-exports for building GMDJ queries.
+pub mod prelude {
+    pub use crate::agg::{AggFunc, AggSpec};
+    pub use crate::chain::{BaseQuery, Catalog, GmdjExpr, GmdjExprBuilder};
+    pub use crate::eval::EvalOptions;
+    pub use crate::operator::{Gmdj, GmdjBlock};
+    pub use crate::theta::ThetaBuilder;
+    pub use skalla_relation::{Expr, Relation, Row, Schema, Value};
+}

@@ -1,0 +1,235 @@
+//! Property-based tests for the GMDJ layer: Theorem 1 (sub/super
+//! decomposition) over random data and partitionings, aggregate merge
+//! laws, and codec round-trips for random expressions.
+
+use proptest::prelude::*;
+use skalla_gmdj::agg::{AggFunc, AggSpec};
+use skalla_gmdj::codec::{get_gmdj_expr, put_gmdj_expr};
+use skalla_gmdj::eval::{eval_local, eval_full, finalize_physical, EvalOptions};
+use skalla_gmdj::prelude::*;
+use skalla_relation::codec::{Decoder, Encoder};
+use skalla_relation::{DataType, Relation, Row, Schema, Value};
+
+fn arb_agg() -> impl Strategy<Value = (usize, AggFunc)> {
+    // (index used to make the output name unique, function)
+    prop_oneof![
+        Just(AggFunc::Count),
+        Just(AggFunc::Sum),
+        Just(AggFunc::Min),
+        Just(AggFunc::Max),
+        Just(AggFunc::Avg),
+        Just(AggFunc::Var),
+        Just(AggFunc::StdDev),
+    ]
+    .prop_map(|f| (0, f))
+}
+
+fn spec(i: usize, f: AggFunc) -> AggSpec {
+    let name = format!("a{i}");
+    match f {
+        AggFunc::Count => AggSpec::count(name),
+        _ => AggSpec::over_expr(f, Expr::dcol("v"), name),
+    }
+}
+
+fn detail(rows: &[(i64, i64)]) -> Relation {
+    Relation::new(
+        Schema::of(&[("g", DataType::Int), ("v", DataType::Int)]),
+        rows.iter()
+            .map(|(g, v)| Row::new(vec![Value::Int(*g), Value::Int(*v)]))
+            .collect(),
+    )
+    .expect("static schema")
+}
+
+fn values_close(a: &Value, b: &Value) -> bool {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= 1e-9 * scale
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1: evaluating sub-aggregates per partition and merging at a
+    /// "coordinator" equals direct evaluation, for every aggregate
+    /// function and random partitionings (VAR/STDDEV compared with a
+    /// floating-point tolerance — partition order changes summation
+    /// order).
+    #[test]
+    fn sub_super_equals_direct(
+        rows in proptest::collection::vec((-4i64..4, -50i64..50), 1..40),
+        split in proptest::collection::vec(0usize..3, 1..40),
+        aggs in proptest::collection::vec(arb_agg(), 1..4),
+    ) {
+        let d = detail(&rows);
+        let specs: Vec<AggSpec> = aggs
+            .iter()
+            .enumerate()
+            .map(|(i, (_, f))| spec(i, *f))
+            .collect();
+        let op = Gmdj::new("t").block(ThetaBuilder::group_by(&["g"]).build(), specs);
+        let base = d.project_distinct(&["g"]).expect("projects");
+
+        // Direct evaluation.
+        let direct = eval_full(&base, &d, &op, EvalOptions::default()).expect("evaluates");
+
+        // Partitioned evaluation: split rows into up to 3 fragments.
+        let mut frags = vec![Vec::new(), Vec::new(), Vec::new()];
+        for (i, row) in d.rows().iter().enumerate() {
+            frags[split[i % split.len()]].push(row.clone());
+        }
+        let layout = op.layout();
+        let base_arity = base.schema().len();
+        let mut acc: Option<Relation> = None;
+        for frag_rows in frags {
+            let frag = Relation::from_shared(d.schema_ref(), frag_rows);
+            let local = eval_local(&base, &frag, &op, EvalOptions::default())
+                .expect("local evaluates");
+            acc = Some(match acc {
+                None => local.physical,
+                Some(mut x) => {
+                    for (dst, src) in x.rows_mut().iter_mut().zip(local.physical.rows()) {
+                        let mut vals = dst.values().to_vec();
+                        layout
+                            .merge(&mut vals[base_arity..], &src.values()[base_arity..])
+                            .expect("merges");
+                        *dst = Row::new(vals);
+                    }
+                    x
+                }
+            });
+        }
+        let merged = finalize_physical(
+            &acc.expect("at least one fragment"),
+            base_arity,
+            &op,
+            d.schema(),
+        )
+        .expect("finalizes");
+
+        prop_assert_eq!(direct.len(), merged.len());
+        for (a, b) in direct.rows().iter().zip(merged.rows()) {
+            for (x, y) in a.values().iter().zip(b.values()) {
+                prop_assert!(values_close(x, y), "{a} vs {b}");
+            }
+        }
+    }
+
+    /// Merging is commutative for every aggregate (site arrival order must
+    /// not matter).
+    #[test]
+    fn merge_is_commutative(
+        (_, f) in arb_agg(),
+        xs in proptest::collection::vec(-50i64..50, 0..10),
+        ys in proptest::collection::vec(-50i64..50, 0..10),
+    ) {
+        let a = spec(0, f);
+        let mut acc1 = Vec::new();
+        a.init_acc(&mut acc1);
+        let mut acc2 = acc1.clone();
+        let mut sub_x = acc1.clone();
+        let mut sub_y = acc1.clone();
+        for x in &xs {
+            a.update(&mut sub_x, Some(&Value::Int(*x))).expect("updates");
+        }
+        for y in &ys {
+            a.update(&mut sub_y, Some(&Value::Int(*y))).expect("updates");
+        }
+        a.merge(&mut acc1, &sub_x).expect("merges");
+        a.merge(&mut acc1, &sub_y).expect("merges");
+        a.merge(&mut acc2, &sub_y).expect("merges");
+        a.merge(&mut acc2, &sub_x).expect("merges");
+        let f1 = a.finalize(&acc1).expect("finalizes");
+        let f2 = a.finalize(&acc2).expect("finalizes");
+        prop_assert!(values_close(&f1, &f2), "{f1} vs {f2}");
+    }
+
+    /// Merging a fresh (identity) accumulator changes nothing.
+    #[test]
+    fn merge_identity(
+        (_, f) in arb_agg(),
+        xs in proptest::collection::vec(-50i64..50, 0..10),
+    ) {
+        let a = spec(0, f);
+        let mut acc = Vec::new();
+        a.init_acc(&mut acc);
+        for x in &xs {
+            a.update(&mut acc, Some(&Value::Int(*x))).expect("updates");
+        }
+        let before = acc.clone();
+        let mut fresh = Vec::new();
+        a.init_acc(&mut fresh);
+        a.merge(&mut acc, &fresh).expect("merges");
+        let f1 = a.finalize(&before).expect("finalizes");
+        let f2 = a.finalize(&acc).expect("finalizes");
+        prop_assert!(values_close(&f1, &f2));
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::True),
+        "[a-z]{1,6}".prop_map(Expr::bcol),
+        "[a-z]{1,6}".prop_map(Expr::dcol),
+        any::<i64>().prop_map(Expr::lit),
+        (-1e9f64..1e9).prop_map(Expr::lit),
+        "[a-z' ]{0,8}".prop_map(|s| Expr::Lit(Value::str(s))),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.eq(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.lt(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.ge(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.div(b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(|a| a.not()),
+            (inner, proptest::collection::vec(any::<i64>(), 0..4))
+                .prop_map(|(a, vs)| a.in_list(vs.into_iter().map(Value::Int).collect())),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random expression trees survive the binary codec.
+    #[test]
+    fn expr_codec_round_trips(e in arb_expr()) {
+        let mut enc = Encoder::new();
+        enc.put_expr(&e);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        prop_assert_eq!(dec.get_expr().expect("decodes"), e);
+        prop_assert_eq!(dec.remaining(), 0);
+    }
+
+    /// Random single-op GMDJ expressions survive the codec.
+    #[test]
+    fn gmdj_expr_codec_round_trips(
+        theta in arb_expr(),
+        aggs in proptest::collection::vec(arb_agg(), 1..4),
+    ) {
+        let specs: Vec<AggSpec> = aggs
+            .iter()
+            .enumerate()
+            .map(|(i, (_, f))| spec(i, *f))
+            .collect();
+        let expr = GmdjExprBuilder::distinct_base("t", &["g"])
+            .gmdj(Gmdj::new("t").block(theta, specs))
+            .build();
+        let mut enc = Encoder::new();
+        put_gmdj_expr(&mut enc, &expr);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        prop_assert_eq!(get_gmdj_expr(&mut dec).expect("decodes"), expr);
+    }
+}

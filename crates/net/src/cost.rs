@@ -1,0 +1,136 @@
+//! Wire-time cost model.
+//!
+//! In-process channels move bytes in nanoseconds, so raw wall-clock would
+//! hide the communication costs the paper measures over a LAN. The cost
+//! model converts the recorded traffic into simulated transfer time:
+//! within a round each site's link runs in parallel, but everything funnels
+//! through the coordinator's uplink, so a round costs
+//!
+//! ```text
+//! round_time = latency · (down phase present + up phase present)
+//!            + total_round_bytes / bandwidth
+//! ```
+//!
+//! — per-message latency for each synchronization phase plus serialized
+//! bytes through the coordinator's NIC. This reproduces the paper's
+//! quadratic curves (total bytes ∝ n²·g when every site receives every
+//! group) without real network hardware.
+
+use crate::stats::{NetStats, RoundStats};
+
+/// Link parameters for simulated wire time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// One-way latency charged once per phase (seconds).
+    pub latency_s: f64,
+    /// Coordinator link bandwidth (bytes/second).
+    pub bandwidth_bytes_per_s: f64,
+}
+
+impl CostModel {
+    /// A model resembling the paper's era: 100 Mbit/s switched LAN,
+    /// ~1 ms effective per-phase latency.
+    pub fn lan() -> CostModel {
+        CostModel {
+            latency_s: 1e-3,
+            bandwidth_bytes_per_s: 100e6 / 8.0,
+        }
+    }
+
+    /// A wide-area model: the distributed-warehouse motivation (routers
+    /// across an ISP backbone) — 10 Mbit/s effective, 20 ms latency.
+    pub fn wan() -> CostModel {
+        CostModel {
+            latency_s: 20e-3,
+            bandwidth_bytes_per_s: 10e6 / 8.0,
+        }
+    }
+
+    /// Free, instant network (isolates computation effects in ablations).
+    pub fn free() -> CostModel {
+        CostModel {
+            latency_s: 0.0,
+            bandwidth_bytes_per_s: f64::INFINITY,
+        }
+    }
+
+    /// Simulated wire time for one round.
+    pub fn round_time_s(&self, round: &RoundStats) -> f64 {
+        let t = round.totals();
+        let mut phases = 0.0;
+        if t.down_msgs > 0 {
+            phases += 1.0;
+        }
+        if t.up_msgs > 0 {
+            phases += 1.0;
+        }
+        self.latency_s * phases + t.total_bytes() as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Simulated wire time over all rounds.
+    pub fn total_time_s(&self, stats: &NetStats) -> f64 {
+        stats
+            .rounds()
+            .iter()
+            .map(|r| self.round_time_s(r))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{Direction, LinkStats};
+
+    fn round(down: u64, up: u64) -> RoundStats {
+        RoundStats {
+            label: "t".into(),
+            per_site: vec![LinkStats {
+                down_bytes: down,
+                up_bytes: up,
+                down_msgs: (down > 0) as u64,
+                up_msgs: (up > 0) as u64,
+            }],
+        }
+    }
+
+    #[test]
+    fn round_time_charges_phases_and_bytes() {
+        let m = CostModel {
+            latency_s: 0.5,
+            bandwidth_bytes_per_s: 100.0,
+        };
+        // Both phases present: 2 × 0.5 s latency + 200/100 s transfer.
+        assert!((m.round_time_s(&round(150, 50)) - 3.0).abs() < 1e-12);
+        // Up only.
+        assert!((m.round_time_s(&round(0, 100)) - 1.5).abs() < 1e-12);
+        // Idle round is free.
+        assert_eq!(m.round_time_s(&round(0, 0)), 0.0);
+    }
+
+    #[test]
+    fn total_time_sums_rounds() {
+        let stats = NetStats::new(1);
+        stats.record(0, Direction::Down, 84); // +16 overhead = 100
+        stats.begin_round("r1");
+        stats.record(0, Direction::Up, 84);
+        let m = CostModel {
+            latency_s: 0.0,
+            bandwidth_bytes_per_s: 100.0,
+        };
+        assert!((m.total_time_s(&stats) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        let stats = NetStats::new(1);
+        stats.record(0, Direction::Down, 1_000_000);
+        assert_eq!(CostModel::free().total_time_s(&stats), 0.0);
+    }
+
+    #[test]
+    fn presets_are_ordered() {
+        let r = round(1_000_000, 1_000_000);
+        assert!(CostModel::lan().round_time_s(&r) < CostModel::wan().round_time_s(&r));
+    }
+}

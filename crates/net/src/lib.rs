@@ -1,0 +1,18 @@
+//! # skalla-net — simulated network with exact byte accounting
+//!
+//! The transport between Skalla warehouse sites and the coordinator. Sites
+//! run as threads connected by channels in a star topology
+//! ([`transport::star`]); every transfer is recorded per round and per site
+//! in [`stats::NetStats`]; [`cost::CostModel`] converts the recorded
+//! traffic into simulated wire time so experiments reproduce the paper's
+//! communication behavior on a single machine.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod stats;
+pub mod transport;
+
+pub use cost::CostModel;
+pub use stats::{Direction, LinkStats, NetStats, RoundStats, MESSAGE_OVERHEAD_BYTES};
+pub use transport::{star, CoordinatorNet, Message, NetError, SiteNet};

@@ -1,0 +1,209 @@
+//! In-process star-topology transport.
+//!
+//! The paper ran sites on separate machines over a LAN; here sites are
+//! threads and links are channels, with every transfer recorded in
+//! [`crate::stats::NetStats`]. This preserves the quantities the
+//! paper's evaluation depends on — bytes per round, messages, rounds —
+//! while making experiments reproducible on one machine. Simulated wire
+//! time is derived from the byte counts by [`crate::cost::CostModel`].
+
+use crate::stats::{Direction, NetStats};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A framed message: an application-defined tag plus payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Application-defined message type tag.
+    pub tag: u8,
+    /// Serialized payload.
+    pub payload: Vec<u8>,
+}
+
+impl Message {
+    /// Construct a message.
+    pub fn new(tag: u8, payload: Vec<u8>) -> Message {
+        Message { tag, payload }
+    }
+}
+
+/// Errors surfaced by the transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The peer hung up.
+    Disconnected,
+    /// No message arrived within the timeout.
+    Timeout,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Timeout => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// The coordinator's handle to all site links.
+#[derive(Debug)]
+pub struct CoordinatorNet {
+    to_sites: Vec<Sender<Message>>,
+    from_sites: Receiver<(usize, Message)>,
+    stats: Arc<NetStats>,
+}
+
+impl CoordinatorNet {
+    /// Number of sites.
+    pub fn n_sites(&self) -> usize {
+        self.to_sites.len()
+    }
+
+    /// The shared traffic accounting.
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+
+    /// Send a message to one site.
+    pub fn send(&self, site: usize, msg: Message) -> Result<(), NetError> {
+        self.stats
+            .record(site, Direction::Down, msg.payload.len() as u64);
+        self.to_sites[site]
+            .send(msg)
+            .map_err(|_| NetError::Disconnected)
+    }
+
+    /// Send copies of a message to every site.
+    pub fn broadcast(&self, msg: &Message) -> Result<(), NetError> {
+        for site in 0..self.n_sites() {
+            self.send(site, msg.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Receive the next message from any site (blocking, with timeout).
+    pub fn recv(&self, timeout: Duration) -> Result<(usize, Message), NetError> {
+        match self.from_sites.recv_timeout(timeout) {
+            Ok(m) => Ok(m),
+            Err(RecvTimeoutError::Timeout) => Err(NetError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+}
+
+/// One site's handle to its coordinator link.
+#[derive(Debug)]
+pub struct SiteNet {
+    site_id: usize,
+    rx: Receiver<Message>,
+    tx: Sender<(usize, Message)>,
+    stats: Arc<NetStats>,
+}
+
+impl SiteNet {
+    /// This site's index.
+    pub fn site_id(&self) -> usize {
+        self.site_id
+    }
+
+    /// Send a message to the coordinator.
+    pub fn send(&self, msg: Message) -> Result<(), NetError> {
+        self.stats
+            .record(self.site_id, Direction::Up, msg.payload.len() as u64);
+        self.tx
+            .send((self.site_id, msg))
+            .map_err(|_| NetError::Disconnected)
+    }
+
+    /// Receive the next message from the coordinator (blocking).
+    pub fn recv(&self) -> Result<Message, NetError> {
+        self.rx.recv().map_err(|_| NetError::Disconnected)
+    }
+}
+
+/// Build a star network: one coordinator handle and `n` site handles,
+/// sharing a [`NetStats`].
+pub fn star(n: usize) -> (CoordinatorNet, Vec<SiteNet>) {
+    let stats = NetStats::new(n);
+    let (up_tx, up_rx) = unbounded();
+    let mut to_sites = Vec::with_capacity(n);
+    let mut sites = Vec::with_capacity(n);
+    for site_id in 0..n {
+        let (down_tx, down_rx) = unbounded();
+        to_sites.push(down_tx);
+        sites.push(SiteNet {
+            site_id,
+            rx: down_rx,
+            tx: up_tx.clone(),
+            stats: Arc::clone(&stats),
+        });
+    }
+    (
+        CoordinatorNet {
+            to_sites,
+            from_sites: up_rx,
+            stats,
+        },
+        sites,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MESSAGE_OVERHEAD_BYTES;
+
+    #[test]
+    fn round_trip_via_threads() {
+        let (coord, sites) = star(3);
+        let handles: Vec<_> = sites
+            .into_iter()
+            .map(|s| {
+                std::thread::spawn(move || {
+                    let m = s.recv().unwrap();
+                    assert_eq!(m.tag, 7);
+                    s.send(Message::new(8, vec![s.site_id() as u8])).unwrap();
+                })
+            })
+            .collect();
+        coord.broadcast(&Message::new(7, b"abc".to_vec())).unwrap();
+        let mut seen = [false; 3];
+        for _ in 0..3 {
+            let (site, m) = coord.recv(Duration::from_secs(5)).unwrap();
+            assert_eq!(m.tag, 8);
+            assert_eq!(m.payload, vec![site as u8]);
+            seen[site] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for h in handles {
+            h.join().unwrap();
+        }
+        let t = coord.stats().totals();
+        assert_eq!(t.down_bytes, 3 * (3 + MESSAGE_OVERHEAD_BYTES));
+        assert_eq!(t.up_bytes, 3 * (1 + MESSAGE_OVERHEAD_BYTES));
+        assert_eq!(t.down_msgs, 3);
+        assert_eq!(t.up_msgs, 3);
+    }
+
+    #[test]
+    fn recv_times_out() {
+        let (coord, _sites) = star(1);
+        assert_eq!(
+            coord.recv(Duration::from_millis(10)).unwrap_err(),
+            NetError::Timeout
+        );
+    }
+
+    #[test]
+    fn disconnected_site_detected() {
+        let (coord, sites) = star(1);
+        drop(sites);
+        assert_eq!(
+            coord.send(0, Message::new(0, vec![])).unwrap_err(),
+            NetError::Disconnected
+        );
+    }
+}

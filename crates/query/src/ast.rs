@@ -1,0 +1,123 @@
+//! Abstract syntax of the Skalla OLAP query language.
+//!
+//! A query is a base-values declaration followed by a sequence of `MD`
+//! statements — a textual form of the complex GMDJ expressions of
+//! Sect. 2.2:
+//!
+//! ```text
+//! BASE SELECT DISTINCT source_as, dest_as FROM flow;
+//! MD cnt1 = COUNT(*), sum1 = SUM(num_bytes)
+//!    OVER flow
+//!    WHERE source_as = b.source_as AND dest_as = b.dest_as;
+//! MD cnt2 = COUNT(*)
+//!    OVER flow
+//!    WHERE source_as = b.source_as AND dest_as = b.dest_as
+//!          AND num_bytes >= b.sum1 / b.cnt1;
+//! ```
+//!
+//! Inside `WHERE` and aggregate arguments, unqualified columns refer to the
+//! detail relation (`r.`); base columns — including aggregates computed by
+//! earlier `MD` statements — are written `b.name`.
+
+use skalla_gmdj::AggFunc;
+use skalla_relation::Expr;
+use std::fmt;
+
+/// The base-values declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaseStmt {
+    /// Grouping columns (DISTINCT projection).
+    pub columns: Vec<String>,
+    /// Fact relation name.
+    pub table: String,
+    /// Optional explicit key attributes (defaults to all columns).
+    pub key: Option<Vec<String>>,
+}
+
+/// One aggregate definition `name = FUNC(arg)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggDef {
+    /// Output column name.
+    pub name: String,
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Input expression (`None` for `COUNT(*)`).
+    pub input: Option<Expr>,
+}
+
+/// One `MD` statement: aggregates over a detail relation under a θ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdStmt {
+    /// Aggregates computed by this operator.
+    pub aggs: Vec<AggDef>,
+    /// Detail relation name.
+    pub table: String,
+    /// The range condition θ(b, r).
+    pub theta: Expr,
+}
+
+/// A full query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The base declaration.
+    pub base: BaseStmt,
+    /// The `MD` chain, innermost first.
+    pub mds: Vec<MdStmt>,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BASE SELECT DISTINCT {} FROM {}",
+            self.base.columns.join(", "),
+            self.base.table
+        )?;
+        if let Some(k) = &self.base.key {
+            write!(f, " KEY ({})", k.join(", "))?;
+        }
+        writeln!(f, ";")?;
+        for md in &self.mds {
+            write!(f, "MD ")?;
+            for (i, a) in md.aggs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                match &a.input {
+                    Some(e) => write!(f, "{} = {}({e})", a.name, a.func)?,
+                    None => write!(f, "{} = {}(*)", a.name, a.func)?,
+                }
+            }
+            writeln!(f, " OVER {} WHERE {};", md.table, md.theta)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_query_shape() {
+        let q = Query {
+            base: BaseStmt {
+                columns: vec!["g".into()],
+                table: "t".into(),
+                key: None,
+            },
+            mds: vec![MdStmt {
+                aggs: vec![AggDef {
+                    name: "c".into(),
+                    func: AggFunc::Count,
+                    input: None,
+                }],
+                table: "t".into(),
+                theta: Expr::bcol("g").eq(Expr::dcol("g")),
+            }],
+        };
+        let s = q.to_string();
+        assert!(s.contains("BASE SELECT DISTINCT g FROM t;"));
+        assert!(s.contains("MD c = COUNT(*) OVER t WHERE b.g = r.g;"));
+    }
+}

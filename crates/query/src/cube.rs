@@ -1,0 +1,242 @@
+//! Distributed data cubes (Gray et al., the paper's reference \[12\]).
+//!
+//! The paper lists data cubes among the OLAP queries GMDJ expressions
+//! capture. A cube over dimensions `d₁…d_k` is the union of 2^k grouped
+//! aggregations, one per grouping set, with `ALL` markers (here `NULL`)
+//! on the rolled-up dimensions. Each grouping set is a one-operator GMDJ
+//! expression; every one of them enjoys the full optimization suite
+//! (group reduction, Prop 2 folding, …), so the cube runs in at most 2^k
+//! rounds — and in exactly 2^k single synchronizations when the finest
+//! grouping is partition-aligned.
+
+use skalla_core::{Cluster, ExecStats, OptFlags, Planner};
+use skalla_gmdj::patterns::group_by;
+use skalla_gmdj::AggSpec;
+use skalla_relation::{Error, Field, Relation, Result, Row, Schema, Value};
+
+/// The result of a cube computation.
+#[derive(Debug, Clone)]
+pub struct CubeResult {
+    /// Dimension columns (in the requested order) followed by aggregate
+    /// columns; rolled-up dimensions are `NULL`.
+    pub relation: Relation,
+    /// Execution statistics per grouping set, coarsest last.
+    pub per_grouping_set: Vec<(Vec<String>, ExecStats)>,
+}
+
+impl CubeResult {
+    /// Total bytes moved across all grouping-set queries.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_grouping_set
+            .iter()
+            .map(|(_, s)| s.total_bytes())
+            .sum()
+    }
+
+    /// Total synchronization rounds across all grouping-set queries.
+    pub fn total_rounds(&self) -> usize {
+        self.per_grouping_set.iter().map(|(_, s)| s.n_rounds()).sum()
+    }
+}
+
+/// All subsets of `dims`, from the full set down to the empty (grand
+/// total) set, in decreasing-size order.
+fn grouping_sets(dims: &[&str]) -> Vec<Vec<String>> {
+    let k = dims.len();
+    let mut sets: Vec<Vec<String>> = (0..(1u32 << k))
+        .map(|mask| {
+            dims.iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, d)| d.to_string())
+                .collect()
+        })
+        .collect();
+    sets.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    sets
+}
+
+/// Compute `CUBE BY dims` of `aggs` over a distributed fact relation.
+///
+/// The grand-total grouping set (no dimensions) is evaluated against a
+/// one-row literal base; all others derive their base from the fact
+/// relation and run as ordinary distributed GMDJ plans under `flags`.
+pub fn cube(
+    cluster: &Cluster,
+    table: &str,
+    dims: &[&str],
+    aggs: &[AggSpec],
+    flags: OptFlags,
+) -> Result<CubeResult> {
+    if dims.is_empty() {
+        return Err(Error::Plan("cube needs at least one dimension".into()));
+    }
+    if aggs.is_empty() {
+        return Err(Error::Plan("cube needs at least one aggregate".into()));
+    }
+    let planner = Planner::new(cluster.distribution());
+
+    // Output schema: dims (typed from the fact schema) ⊕ aggregates.
+    let fact_schema = {
+        let cat = cluster.site_catalog(0);
+        cat.get(table)
+            .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?
+            .schema()
+            .clone()
+    };
+    let mut fields: Vec<Field> = Vec::with_capacity(dims.len() + aggs.len());
+    for d in dims {
+        fields.push(fact_schema.field(fact_schema.index_of(d)?).clone());
+    }
+    for a in aggs {
+        fields.push(a.logical_field(&fact_schema)?);
+    }
+    let out_schema = Schema::new(fields)?;
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut per_set = Vec::new();
+    for set in grouping_sets(dims) {
+        let set_refs: Vec<&str> = set.iter().map(String::as_str).collect();
+        let expr = if set.is_empty() {
+            // Grand total: a single all-NULL-free group via a literal
+            // one-row base with a constant marker column that every detail
+            // tuple matches.
+            let base = Relation::new(
+                Schema::of(&[("__all", skalla_relation::DataType::Int)]),
+                vec![Row::new(vec![Value::Int(0)])],
+            )?;
+            skalla_gmdj::GmdjExprBuilder::literal_base(base)
+                .gmdj(
+                    skalla_gmdj::Gmdj::new(table)
+                        .block(skalla_relation::Expr::True, aggs.to_vec()),
+                )
+                .build()
+        } else {
+            group_by(table, &set_refs, aggs.to_vec())
+        };
+        let plan = planner.optimize(&expr, flags);
+        let out = cluster.execute(&plan)?;
+
+        // Reshape into the cube schema with NULL (ALL) markers.
+        let res_schema = out.relation.schema().clone();
+        for row in out.relation.rows() {
+            let mut vs = Vec::with_capacity(out_schema.len());
+            for d in dims {
+                match set.iter().position(|s| s == d) {
+                    Some(_) => {
+                        let idx = res_schema.index_of(d)?;
+                        vs.push(row.get(idx).clone());
+                    }
+                    None => vs.push(Value::Null),
+                }
+            }
+            for a in aggs {
+                let idx = res_schema.index_of(&a.name)?;
+                vs.push(row.get(idx).clone());
+            }
+            rows.push(Row::new(vs));
+        }
+        per_set.push((set, out.stats));
+    }
+
+    Ok(CubeResult {
+        relation: Relation::new(out_schema, rows)?,
+        per_grouping_set: per_set,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skalla_relation::{row, DataType, Domain, DomainMap};
+
+    fn cluster() -> Cluster {
+        let schema = Schema::of(&[
+            ("g", DataType::Int),
+            ("h", DataType::Str),
+            ("v", DataType::Int),
+        ]);
+        let p0 = Relation::new(
+            schema.clone(),
+            vec![row![1i64, "a", 10i64], row![1i64, "b", 20i64]],
+        )
+        .unwrap();
+        let p1 = Relation::new(
+            schema,
+            vec![row![2i64, "a", 5i64], row![2i64, "a", 15i64]],
+        )
+        .unwrap();
+        Cluster::from_partitions(
+            "t",
+            vec![
+                (p0, DomainMap::new().with("g", Domain::IntRange(1, 1))),
+                (p1, DomainMap::new().with("g", Domain::IntRange(2, 2))),
+            ],
+        )
+    }
+
+    #[test]
+    fn grouping_sets_enumerated_coarsening() {
+        let sets = grouping_sets(&["a", "b"]);
+        assert_eq!(sets.len(), 4);
+        assert_eq!(sets[0], vec!["a".to_string(), "b".to_string()]);
+        assert!(sets[3].is_empty());
+    }
+
+    #[test]
+    fn two_dimensional_cube() {
+        let c = cluster();
+        let result = cube(
+            &c,
+            "t",
+            &["g", "h"],
+            &[AggSpec::count("n"), AggSpec::sum("v", "s")],
+            OptFlags::all(),
+        )
+        .unwrap();
+        let rel = result.relation.sorted_by(&["g", "h"]).unwrap();
+        assert_eq!(rel.schema().column_names(), ["g", "h", "n", "s"]);
+        // 2^2 grouping sets: (g,h) 3 groups, (g) 2, (h) 2, () 1 → 8 rows.
+        assert_eq!(rel.len(), 8);
+
+        let find = |g: Value, h: Value| {
+            rel.rows()
+                .iter()
+                .find(|r| r.get(0) == &g && r.get(1) == &h)
+                .cloned()
+                .unwrap_or_else(|| panic!("row ({g}, {h}) missing in {rel}"))
+        };
+        // Finest level.
+        assert_eq!(find(Value::Int(1), Value::str("a")).get(3), &Value::Int(10));
+        // Roll-up on h.
+        assert_eq!(find(Value::Int(1), Value::Null).get(3), &Value::Int(30));
+        assert_eq!(find(Value::Int(2), Value::Null).get(3), &Value::Int(20));
+        // Roll-up on g.
+        assert_eq!(find(Value::Null, Value::str("a")).get(3), &Value::Int(30));
+        // Grand total.
+        let total = find(Value::Null, Value::Null);
+        assert_eq!(total.get(2), &Value::Int(4));
+        assert_eq!(total.get(3), &Value::Int(50));
+
+        assert_eq!(result.per_grouping_set.len(), 4);
+        assert!(result.total_bytes() > 0);
+        assert!(result.total_rounds() >= 4);
+    }
+
+    #[test]
+    fn cube_errors() {
+        let c = cluster();
+        assert!(cube(&c, "t", &[], &[AggSpec::count("n")], OptFlags::all()).is_err());
+        assert!(cube(&c, "t", &["g"], &[], OptFlags::all()).is_err());
+        assert!(cube(&c, "missing", &["g"], &[AggSpec::count("n")], OptFlags::all()).is_err());
+        assert!(cube(&c, "t", &["nope"], &[AggSpec::count("n")], OptFlags::all()).is_err());
+    }
+
+    #[test]
+    fn cube_matches_flag_free_run() {
+        let c = cluster();
+        let a = cube(&c, "t", &["g"], &[AggSpec::count("n")], OptFlags::all()).unwrap();
+        let b = cube(&c, "t", &["g"], &[AggSpec::count("n")], OptFlags::none()).unwrap();
+        assert!(a.relation.same_bag(&b.relation));
+    }
+}

@@ -1,0 +1,391 @@
+//! Parser for the OLAP query language.
+//!
+//! Statement structure (keywords, names, punctuation) is parsed here;
+//! scalar expressions inside `WHERE` clauses and aggregate arguments are
+//! delegated to [`skalla_relation::parse_expr`] with the detail side as
+//! the default for unqualified columns.
+
+use crate::ast::{AggDef, BaseStmt, MdStmt, Query};
+use skalla_gmdj::AggFunc;
+use skalla_relation::{parse_expr, Error, Result, Side};
+
+/// Strip `--` line comments (outside string literals).
+fn strip_comments(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for line in text.lines() {
+        let mut in_quote = false;
+        let bytes = line.as_bytes();
+        let mut cut = line.len();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\'' => in_quote = !in_quote,
+                b'-' if !in_quote && i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                    cut = i;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        out.push_str(&line[..cut]);
+        out.push('\n');
+    }
+    out
+}
+
+/// Split source text into `;`-terminated statements, respecting single
+/// quotes. A missing trailing `;` on the last statement is tolerated.
+fn split_statements(text: &str) -> Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quote = false;
+    for c in text.chars() {
+        match c {
+            '\'' => {
+                in_quote = !in_quote;
+                cur.push(c);
+            }
+            ';' if !in_quote => {
+                if !cur.trim().is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                } else {
+                    cur.clear();
+                }
+            }
+            _ => cur.push(c),
+        }
+    }
+    if in_quote {
+        return Err(Error::Parse("unterminated string literal".into()));
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+/// Find the first occurrence of `keyword` as a standalone word outside
+/// quotes (case-insensitive); returns its byte offset.
+fn find_keyword(text: &str, keyword: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let kw = keyword.as_bytes();
+    let mut in_quote = false;
+    let mut i = 0;
+    while i + kw.len() <= bytes.len() {
+        let c = bytes[i];
+        if c == b'\'' {
+            in_quote = !in_quote;
+            i += 1;
+            continue;
+        }
+        if !in_quote
+            && text[i..i + kw.len()].eq_ignore_ascii_case(keyword)
+            && (i == 0 || !is_word_byte(bytes[i - 1]))
+            && (i + kw.len() == bytes.len() || !is_word_byte(bytes[i + kw.len()]))
+        {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn parse_ident(s: &str) -> Result<String> {
+    let t = s.trim();
+    if t.is_empty()
+        || !t
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        || t.chars().next().is_some_and(|c| c.is_ascii_digit())
+    {
+        return Err(Error::Parse(format!("invalid identifier {t:?}")));
+    }
+    Ok(t.to_string())
+}
+
+fn parse_ident_list(s: &str) -> Result<Vec<String>> {
+    let cols: Result<Vec<String>> = s.split(',').map(parse_ident).collect();
+    let cols = cols?;
+    if cols.is_empty() {
+        return Err(Error::Parse("empty column list".into()));
+    }
+    Ok(cols)
+}
+
+/// Parse `BASE SELECT DISTINCT cols FROM table [KEY (cols)]`.
+fn parse_base(stmt: &str) -> Result<BaseStmt> {
+    let s = stmt.trim();
+    let rest = strip_keyword(s, "BASE")?;
+    let rest = strip_keyword(rest, "SELECT")?;
+    let rest = strip_keyword(rest, "DISTINCT")?;
+    let from = find_keyword(rest, "FROM")
+        .ok_or_else(|| Error::Parse("BASE statement missing FROM".into()))?;
+    let columns = parse_ident_list(&rest[..from])?;
+    let after_from = rest[from + 4..].trim();
+    let (table_part, key) = match find_keyword(after_from, "KEY") {
+        Some(k) => {
+            let key_part = after_from[k + 3..].trim();
+            let inner = key_part
+                .strip_prefix('(')
+                .and_then(|t| t.strip_suffix(')'))
+                .ok_or_else(|| Error::Parse("KEY clause must be parenthesized".into()))?;
+            (&after_from[..k], Some(parse_ident_list(inner)?))
+        }
+        None => (after_from, None),
+    };
+    Ok(BaseStmt {
+        columns,
+        table: parse_ident(table_part)?,
+        key,
+    })
+}
+
+fn strip_keyword<'a>(s: &'a str, kw: &str) -> Result<&'a str> {
+    let t = s.trim_start();
+    if t.len() >= kw.len()
+        && t[..kw.len()].eq_ignore_ascii_case(kw)
+        && t[kw.len()..]
+            .chars()
+            .next()
+            .map(|c| !c.is_ascii_alphanumeric() && c != '_')
+            .unwrap_or(true)
+    {
+        Ok(&t[kw.len()..])
+    } else {
+        Err(Error::Parse(format!("expected keyword {kw} in {t:?}")))
+    }
+}
+
+/// Split a comma-separated aggregate list, respecting parentheses and
+/// quotes.
+fn split_top_level_commas(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut in_quote = false;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '\'' => in_quote = !in_quote,
+            '(' if !in_quote => depth += 1,
+            ')' if !in_quote => depth -= 1,
+            ',' if !in_quote && depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+/// Parse `name = FUNC(arg)`.
+fn parse_agg(s: &str) -> Result<AggDef> {
+    let eq = s
+        .find('=')
+        .ok_or_else(|| Error::Parse(format!("aggregate {s:?} missing '='")))?;
+    let name = parse_ident(&s[..eq])?;
+    let call = s[eq + 1..].trim();
+    let open = call
+        .find('(')
+        .ok_or_else(|| Error::Parse(format!("aggregate {call:?} missing '('")))?;
+    let func = match call[..open].trim().to_ascii_uppercase().as_str() {
+        "COUNT" => AggFunc::Count,
+        "SUM" => AggFunc::Sum,
+        "AVG" => AggFunc::Avg,
+        "MIN" => AggFunc::Min,
+        "MAX" => AggFunc::Max,
+        "VAR" | "VARIANCE" => AggFunc::Var,
+        "STDDEV" | "STDEV" => AggFunc::StdDev,
+        other => return Err(Error::Parse(format!("unknown aggregate function {other:?}"))),
+    };
+    let inner = call[open..]
+        .strip_prefix('(')
+        .and_then(|t| t.trim_end().strip_suffix(')'))
+        .ok_or_else(|| Error::Parse(format!("unbalanced parentheses in {call:?}")))?;
+    let input = match inner.trim() {
+        "*" => {
+            if func != AggFunc::Count {
+                return Err(Error::Parse(format!("{func}(*) is not valid")));
+            }
+            None
+        }
+        expr_text => Some(parse_expr(expr_text, Side::Detail)?),
+    };
+    Ok(AggDef { name, func, input })
+}
+
+/// Parse `MD aggs OVER table WHERE theta`.
+fn parse_md(stmt: &str) -> Result<MdStmt> {
+    let rest = strip_keyword(stmt.trim(), "MD")?;
+    let over = find_keyword(rest, "OVER")
+        .ok_or_else(|| Error::Parse("MD statement missing OVER".into()))?;
+    let aggs: Result<Vec<AggDef>> = split_top_level_commas(&rest[..over])
+        .into_iter()
+        .map(parse_agg)
+        .collect();
+    let after_over = &rest[over + 4..];
+    let where_pos = find_keyword(after_over, "WHERE")
+        .ok_or_else(|| Error::Parse("MD statement missing WHERE".into()))?;
+    let table = parse_ident(&after_over[..where_pos])?;
+    let theta = parse_expr(&after_over[where_pos + 5..], Side::Detail)?;
+    Ok(MdStmt {
+        aggs: aggs?,
+        table,
+        theta,
+    })
+}
+
+/// Parse a full query: one `BASE` statement followed by one or more `MD`
+/// statements.
+pub fn parse_query(text: &str) -> Result<Query> {
+    let stmts = split_statements(&strip_comments(text))?;
+    if stmts.is_empty() {
+        return Err(Error::Parse("empty query".into()));
+    }
+    let base = parse_base(&stmts[0])?;
+    let mds: Result<Vec<MdStmt>> = stmts[1..].iter().map(|s| parse_md(s)).collect();
+    let mds = mds?;
+    if mds.is_empty() {
+        return Err(Error::Parse("query has no MD statements".into()));
+    }
+    Ok(Query { base, mds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE1: &str = "
+        BASE SELECT DISTINCT source_as, dest_as FROM flow;
+        MD cnt1 = COUNT(*), sum1 = SUM(num_bytes)
+           OVER flow
+           WHERE source_as = b.source_as AND dest_as = b.dest_as;
+        MD cnt2 = COUNT(*)
+           OVER flow
+           WHERE source_as = b.source_as AND dest_as = b.dest_as
+                 AND num_bytes >= b.sum1 / b.cnt1;
+    ";
+
+    #[test]
+    fn parses_paper_example_1() {
+        let q = parse_query(EXAMPLE1).unwrap();
+        assert_eq!(q.base.columns, ["source_as", "dest_as"]);
+        assert_eq!(q.base.table, "flow");
+        assert_eq!(q.mds.len(), 2);
+        assert_eq!(q.mds[0].aggs.len(), 2);
+        assert_eq!(q.mds[0].aggs[1].func, AggFunc::Sum);
+        assert_eq!(
+            q.mds[1].theta.to_string(),
+            "((r.source_as = b.source_as AND r.dest_as = b.dest_as) AND r.num_bytes >= (b.sum1 / b.cnt1))"
+        );
+    }
+
+    #[test]
+    fn key_clause() {
+        let q = parse_query(
+            "BASE SELECT DISTINCT a, b FROM t KEY (a);
+             MD c = COUNT(*) OVER t WHERE a = b.a;",
+        )
+        .unwrap();
+        assert_eq!(q.base.key, Some(vec!["a".to_string()]));
+    }
+
+    #[test]
+    fn aggregate_over_expression() {
+        let q = parse_query(
+            "BASE SELECT DISTINCT g FROM t;
+             MD bits = SUM(num_bytes * 8), m = MAX(v) OVER t WHERE g = b.g;",
+        )
+        .unwrap();
+        assert_eq!(
+            q.mds[0].aggs[0].input.as_ref().unwrap().to_string(),
+            "(r.num_bytes * 8)"
+        );
+        assert_eq!(q.mds[0].aggs[1].func, AggFunc::Max);
+    }
+
+    #[test]
+    fn var_and_stddev_parse() {
+        let q = parse_query(
+            "BASE SELECT DISTINCT g FROM t;
+             MD v = VAR(x), sd = STDDEV(x) OVER t WHERE g = b.g;",
+        )
+        .unwrap();
+        assert_eq!(q.mds[0].aggs[0].func, AggFunc::Var);
+        assert_eq!(q.mds[0].aggs[1].func, AggFunc::StdDev);
+    }
+
+    #[test]
+    fn trailing_semicolon_optional_and_case_insensitive() {
+        let q = parse_query(
+            "base select distinct g from t;
+             md c = count(*) over t where g = b.g",
+        )
+        .unwrap();
+        assert_eq!(q.mds.len(), 1);
+    }
+
+    #[test]
+    fn keywords_inside_strings_do_not_confuse() {
+        let q = parse_query(
+            "BASE SELECT DISTINCT g FROM t;
+             MD c = COUNT(*) OVER t WHERE g = b.g AND name <> 'where over from';",
+        )
+        .unwrap();
+        assert!(q.mds[0].theta.to_string().contains("'where over from'"));
+    }
+
+    #[test]
+    fn errors() {
+        // No MD statements.
+        assert!(parse_query("BASE SELECT DISTINCT g FROM t;").is_err());
+        // Missing FROM.
+        assert!(parse_query("BASE SELECT DISTINCT g t; MD c=COUNT(*) OVER t WHERE g=b.g;").is_err());
+        // Bad aggregate function.
+        assert!(parse_query(
+            "BASE SELECT DISTINCT g FROM t; MD c = MEDIAN(v) OVER t WHERE g = b.g;"
+        )
+        .is_err());
+        // SUM(*) invalid.
+        assert!(parse_query(
+            "BASE SELECT DISTINCT g FROM t; MD c = SUM(*) OVER t WHERE g = b.g;"
+        )
+        .is_err());
+        // Missing WHERE.
+        assert!(
+            parse_query("BASE SELECT DISTINCT g FROM t; MD c = COUNT(*) OVER t;").is_err()
+        );
+        // Unterminated string.
+        assert!(parse_query("BASE SELECT DISTINCT g FROM t; MD c = COUNT(*) OVER t WHERE x = 'a;")
+            .is_err());
+        // Bad identifier.
+        assert!(parse_query("BASE SELECT DISTINCT 9g FROM t; MD c=COUNT(*) OVER t WHERE g=b.g;")
+            .is_err());
+        // Empty input.
+        assert!(parse_query("   ").is_err());
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let q = parse_query(
+            "-- leading comment
+             BASE SELECT DISTINCT g FROM t; -- trailing comment
+             MD c = COUNT(*) OVER t WHERE g = b.g AND name <> 'not -- a comment';",
+        )
+        .unwrap();
+        assert!(q.mds[0].theta.to_string().contains("not -- a comment"));
+    }
+
+    #[test]
+    fn split_statements_respects_quotes() {
+        let stmts = split_statements("a 'x;y' b; c").unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(stmts[0], "a 'x;y' b");
+    }
+}

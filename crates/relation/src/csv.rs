@@ -1,0 +1,215 @@
+//! Minimal CSV import/export for relations.
+//!
+//! Used by the examples to inspect query results and by the data generators
+//! to dump datasets. Handles quoting of fields containing separators,
+//! quotes, or newlines; type inference on read is driven by a schema.
+
+use crate::error::{Error, Result};
+use crate::relation::Relation;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::{DataType, Value};
+
+/// Render a relation as CSV with a header row.
+pub fn to_csv(rel: &Relation) -> String {
+    let mut out = String::new();
+    let names: Vec<&str> = rel.schema().column_names();
+    writeln_record(&mut out, names.iter().copied());
+    for row in rel {
+        writeln_record(
+            &mut out,
+            row.values().iter().map(|v| match v {
+                Value::Null => String::new(),
+                other => other.to_string(),
+            }),
+        );
+    }
+    out
+}
+
+fn writeln_record<S: AsRef<str>>(out: &mut String, fields: impl Iterator<Item = S>) {
+    let mut first = true;
+    for f in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        write_field(out, f.as_ref());
+    }
+    out.push('\n');
+}
+
+fn write_field(out: &mut String, field: &str) {
+    if field.contains([',', '"', '\n', '\r']) {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Parse CSV text (with a header row) into a relation conforming to
+/// `schema`. The header must match the schema's column names in order.
+/// Empty fields become `NULL`.
+pub fn from_csv(text: &str, schema: Schema) -> Result<Relation> {
+    let mut records = parse_records(text)?;
+    if records.is_empty() {
+        return Err(Error::Parse("missing CSV header".into()));
+    }
+    let header = records.remove(0);
+    let expected: Vec<&str> = schema.column_names();
+    if header.len() != expected.len()
+        || header.iter().zip(&expected).any(|(h, e)| h != e)
+    {
+        return Err(Error::Parse(format!(
+            "CSV header {header:?} does not match schema {expected:?}"
+        )));
+    }
+    let mut rows = Vec::with_capacity(records.len());
+    for (lineno, rec) in records.into_iter().enumerate() {
+        if rec.len() != schema.len() {
+            return Err(Error::Parse(format!(
+                "record {} has {} fields, expected {}",
+                lineno + 2,
+                rec.len(),
+                schema.len()
+            )));
+        }
+        let mut vs = Vec::with_capacity(rec.len());
+        for (field, f) in rec.into_iter().zip(schema.fields()) {
+            vs.push(parse_field(&field, f.data_type(), lineno + 2)?);
+        }
+        rows.push(Row::new(vs));
+    }
+    Relation::new(schema, rows)
+}
+
+fn parse_field(field: &str, ty: DataType, line: usize) -> Result<Value> {
+    if field.is_empty() {
+        return Ok(Value::Null);
+    }
+    match ty {
+        DataType::Int => field
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| Error::Parse(format!("line {line}: bad int {field:?}: {e}"))),
+        DataType::Double => field
+            .parse::<f64>()
+            .map(Value::Double)
+            .map_err(|e| Error::Parse(format!("line {line}: bad double {field:?}: {e}"))),
+        DataType::Str => Ok(Value::str(field)),
+    }
+}
+
+/// Split CSV text into records of unquoted fields.
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {}
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(Error::Parse("unterminated quoted CSV field".into()));
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn sample() -> Relation {
+        Relation::new(
+            Schema::of(&[("k", DataType::Int), ("name", DataType::Str)]),
+            vec![
+                row![1i64, "plain"],
+                row![2i64, "with,comma"],
+                row![3i64, "with \"quote\""],
+                Row::new(vec![Value::Int(4), Value::Null]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let r = sample();
+        let csv = to_csv(&r);
+        let back = from_csv(&csv, r.schema().clone()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let schema = Schema::of(&[("x", DataType::Int)]);
+        assert!(from_csv("k\n1\n", schema).is_err());
+    }
+
+    #[test]
+    fn bad_int_rejected() {
+        let schema = Schema::of(&[("k", DataType::Int)]);
+        let err = from_csv("k\nabc\n", schema).unwrap_err();
+        assert!(err.to_string().contains("bad int"));
+    }
+
+    #[test]
+    fn quoted_newline_inside_field() {
+        let schema = Schema::of(&[("s", DataType::Str)]);
+        let rel = from_csv("s\n\"a\nb\"\n", schema).unwrap();
+        assert_eq!(rel.rows()[0].get(0), &Value::str("a\nb"));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let schema = Schema::of(&[("s", DataType::Str)]);
+        assert!(from_csv("s\n\"abc\n", schema).is_err());
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let schema = Schema::of(&[("s", DataType::Str)]);
+        assert!(from_csv("", schema).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type shared across the workspace's relational layers.
+
+use std::fmt;
+
+/// Errors raised by the relational substrate and layers built on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A column name was not found in a schema.
+    UnknownColumn(String),
+    /// A schema was constructed with a duplicate column name.
+    DuplicateColumn(String),
+    /// Two relations or rows had incompatible schemas for an operation.
+    SchemaMismatch(String),
+    /// An expression was applied to values of an unsupported type.
+    TypeError(String),
+    /// Malformed bytes while decoding.
+    Codec(String),
+    /// Malformed text while parsing (CSV or query text).
+    Parse(String),
+    /// A planner or executor invariant was violated.
+    Plan(String),
+    /// A site or the coordinator failed during distributed execution.
+    Execution(String),
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            Error::DuplicateColumn(c) => write!(f, "duplicate column: {c}"),
+            Error::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            Error::TypeError(m) => write!(f, "type error: {m}"),
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Plan(m) => write!(f, "plan error: {m}"),
+            Error::Execution(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            Error::UnknownColumn("x".into()).to_string(),
+            "unknown column: x"
+        );
+        assert_eq!(Error::Codec("bad tag".into()).to_string(), "codec error: bad tag");
+    }
+}

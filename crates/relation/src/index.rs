@@ -1,0 +1,115 @@
+//! Hash indexes on key columns.
+//!
+//! The coordinator's base-result structure "is indexed on K, which allows us
+//! to efficiently determine RNG(X, t, θ_K) for any tuple t in H" (paper
+//! Sect. 3.2) — synchronization is O(|H|). The same structure powers the
+//! hash fast path of the centralized GMDJ evaluator.
+
+use crate::relation::Relation;
+use crate::row::Row;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A multimap from key-column values to row positions.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    key_columns: Vec<usize>,
+    map: HashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl HashIndex {
+    /// Build an index over `relation` keyed on the columns at
+    /// `key_columns` (positional).
+    pub fn build(relation: &Relation, key_columns: &[usize]) -> HashIndex {
+        let mut map: HashMap<Vec<Value>, Vec<usize>> =
+            HashMap::with_capacity(relation.len());
+        for (pos, row) in relation.iter().enumerate() {
+            map.entry(row.key(key_columns)).or_default().push(pos);
+        }
+        HashIndex {
+            key_columns: key_columns.to_vec(),
+            map,
+        }
+    }
+
+    /// Build an index keyed on named columns.
+    pub fn build_on(relation: &Relation, columns: &[&str]) -> crate::Result<HashIndex> {
+        let idx = relation.schema().indexes_of(columns)?;
+        Ok(HashIndex::build(relation, &idx))
+    }
+
+    /// The key column positions.
+    pub fn key_columns(&self) -> &[usize] {
+        &self.key_columns
+    }
+
+    /// Row positions whose key equals `key`.
+    pub fn get(&self, key: &[Value]) -> &[usize] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Row positions matching the key extracted from `probe` at
+    /// `probe_columns`.
+    pub fn probe(&self, probe: &Row, probe_columns: &[usize]) -> &[usize] {
+        self.map
+            .get(&probe.key(probe_columns))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the index is over a unique key (every key → one row).
+    pub fn is_unique(&self) -> bool {
+        self.map.values().all(|v| v.len() == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn rel() -> Relation {
+        Relation::new(
+            Schema::of(&[("k", DataType::Int), ("v", DataType::Str)]),
+            vec![row![1i64, "a"], row![2i64, "b"], row![1i64, "c"]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_probe() {
+        let r = rel();
+        let ix = HashIndex::build_on(&r, &["k"]).unwrap();
+        assert_eq!(ix.get(&[Value::Int(1)]), &[0, 2]);
+        assert_eq!(ix.get(&[Value::Int(9)]), &[] as &[usize]);
+        assert_eq!(ix.distinct_keys(), 2);
+        assert!(!ix.is_unique());
+    }
+
+    #[test]
+    fn probe_via_row() {
+        let r = rel();
+        let ix = HashIndex::build_on(&r, &["k"]).unwrap();
+        let probe = row!["ignored", 2i64];
+        assert_eq!(ix.probe(&probe, &[1]), &[1]);
+    }
+
+    #[test]
+    fn unique_index() {
+        let r = rel();
+        let ix = HashIndex::build_on(&r, &["v"]).unwrap();
+        assert!(ix.is_unique());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        assert!(HashIndex::build_on(&rel(), &["zz"]).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! # skalla-relation — relational substrate
+//!
+//! The storage and expression layer underneath the Skalla distributed OLAP
+//! engine: scalar [`Value`]s, [`Schema`]s, [`Row`]s, in-memory
+//! [`Relation`]s with the usual operators, two-sided scalar [`Expr`]essions
+//! (GMDJ conditions θ(b, r)), interval/domain analysis for deriving the
+//! paper's ¬ψ group-reduction filters, hash indexes, a binary codec with
+//! exact byte accounting, and CSV import/export.
+//!
+//! The paper ran each warehouse site on AT&T's Daytona DBMS; this crate is
+//! the equivalent local substrate, built from scratch.
+
+#![warn(missing_docs)]
+
+mod error;
+mod value;
+
+pub mod codec;
+pub mod csv;
+pub mod expr;
+pub mod index;
+pub mod interval;
+pub mod parse;
+pub mod relation;
+pub mod row;
+pub mod schema;
+
+pub use error::{Error, Result};
+pub use expr::{ArithOp, BoundExpr, CmpOp, Expr, Side};
+pub use index::HashIndex;
+pub use parse::parse_expr;
+pub use interval::{derive_base_constraint, BaseConstraint, Domain, DomainMap, Interval};
+pub use relation::Relation;
+pub use row::Row;
+pub use schema::{Field, Schema, SchemaRef};
+pub use value::{DataType, Value};

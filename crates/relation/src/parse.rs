@@ -1,0 +1,494 @@
+//! A small expression parser.
+//!
+//! Parses scalar/boolean expressions such as
+//! `b.sum1 / b.cnt1`, `r.num_bytes >= b.sum1 / b.cnt1 AND r.proto = 'tcp'`,
+//! or `dest_as + source_as < 50`. Columns may be qualified with `b.` (base
+//! side) or `r.` (detail side); unqualified names take the caller-supplied
+//! default side. Used by the GMDJ condition builders and by the
+//! `skalla-query` front-end.
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! expr     := or
+//! or       := and (OR and)*
+//! and      := not (AND not)*
+//! not      := NOT not | cmp
+//! cmp      := sum ((= | <> | != | < | <= | > | >=) sum | IN '(' lit,* ')')?
+//! sum      := term ((+ | -) term)*
+//! term     := unary ((* | / | %) unary)*
+//! unary    := - unary | primary
+//! primary  := number | 'string' | TRUE | column | '(' expr ')'
+//! column   := [bB|rR '.'] identifier
+//! ```
+
+use crate::error::{Error, Result};
+use crate::expr::{ArithOp, CmpOp, Expr, Side};
+use crate::value::Value;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Double(f64),
+    Str(String),
+    Sym(&'static str),
+    And,
+    Or,
+    Not,
+    In,
+    True,
+}
+
+fn lex(text: &str) -> Result<Vec<Tok>> {
+    let mut toks = Vec::new();
+    let b = text.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                toks.push(Tok::Sym("("));
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::Sym(")"));
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Sym(","));
+                i += 1;
+            }
+            '+' => {
+                toks.push(Tok::Sym("+"));
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Sym("-"));
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Sym("*"));
+                i += 1;
+            }
+            '/' => {
+                toks.push(Tok::Sym("/"));
+                i += 1;
+            }
+            '%' => {
+                toks.push(Tok::Sym("%"));
+                i += 1;
+            }
+            '.' => {
+                toks.push(Tok::Sym("."));
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Sym("="));
+                i += 1;
+            }
+            '<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Sym("<="));
+                    i += 2;
+                } else if b.get(i + 1) == Some(&b'>') {
+                    toks.push(Tok::Sym("<>"));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Sym("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Sym(">="));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Sym(">"));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Sym("<>"));
+                    i += 2;
+                } else {
+                    return Err(Error::Parse("unexpected '!'".into()));
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match b.get(i) {
+                        None => return Err(Error::Parse("unterminated string".into())),
+                        Some(b'\'') => {
+                            if b.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&ch) => {
+                            s.push(ch as char);
+                            i += 1;
+                        }
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < b.len() && (b[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_double = false;
+                if i < b.len() && b[i] == b'.' && i + 1 < b.len() && (b[i + 1] as char).is_ascii_digit()
+                {
+                    is_double = true;
+                    i += 1;
+                    while i < b.len() && (b[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &text[start..i];
+                if is_double {
+                    toks.push(Tok::Double(text.parse().map_err(|e| {
+                        Error::Parse(format!("bad number {text:?}: {e}"))
+                    })?));
+                } else {
+                    toks.push(Tok::Int(text.parse().map_err(|e| {
+                        Error::Parse(format!("bad number {text:?}: {e}"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = &text[start..i];
+                match word.to_ascii_uppercase().as_str() {
+                    "AND" => toks.push(Tok::And),
+                    "OR" => toks.push(Tok::Or),
+                    "NOT" => toks.push(Tok::Not),
+                    "IN" => toks.push(Tok::In),
+                    "TRUE" => toks.push(Tok::True),
+                    _ => toks.push(Tok::Ident(word.to_string())),
+                }
+            }
+            other => return Err(Error::Parse(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+    default_side: Side,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<()> {
+        match self.next() {
+            Some(Tok::Sym(t)) if t == s => Ok(()),
+            other => Err(Error::Parse(format!("expected {s:?}, found {other:?}"))),
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut e = self.parse_and()?;
+        while matches!(self.peek(), Some(Tok::Or)) {
+            self.next();
+            e = e.or(self.parse_and()?);
+        }
+        Ok(e)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut e = self.parse_not()?;
+        while matches!(self.peek(), Some(Tok::And)) {
+            self.next();
+            e = Expr::And(Box::new(e), Box::new(self.parse_not()?));
+        }
+        Ok(e)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if matches!(self.peek(), Some(Tok::Not)) {
+            self.next();
+            return Ok(self.parse_not()?.not());
+        }
+        self.parse_cmp()
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr> {
+        let left = self.parse_sum()?;
+        let op = match self.peek() {
+            Some(Tok::Sym("=")) => Some(CmpOp::Eq),
+            Some(Tok::Sym("<>")) => Some(CmpOp::Ne),
+            Some(Tok::Sym("<")) => Some(CmpOp::Lt),
+            Some(Tok::Sym("<=")) => Some(CmpOp::Le),
+            Some(Tok::Sym(">")) => Some(CmpOp::Gt),
+            Some(Tok::Sym(">=")) => Some(CmpOp::Ge),
+            Some(Tok::In) => {
+                self.next();
+                self.expect_sym("(")?;
+                let mut values = Vec::new();
+                loop {
+                    match self.next() {
+                        Some(Tok::Int(v)) => values.push(Value::Int(v)),
+                        Some(Tok::Double(v)) => values.push(Value::Double(v)),
+                        Some(Tok::Str(s)) => values.push(Value::str(s)),
+                        Some(Tok::Sym("-")) => match self.next() {
+                            Some(Tok::Int(v)) => values.push(Value::Int(-v)),
+                            Some(Tok::Double(v)) => values.push(Value::Double(-v)),
+                            other => {
+                                return Err(Error::Parse(format!(
+                                    "expected number after '-', found {other:?}"
+                                )))
+                            }
+                        },
+                        other => {
+                            return Err(Error::Parse(format!(
+                                "expected literal in IN list, found {other:?}"
+                            )))
+                        }
+                    }
+                    match self.next() {
+                        Some(Tok::Sym(",")) => continue,
+                        Some(Tok::Sym(")")) => break,
+                        other => {
+                            return Err(Error::Parse(format!(
+                                "expected ',' or ')' in IN list, found {other:?}"
+                            )))
+                        }
+                    }
+                }
+                return Ok(left.in_list(values));
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.next();
+            let right = self.parse_sum()?;
+            return Ok(Expr::Cmp(op, Box::new(left), Box::new(right)));
+        }
+        Ok(left)
+    }
+
+    fn parse_sum(&mut self) -> Result<Expr> {
+        let mut e = self.parse_term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Sym("+")) => {
+                    self.next();
+                    e = e.add(self.parse_term()?);
+                }
+                Some(Tok::Sym("-")) => {
+                    self.next();
+                    e = e.sub(self.parse_term()?);
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Expr> {
+        let mut e = self.parse_unary()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Sym("*")) => {
+                    self.next();
+                    e = e.mul(self.parse_unary()?);
+                }
+                Some(Tok::Sym("/")) => {
+                    self.next();
+                    e = e.div(self.parse_unary()?);
+                }
+                Some(Tok::Sym("%")) => {
+                    self.next();
+                    e = Expr::Arith(
+                        ArithOp::Mod,
+                        Box::new(e),
+                        Box::new(self.parse_unary()?),
+                    );
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if matches!(self.peek(), Some(Tok::Sym("-"))) {
+            self.next();
+            let inner = self.parse_unary()?;
+            return Ok(match inner {
+                Expr::Lit(Value::Int(v)) => Expr::Lit(Value::Int(-v)),
+                Expr::Lit(Value::Double(v)) => Expr::Lit(Value::Double(-v)),
+                other => Expr::lit(0i64).sub(other),
+            });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Expr::lit(v)),
+            Some(Tok::Double(v)) => Ok(Expr::lit(v)),
+            Some(Tok::Str(s)) => Ok(Expr::Lit(Value::str(s))),
+            Some(Tok::True) => Ok(Expr::True),
+            Some(Tok::Sym("(")) => {
+                let e = self.parse_or()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                // Qualified column?
+                if matches!(self.peek(), Some(Tok::Sym("."))) {
+                    let side = match name.as_str() {
+                        "b" | "B" => Some(Side::Base),
+                        "r" | "R" => Some(Side::Detail),
+                        _ => None,
+                    };
+                    if let Some(side) = side {
+                        self.next();
+                        match self.next() {
+                            Some(Tok::Ident(col)) => return Ok(Expr::Col(side, col)),
+                            other => {
+                                return Err(Error::Parse(format!(
+                                    "expected column after qualifier, found {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                    return Err(Error::Parse(format!(
+                        "unknown qualifier {name:?} (use b. or r.)"
+                    )));
+                }
+                Ok(Expr::Col(self.default_side, name))
+            }
+            other => Err(Error::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+/// Parse an expression. Unqualified column names resolve to `default_side`.
+pub fn parse_expr(text: &str, default_side: Side) -> Result<Expr> {
+    let toks = lex(text)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        default_side,
+    };
+    let e = p.parse_or()?;
+    if p.pos != p.toks.len() {
+        return Err(Error::Parse(format!(
+            "trailing tokens after expression: {:?}",
+            &p.toks[p.pos..]
+        )));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Expr {
+        parse_expr(s, Side::Base).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        assert_eq!(parse("1 + 2 * 3").to_string(), "(1 + (2 * 3))");
+        assert_eq!(parse("(1 + 2) * 3").to_string(), "((1 + 2) * 3)");
+        assert_eq!(parse("sum1 / cnt1").to_string(), "(b.sum1 / b.cnt1)");
+    }
+
+    #[test]
+    fn qualified_columns() {
+        assert_eq!(
+            parse("r.num_bytes >= b.sum1 / b.cnt1").to_string(),
+            "r.num_bytes >= (b.sum1 / b.cnt1)"
+        );
+    }
+
+    #[test]
+    fn default_side_applies_to_unqualified() {
+        let e = parse_expr("v > 3", Side::Detail).unwrap();
+        assert_eq!(e.to_string(), "r.v > 3");
+    }
+
+    #[test]
+    fn boolean_precedence() {
+        let e = parse("a = 1 OR a = 2 AND c = 3");
+        assert_eq!(e.to_string(), "(b.a = 1 OR (b.a = 2 AND b.c = 3))");
+    }
+
+    #[test]
+    fn not_and_in() {
+        let e = parse("NOT x IN (1, 2, -3)");
+        assert_eq!(e.to_string(), "NOT (b.x IN (1, 2, -3))");
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let e = parse("name = 'it''s'");
+        assert_eq!(e.to_string(), "b.name = 'it''s'");
+    }
+
+    #[test]
+    fn comparison_ops() {
+        for (src, disp) in [
+            ("a < 1", "b.a < 1"),
+            ("a <= 1", "b.a <= 1"),
+            ("a > 1", "b.a > 1"),
+            ("a >= 1", "b.a >= 1"),
+            ("a <> 1", "b.a <> 1"),
+            ("a != 1", "b.a <> 1"),
+            ("a = 1", "b.a = 1"),
+        ] {
+            assert_eq!(parse(src).to_string(), disp);
+        }
+    }
+
+    #[test]
+    fn unary_minus() {
+        assert_eq!(parse("-5 + x").to_string(), "(-5 + b.x)");
+        assert_eq!(parse("-x").to_string(), "(0 - b.x)");
+        assert_eq!(parse("2.5 % 2").to_string(), "(2.5 % 2)");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_expr("1 +", Side::Base).is_err());
+        assert!(parse_expr("'unterminated", Side::Base).is_err());
+        assert!(parse_expr("a ! b", Side::Base).is_err());
+        assert!(parse_expr("x.y", Side::Base).is_err());
+        assert!(parse_expr("1 2", Side::Base).is_err());
+        assert!(parse_expr("a IN (1; 2)", Side::Base).is_err());
+        assert!(parse_expr("(1", Side::Base).is_err());
+    }
+
+    #[test]
+    fn true_literal() {
+        assert_eq!(parse("TRUE"), Expr::True);
+    }
+}

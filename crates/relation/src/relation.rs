@@ -1,0 +1,317 @@
+//! In-memory relations (multisets of rows) and basic relational operators.
+
+use crate::error::{Error, Result};
+use crate::expr::BoundExpr;
+use crate::row::Row;
+use crate::schema::{Schema, SchemaRef};
+use crate::value::Value;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A multiset of rows sharing one schema.
+///
+/// This is the storage unit of each warehouse site's local detail relation
+/// and of every structure shipped between sites and the coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: SchemaRef,
+    rows: Vec<Row>,
+}
+
+impl Relation {
+    /// An empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Relation {
+        Relation {
+            schema: Arc::new(schema),
+            rows: Vec::new(),
+        }
+    }
+
+    /// A relation from a schema and rows.
+    ///
+    /// Validates that every row has the schema's arity. (Type conformance is
+    /// checked lazily by expressions; generators produce well-typed rows.)
+    pub fn new(schema: Schema, rows: Vec<Row>) -> Result<Relation> {
+        let schema = Arc::new(schema);
+        for r in &rows {
+            if r.len() != schema.len() {
+                return Err(Error::SchemaMismatch(format!(
+                    "row arity {} vs schema arity {}",
+                    r.len(),
+                    schema.len()
+                )));
+            }
+        }
+        Ok(Relation { schema, rows })
+    }
+
+    /// A relation reusing an existing shared schema (no arity re-check; used
+    /// on hot paths where rows are constructed against that schema).
+    pub fn from_shared(schema: SchemaRef, rows: Vec<Row>) -> Relation {
+        debug_assert!(rows.iter().all(|r| r.len() == schema.len()));
+        Relation { schema, rows }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The shared schema handle.
+    pub fn schema_ref(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Mutable access to the rows (coordinator-side in-place merges).
+    pub fn rows_mut(&mut self) -> &mut Vec<Row> {
+        &mut self.rows
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Debug-asserts the arity matches.
+    pub fn push(&mut self, row: Row) {
+        debug_assert_eq!(row.len(), self.schema.len());
+        self.rows.push(row);
+    }
+
+    /// Iterate over rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, Row> {
+        self.rows.iter()
+    }
+
+    /// Consume into rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Projection onto named columns (π). Multiset semantics: keeps
+    /// duplicates.
+    pub fn project(&self, columns: &[&str]) -> Result<Relation> {
+        let idx = self.schema.indexes_of(columns)?;
+        let schema = self.schema.project(&idx)?;
+        let rows = self.rows.iter().map(|r| r.project(&idx)).collect();
+        Relation::new(schema, rows)
+    }
+
+    /// Duplicate-eliminating projection (π with DISTINCT) preserving first
+    /// occurrence order — used to build base-values relations.
+    pub fn project_distinct(&self, columns: &[&str]) -> Result<Relation> {
+        let idx = self.schema.indexes_of(columns)?;
+        let schema = self.schema.project(&idx)?;
+        let mut seen: HashSet<Row> = HashSet::with_capacity(self.rows.len());
+        let mut rows = Vec::new();
+        for r in &self.rows {
+            let p = r.project(&idx);
+            if seen.insert(p.clone()) {
+                rows.push(p);
+            }
+        }
+        Relation::new(schema, rows)
+    }
+
+    /// Selection (σ) by a bound predicate.
+    pub fn select(&self, pred: &BoundExpr) -> Result<Relation> {
+        let mut rows = Vec::new();
+        for r in &self.rows {
+            if pred.eval_row(r)?.is_truthy() {
+                rows.push(r.clone());
+            }
+        }
+        Ok(Relation::from_shared(self.schema_ref(), rows))
+    }
+
+    /// Selection by an arbitrary row predicate closure.
+    pub fn filter(&self, mut keep: impl FnMut(&Row) -> bool) -> Relation {
+        Relation::from_shared(
+            self.schema_ref(),
+            self.rows.iter().filter(|r| keep(r)).cloned().collect(),
+        )
+    }
+
+    /// Multiset union (⊔). Schemas must be identical.
+    pub fn union_all(&self, other: &Relation) -> Result<Relation> {
+        if self.schema() != other.schema() {
+            return Err(Error::SchemaMismatch(format!(
+                "union of {} and {}",
+                self.schema(),
+                other.schema()
+            )));
+        }
+        let mut rows = Vec::with_capacity(self.len() + other.len());
+        rows.extend_from_slice(&self.rows);
+        rows.extend_from_slice(&other.rows);
+        Ok(Relation::from_shared(self.schema_ref(), rows))
+    }
+
+    /// Distinct rows, preserving first-occurrence order.
+    pub fn distinct(&self) -> Relation {
+        let mut seen: HashSet<Row> = HashSet::with_capacity(self.rows.len());
+        let rows = self
+            .rows
+            .iter()
+            .filter(|r| seen.insert((*r).clone()))
+            .cloned()
+            .collect();
+        Relation::from_shared(self.schema_ref(), rows)
+    }
+
+    /// Rows sorted by the named columns (ascending, total value order).
+    pub fn sorted_by(&self, columns: &[&str]) -> Result<Relation> {
+        let idx = self.schema.indexes_of(columns)?;
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| {
+            for &i in &idx {
+                let ord = a.get(i).cmp(b.get(i));
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(Relation::from_shared(self.schema_ref(), rows))
+    }
+
+    /// A canonical form for multiset comparison in tests: all rows sorted.
+    pub fn canonicalized(&self) -> Relation {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        Relation::from_shared(self.schema_ref(), rows)
+    }
+
+    /// Multiset equality irrespective of row order and of schema sharing.
+    pub fn same_bag(&self, other: &Relation) -> bool {
+        self.schema() == other.schema()
+            && self.canonicalized().rows == other.canonicalized().rows
+    }
+
+    /// The distinct values of one column.
+    pub fn column_values(&self, column: &str) -> Result<Vec<Value>> {
+        let i = self.schema.index_of(column)?;
+        let mut set: HashSet<Value> = HashSet::new();
+        let mut out = Vec::new();
+        for r in &self.rows {
+            let v = r.get(i).clone();
+            if set.insert(v.clone()) {
+                out.push(v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Approximate serialized size in bytes (schema + rows).
+    pub fn encoded_size(&self) -> usize {
+        self.schema.encoded_size() + 4 + self.rows.iter().map(Row::encoded_size).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for r in &self.rows {
+            writeln!(f, "{r}")?;
+        }
+        write!(f, "({} rows)", self.rows.len())
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Row;
+    type IntoIter = std::slice::Iter<'a, Row>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::value::DataType;
+
+    fn sample() -> Relation {
+        Relation::new(
+            Schema::of(&[("a", DataType::Int), ("b", DataType::Str)]),
+            vec![row![1i64, "x"], row![2i64, "y"], row![1i64, "x"]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn arity_checked() {
+        let err = Relation::new(Schema::of(&[("a", DataType::Int)]), vec![row![1i64, 2i64]]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn project_keeps_duplicates_distinct_removes_them() {
+        let r = sample();
+        assert_eq!(r.project(&["b"]).unwrap().len(), 3);
+        let d = r.project_distinct(&["b"]).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.rows()[0], row!["x"]);
+    }
+
+    #[test]
+    fn union_requires_same_schema() {
+        let r = sample();
+        let other = Relation::empty(Schema::of(&[("z", DataType::Int)]));
+        assert!(r.union_all(&other).is_err());
+        let u = r.union_all(&r).unwrap();
+        assert_eq!(u.len(), 6);
+    }
+
+    #[test]
+    fn distinct_and_same_bag() {
+        let r = sample();
+        assert_eq!(r.distinct().len(), 2);
+        let shuffled = Relation::new(
+            Schema::of(&[("a", DataType::Int), ("b", DataType::Str)]),
+            vec![row![2i64, "y"], row![1i64, "x"], row![1i64, "x"]],
+        )
+        .unwrap();
+        assert!(r.same_bag(&shuffled));
+        assert!(!r.same_bag(&r.distinct()));
+    }
+
+    #[test]
+    fn sorted_by_columns() {
+        let r = sample();
+        let s = r.sorted_by(&["b", "a"]).unwrap();
+        assert_eq!(s.rows()[0], row![1i64, "x"]);
+        assert_eq!(s.rows()[2], row![2i64, "y"]);
+    }
+
+    #[test]
+    fn column_values_distinct_in_order() {
+        let r = sample();
+        assert_eq!(
+            r.column_values("a").unwrap(),
+            vec![Value::Int(1), Value::Int(2)]
+        );
+    }
+
+    #[test]
+    fn filter_closure() {
+        let r = sample();
+        let f = r.filter(|row| row.get(0) == &Value::Int(1));
+        assert_eq!(f.len(), 2);
+    }
+}

@@ -1,0 +1,333 @@
+//! Scalar values and data types.
+//!
+//! [`Value`] is the unit of data flowing through the engine. It provides a
+//! *total* order and a consistent [`Hash`] implementation (doubles hash via
+//! their bit pattern) so that rows can key hash maps — the coordinator's
+//! base-result structure is indexed on key attributes (Sect. 3.2 of the
+//! paper), and the GMDJ fast path hash-partitions detail tuples.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 floating point.
+    Double,
+    /// UTF-8 string (cheaply clonable).
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Double => write!(f, "DOUBLE"),
+            DataType::Str => write!(f, "STR"),
+        }
+    }
+}
+
+/// A scalar value.
+///
+/// `Null` compares less than everything else; `Int` and `Double` compare
+/// numerically with each other (so `Value::Int(2) == Value::Double(2.0)`);
+/// strings compare lexicographically and are greater than all numbers.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Absence of a value (e.g. an aggregate over an empty range).
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. `NaN` is normalized to a single bit pattern and sorts
+    /// after all other doubles.
+    Double(f64),
+    /// Shared immutable string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// The data type of this value, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Double(_) => Some(DataType::Double),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    /// Is this `Null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interpret as a numeric `f64` if possible.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Interpret as an `i64` if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Interpret as a string slice if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL-style truthiness for predicate results: `Int(0)`/`Null` are
+    /// false, any other value is true.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Int(i) => *i != 0,
+            Value::Double(d) => *d != 0.0,
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// Approximate size in bytes when serialized by the codec. Used by the
+    /// network layer for accounting and by the planner for cost estimates.
+    pub fn encoded_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) => 9,
+            Value::Double(_) => 9,
+            Value::Str(s) => 1 + 4 + s.len(),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::str(v)
+    }
+}
+
+/// Rank used to order values of different types: Null < numbers < strings.
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Int(_) | Value::Double(_) => 1,
+        Value::Str(_) => 2,
+    }
+}
+
+/// Total order on doubles: ordinary order, with NaN greatest.
+fn total_f64_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("non-NaN doubles compare"),
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Value) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Double(a), Value::Double(b)) => total_f64_cmp(*a, *b),
+            (Value::Int(a), Value::Double(b)) => total_f64_cmp(*a as f64, *b),
+            (Value::Double(a), Value::Int(b)) => total_f64_cmp(*a, *b as f64),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            // Ints and doubles that compare equal must hash equally:
+            // hash integral doubles as their integer value.
+            Value::Int(i) => {
+                state.write_u8(1);
+                state.write_i64(*i);
+            }
+            Value::Double(d) => {
+                if d.fract() == 0.0 && *d >= i64::MIN as f64 && *d <= i64::MAX as f64 {
+                    state.write_u8(1);
+                    state.write_i64(*d as i64);
+                } else {
+                    state.write_u8(2);
+                    // Normalize NaNs and -0.0 so equal values hash equally.
+                    let bits = if d.is_nan() {
+                        f64::NAN.to_bits()
+                    } else if *d == 0.0 {
+                        0f64.to_bits()
+                    } else {
+                        d.to_bits()
+                    };
+                    state.write_u64(bits);
+                }
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                state.write(s.as_bytes());
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{d}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_double_equality_and_hash_agree() {
+        let a = Value::Int(42);
+        let b = Value::Double(42.0);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn total_order_across_types() {
+        let mut vs = vec![
+            Value::str("abc"),
+            Value::Int(5),
+            Value::Null,
+            Value::Double(4.5),
+            Value::str("ab"),
+            Value::Int(-1),
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Value::Null,
+                Value::Int(-1),
+                Value::Double(4.5),
+                Value::Int(5),
+                Value::str("ab"),
+                Value::str("abc"),
+            ]
+        );
+    }
+
+    #[test]
+    fn nan_is_greatest_double_and_equal_to_itself() {
+        let nan = Value::Double(f64::NAN);
+        assert_eq!(nan, Value::Double(f64::NAN));
+        assert!(nan > Value::Double(f64::INFINITY));
+        assert!(nan < Value::str(""));
+        assert_eq!(hash_of(&nan), hash_of(&Value::Double(f64::NAN)));
+    }
+
+    #[test]
+    fn negative_zero_equals_positive_zero() {
+        assert_eq!(Value::Double(-0.0), Value::Double(0.0));
+        assert_eq!(hash_of(&Value::Double(-0.0)), hash_of(&Value::Double(0.0)));
+        assert_eq!(Value::Double(-0.0), Value::Int(0));
+        assert_eq!(hash_of(&Value::Double(-0.0)), hash_of(&Value::Int(0)));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Int(1).is_truthy());
+        assert!(!Value::Double(0.0).is_truthy());
+        assert!(Value::str("x").is_truthy());
+        assert!(!Value::str("").is_truthy());
+    }
+
+    #[test]
+    fn encoded_size_matches_kind() {
+        assert_eq!(Value::Null.encoded_size(), 1);
+        assert_eq!(Value::Int(7).encoded_size(), 9);
+        assert_eq!(Value::str("abc").encoded_size(), 8);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(2.5), Value::Double(2.5));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::str("hi").as_f64(), None);
+        assert_eq!(Value::Int(3).as_i64(), Some(3));
+        assert_eq!(Value::str("hi").as_str(), Some("hi"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests for the relational substrate.
+
+use proptest::prelude::*;
+use skalla_relation::codec::{decode_relation, encode_relation};
+use skalla_relation::interval::{derive_base_constraint, eval_interval, BaseConstraint};
+use skalla_relation::{
+    ArithOp, DataType, Domain, DomainMap, Expr, Relation, Row, Schema, Value,
+};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        // Finite doubles only in relations (generators never emit NaN).
+        (-1e12f64..1e12).prop_map(Value::Double),
+        "[a-zA-Z0-9 ,\"\n]{0,12}".prop_map(Value::str),
+    ]
+}
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    (1usize..5).prop_flat_map(|arity| {
+        let schema_types = proptest::collection::vec(
+            prop_oneof![
+                Just(DataType::Int),
+                Just(DataType::Double),
+                Just(DataType::Str)
+            ],
+            arity,
+        );
+        let rows =
+            proptest::collection::vec(proptest::collection::vec(arb_value(), arity), 0..20);
+        (schema_types, rows).prop_map(|(types, rows)| {
+            let fields: Vec<(String, DataType)> = types
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (format!("c{i}"), *t))
+                .collect();
+            let schema = Schema::of(
+                &fields
+                    .iter()
+                    .map(|(n, t)| (n.as_str(), *t))
+                    .collect::<Vec<_>>(),
+            );
+            Relation::new(schema, rows.into_iter().map(Row::new).collect())
+                .expect("arity matches")
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn codec_round_trips(rel in arb_relation()) {
+        let bytes = encode_relation(&rel);
+        let back = decode_relation(&bytes).expect("decode what we encoded");
+        prop_assert_eq!(rel, back);
+    }
+
+    #[test]
+    fn value_order_is_total_and_consistent(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // Transitivity for a chain sorted by cmp.
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2]);
+        // Consistency of Eq with Ordering::Equal.
+        prop_assert_eq!(v[0] == v[1], v[0].cmp(&v[1]) == Ordering::Equal);
+    }
+
+    #[test]
+    fn distinct_is_idempotent_and_subset(rel in arb_relation()) {
+        let d = rel.distinct();
+        prop_assert!(d.len() <= rel.len());
+        prop_assert!(d.same_bag(&d.distinct()));
+    }
+
+    #[test]
+    fn union_len_adds(a in arb_relation()) {
+        let u = a.union_all(&a).expect("same schema");
+        prop_assert_eq!(u.len(), a.len() * 2);
+    }
+
+    #[test]
+    fn csv_round_trips_when_no_nulls(rel in arb_relation()) {
+        // NULL round-trips only for non-Str columns (empty string vs NULL is
+        // ambiguous in CSV), so replace nulls with typed defaults.
+        let schema = rel.schema().clone();
+        let rows: Vec<Row> = rel.rows().iter().map(|r| {
+            Row::new(r.values().iter().zip(schema.fields()).map(|(v, f)| {
+                if v.is_null() {
+                    match f.data_type() {
+                        DataType::Int => Value::Int(0),
+                        DataType::Double => Value::Double(0.0),
+                        DataType::Str => Value::str("x"),
+                    }
+                } else if f.data_type() == DataType::Str && v.as_str() == Some("") {
+                    Value::str("x")
+                } else { v.clone() }
+            }).collect())
+        }).collect();
+        let clean = Relation::new(schema.clone(), rows).expect("same arity");
+        // Only attempt when the column types match the values (arb_value is
+        // not schema-typed); filter to rows whose values conform.
+        let conforming = clean.filter(|r| {
+            r.values().iter().zip(schema.fields()).all(|(v, f)| {
+                v.data_type() == Some(f.data_type())
+            })
+        });
+        let text = skalla_relation::csv::to_csv(&conforming);
+        let back = skalla_relation::csv::from_csv(&text, schema).expect("parse back");
+        prop_assert_eq!(conforming, back);
+    }
+}
+
+// Interval soundness: evaluating a detail-only expression on concrete rows
+// drawn from the declared domains always lands inside the derived interval.
+proptest! {
+    #[test]
+    fn interval_bounds_are_sound(
+        lo in -100i64..100,
+        width in 0i64..50,
+        mul in -5i64..5,
+        add in -50i64..50,
+        sample in 0i64..50,
+    ) {
+        let hi = lo + width;
+        let v = lo + (sample % (width + 1));
+        let domains = DomainMap::new().with("v", Domain::IntRange(lo, hi));
+        let e = Expr::dcol("v")
+            .mul(Expr::lit(mul))
+            .add(Expr::lit(add));
+        let iv = eval_interval(&e, &domains).expect("boundable");
+        let concrete = (v * mul + add) as f64;
+        prop_assert!(iv.lo <= concrete && concrete <= iv.hi,
+            "value {concrete} outside {iv}");
+    }
+
+    // ¬ψ soundness: any base tuple with a matching detail tuple at the site
+    // passes the derived filter.
+    #[test]
+    fn derived_filter_never_drops_matching_groups(
+        lo in -20i64..20,
+        width in 0i64..10,
+        g in -40i64..40,
+    ) {
+        let hi = lo + width;
+        let domains = DomainMap::new().with("g", Domain::IntRange(lo, hi));
+        let theta = Expr::bcol("g").eq(Expr::dcol("g"));
+        let constraint = derive_base_constraint(&theta, &domains);
+        // A detail tuple with r.g = g exists at the site iff lo <= g <= hi.
+        let matches_at_site = g >= lo && g <= hi;
+        match constraint {
+            BaseConstraint::Filter(f) => {
+                let bschema = Schema::of(&[("g", DataType::Int)]);
+                let bound = f.bind(&bschema, None).expect("base-only");
+                let keeps = bound
+                    .eval_row(&Row::new(vec![Value::Int(g)]))
+                    .expect("evaluates")
+                    .is_truthy();
+                if matches_at_site {
+                    prop_assert!(keeps, "filter dropped a matching group");
+                }
+            }
+            BaseConstraint::Unrestricted => {}
+            BaseConstraint::Unsatisfiable => {
+                prop_assert!(!matches_at_site);
+            }
+        }
+    }
+
+    #[test]
+    fn modulo_interval_is_sound(v in 0i64..10_000, m in 1i64..64) {
+        let domains = DomainMap::new().with("v", Domain::IntRange(0, 10_000));
+        let e = Expr::Arith(
+            ArithOp::Mod,
+            Box::new(Expr::dcol("v")),
+            Box::new(Expr::lit(m)),
+        );
+        let iv = eval_interval(&e, &domains).expect("boundable");
+        let concrete = v.rem_euclid(m) as f64;
+        prop_assert!(iv.lo <= concrete && concrete <= iv.hi);
+    }
+}

@@ -1,0 +1,260 @@
+//! `skalla-cli` — run and explain distributed OLAP queries from the
+//! command line.
+//!
+//! ```text
+//! skalla-cli explain --dataset flow --sites 4 --opt all --query-file q.skl
+//! skalla-cli run     --dataset tpcr --sites 8 --opt none -q "BASE …; MD …;"
+//! skalla-cli run     --csv flow=flows.csv --types int,int,int --partition-by source_as …
+//! skalla-cli gen     --dataset flow --rows 10000 --out flows.csv
+//! ```
+//!
+//! Queries use the `skalla-query` language: a `BASE SELECT DISTINCT …`
+//! statement followed by `MD name = AGG(expr), … OVER table WHERE θ;`
+//! statements (unqualified columns are detail-side; `b.name` refers to the
+//! base, including aggregates from earlier MD statements).
+
+use skalla::core::{Cluster, OptFlags, Planner};
+use skalla::datagen::flow::{generate_flows, FlowConfig};
+use skalla::datagen::partition::observe_int_ranges;
+use skalla::datagen::tpcr::{generate_tpcr, TpcrConfig};
+use skalla::net::CostModel;
+use skalla::query;
+use skalla::relation::{csv, DataType, Relation, Schema};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "run" => cmd_run(rest, true),
+        "explain" => cmd_run(rest, false),
+        "gen" => cmd_gen(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+skalla-cli — distributed OLAP with GMDJ operators
+
+USAGE:
+  skalla-cli run     [data options] [--opt LEVEL] (-q QUERY | --query-file F) [--limit N]
+  skalla-cli explain [data options] [--opt LEVEL] (-q QUERY | --query-file F)
+  skalla-cli gen     --dataset flow|tpcr [--rows N] [--seed S] --out FILE.csv
+
+DATA OPTIONS (choose one source):
+  --dataset flow|tpcr        built-in generator (default: flow)
+  --rows N                   generated fact rows (default: 10000)
+  --seed S                   generator seed (default: 42)
+  --csv NAME=PATH            load a CSV file as table NAME
+  --types t1,t2,…            column types for --csv (int|double|str)
+  --partition-by COL         integer partition attribute (default: first column)
+  --sites N                  number of warehouse sites (default: 4)
+
+QUERY OPTIONS:
+  --opt all|none|coalesce|group-reduction|sync-reduction   (default: all)
+  -q QUERY | --query-file F   the query text
+  --limit N                   print at most N result rows (default: 20)
+  --chunk N                   row blocking: ship results in chunks of N rows";
+
+fn opt(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_flags(args: &[String]) -> Result<OptFlags, String> {
+    match opt(args, "--opt").as_deref().unwrap_or("all") {
+        "all" => Ok(OptFlags::all()),
+        "none" => Ok(OptFlags::none()),
+        "coalesce" => Ok(OptFlags::coalesce_only()),
+        "group-reduction" => Ok(OptFlags::group_reduction_only()),
+        "sync-reduction" => Ok(OptFlags::sync_reduction_only()),
+        other => Err(format!("unknown --opt {other:?}")),
+    }
+}
+
+fn load_query(args: &[String]) -> Result<String, String> {
+    if let Some(q) = opt(args, "-q") {
+        return Ok(q);
+    }
+    if let Some(path) = opt(args, "--query-file") {
+        return std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"));
+    }
+    Err("missing query: pass -q '…' or --query-file FILE".to_string())
+}
+
+fn build_cluster(args: &[String]) -> Result<Cluster, String> {
+    let sites: usize = opt(args, "--sites")
+        .map(|s| s.parse().map_err(|e| format!("bad --sites: {e}")))
+        .transpose()?
+        .unwrap_or(4);
+    if let Some(spec) = opt(args, "--csv") {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or_else(|| "--csv expects NAME=PATH".to_string())?;
+        let types: Vec<DataType> = opt(args, "--types")
+            .ok_or_else(|| "--csv requires --types".to_string())?
+            .split(',')
+            .map(|t| match t.trim() {
+                "int" => Ok(DataType::Int),
+                "double" => Ok(DataType::Double),
+                "str" => Ok(DataType::Str),
+                other => Err(format!("unknown type {other:?}")),
+            })
+            .collect::<Result<_, String>>()?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let header = text
+            .lines()
+            .next()
+            .ok_or_else(|| "empty CSV".to_string())?;
+        let names: Vec<&str> = header.split(',').collect();
+        if names.len() != types.len() {
+            return Err(format!(
+                "{} columns in header but {} in --types",
+                names.len(),
+                types.len()
+            ));
+        }
+        let schema = Schema::of(
+            &names
+                .iter()
+                .zip(&types)
+                .map(|(n, t)| (*n, *t))
+                .collect::<Vec<_>>(),
+        );
+        let rel = csv::from_csv(&text, schema).map_err(|e| e.to_string())?;
+        let pcol = opt(args, "--partition-by").unwrap_or_else(|| names[0].to_string());
+        let parts = skalla::datagen::partition::try_partition_by_int_ranges(&rel, &pcol, sites)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "loaded {} rows into table {name:?}, partitioned on {pcol} across {sites} site(s)",
+            rel.len()
+        );
+        return Ok(Cluster::from_partitions(name, parts));
+    }
+
+    let rows: usize = opt(args, "--rows")
+        .map(|s| s.parse().map_err(|e| format!("bad --rows: {e}")))
+        .transpose()?
+        .unwrap_or(10_000);
+    let seed: u64 = opt(args, "--seed")
+        .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    match opt(args, "--dataset").as_deref().unwrap_or("flow") {
+        "flow" => {
+            let flows = generate_flows(&FlowConfig::new(rows, seed));
+            let pcol = opt(args, "--partition-by").unwrap_or_else(|| "source_as".into());
+            let parts = skalla::datagen::partition::try_partition_by_int_ranges(
+                &flows, &pcol, sites,
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "generated {rows} flows, partitioned on {pcol} across {sites} site(s)"
+            );
+            Ok(Cluster::from_partitions("flow", parts))
+        }
+        "tpcr" => {
+            let tpcr = generate_tpcr(&TpcrConfig::new(rows, seed));
+            let pcol = opt(args, "--partition-by").unwrap_or_else(|| "nation_key".into());
+            let mut parts = skalla::datagen::partition::try_partition_by_int_ranges(
+                &tpcr, &pcol, sites,
+            )
+            .map_err(|e| e.to_string())?;
+            if pcol == "nation_key" {
+                observe_int_ranges(&mut parts, &["cust_key", "cust_group"]);
+            }
+            println!(
+                "generated {rows} TPCR rows, partitioned on {pcol} across {sites} site(s)"
+            );
+            Ok(Cluster::from_partitions("tpcr", parts))
+        }
+        other => Err(format!("unknown --dataset {other:?}")),
+    }
+}
+
+fn cmd_run(args: &[String], execute: bool) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let text = load_query(args)?;
+    let mut cluster = build_cluster(args)?;
+    if let Some(chunk) = opt(args, "--chunk") {
+        let n: usize = chunk.parse().map_err(|e| format!("bad --chunk: {e}"))?;
+        cluster.set_chunk_rows(Some(n));
+    }
+
+    let expr = query::compile_text(&text).map_err(|e| e.to_string())?;
+    let plan = Planner::new(cluster.distribution()).optimize(&expr, flags);
+    println!("\n{}", plan.explain());
+    if !execute {
+        return Ok(());
+    }
+
+    let out = cluster.execute(&plan).map_err(|e| e.to_string())?;
+    let limit: usize = opt(args, "--limit")
+        .map(|s| s.parse().map_err(|e| format!("bad --limit: {e}")))
+        .transpose()?
+        .unwrap_or(20);
+
+    println!("=== result ({} groups) ===", out.relation.len());
+    let shown = Relation::from_shared(
+        out.relation.schema_ref(),
+        out.relation.rows().iter().take(limit).cloned().collect(),
+    );
+    print!("{}", csv::to_csv(&shown));
+    if out.relation.len() > limit {
+        println!("… ({} more rows; raise --limit)", out.relation.len() - limit);
+    }
+
+    let stats = &out.stats;
+    let (down, up) = stats.total_rows();
+    let sim = stats.simulated(&CostModel::lan());
+    println!("\n=== execution ===");
+    println!("rounds:          {}", stats.n_rounds());
+    println!("bytes:           {} down / {} up", stats.bytes_down(), stats.bytes_up());
+    println!("group rows:      {down} down / {up} up (detail rows shipped: 0)");
+    println!(
+        "simulated (LAN): {:.4}s = site {:.4} + coordinator {:.4} + network {:.4}",
+        sim.total_s(),
+        sim.site_s,
+        sim.coord_s,
+        sim.comm_s
+    );
+    println!("wall clock:      {:.4}s", stats.wall_s);
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let rows: usize = opt(args, "--rows")
+        .map(|s| s.parse().map_err(|e| format!("bad --rows: {e}")))
+        .transpose()?
+        .unwrap_or(10_000);
+    let seed: u64 = opt(args, "--seed")
+        .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let out = opt(args, "--out").ok_or_else(|| "missing --out FILE.csv".to_string())?;
+    let rel = match opt(args, "--dataset").as_deref().unwrap_or("flow") {
+        "flow" => generate_flows(&FlowConfig::new(rows, seed)),
+        "tpcr" => generate_tpcr(&TpcrConfig::new(rows, seed)),
+        other => return Err(format!("unknown --dataset {other:?}")),
+    };
+    std::fs::write(&out, csv::to_csv(&rel)).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {} rows to {out}", rel.len());
+    Ok(())
+}

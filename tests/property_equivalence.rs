@@ -1,0 +1,145 @@
+//! Property-based end-to-end tests: for *random* detail relations, random
+//! partitionings, and randomly shaped GMDJ chains, distributed evaluation
+//! under random optimization flags equals centralized evaluation.
+
+use proptest::prelude::*;
+use skalla::core::{plan::Planner, Cluster, OptFlags};
+use skalla::datagen::partition::{partition_by_int_ranges, partition_round_robin, Partition};
+use skalla::gmdj::eval::EvalOptions;
+use skalla::gmdj::prelude::*;
+use skalla::relation::{DataType, Relation, Row, Schema};
+
+fn detail_relation(rows: Vec<(i64, i64, i64)>) -> Relation {
+    Relation::new(
+        Schema::of(&[
+            ("g", DataType::Int),
+            ("h", DataType::Int),
+            ("v", DataType::Int),
+        ]),
+        rows.into_iter()
+            .map(|(g, h, v)| Row::new(vec![g.into(), h.into(), v.into()]))
+            .collect(),
+    )
+    .expect("static schema")
+}
+
+#[derive(Debug, Clone)]
+enum SecondOp {
+    None,
+    /// Correlated: count v ≥ group average.
+    AboveAvg,
+    /// Independent (coalescible): count v > constant.
+    Filtered(i64),
+    /// Non-equi: count detail tuples with v ≥ b.mx across all groups.
+    NonEqui,
+}
+
+fn build_expr(group_cols: &[&str], second: &SecondOp) -> GmdjExpr {
+    let mut first_aggs = vec![
+        AggSpec::count("cnt"),
+        AggSpec::avg("v", "avg"),
+        AggSpec::max("v", "mx"),
+    ];
+    first_aggs.push(AggSpec::sum("v", "sm"));
+    let mut b = GmdjExprBuilder::distinct_base("t", group_cols).gmdj(
+        Gmdj::new("t").block(ThetaBuilder::group_by(group_cols).build(), first_aggs),
+    );
+    b = match second {
+        SecondOp::None => b,
+        SecondOp::AboveAvg => b.gmdj(Gmdj::new("t").block(
+            ThetaBuilder::group_by(group_cols)
+                .and(Expr::dcol("v").ge(Expr::bcol("avg")))
+                .build(),
+            vec![AggSpec::count("above")],
+        )),
+        SecondOp::Filtered(k) => b.gmdj(Gmdj::new("t").block(
+            ThetaBuilder::group_by(group_cols)
+                .and(Expr::dcol("v").gt(Expr::lit(*k)))
+                .build(),
+            vec![AggSpec::count("big")],
+        )),
+        SecondOp::NonEqui => b.gmdj(Gmdj::new("t").block(
+            Expr::dcol("v").ge(Expr::bcol("mx")),
+            vec![AggSpec::count("geq_max")],
+        )),
+    };
+    b.build()
+}
+
+fn arb_second() -> impl Strategy<Value = SecondOp> {
+    prop_oneof![
+        Just(SecondOp::None),
+        Just(SecondOp::AboveAvg),
+        (-10i64..10).prop_map(SecondOp::Filtered),
+        Just(SecondOp::NonEqui),
+    ]
+}
+
+fn arb_flags() -> impl Strategy<Value = OptFlags> {
+    (0u32..16).prop_map(|bits| OptFlags {
+        coalesce: bits & 1 != 0,
+        group_reduction_site: bits & 2 != 0,
+        group_reduction_coord: bits & 4 != 0,
+        sync_reduction: bits & 8 != 0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn distributed_equals_centralized(
+        rows in proptest::collection::vec((-6i64..6, 0i64..3, -20i64..20), 0..60),
+        n_sites in 1usize..5,
+        by_range in any::<bool>(),
+        group_on_h in any::<bool>(),
+        second in arb_second(),
+        flags in arb_flags(),
+    ) {
+        let detail = detail_relation(rows);
+        let parts: Vec<Partition> = if by_range {
+            partition_by_int_ranges(&detail, "g", n_sites)
+        } else {
+            partition_round_robin(&detail, n_sites)
+        };
+        let cluster = Cluster::from_partitions("t", parts);
+        let group_cols: Vec<&str> = if group_on_h { vec!["g", "h"] } else { vec!["g"] };
+        let expr = build_expr(&group_cols, &second);
+
+        let oracle = expr
+            .eval_centralized(&cluster.global_catalog(), EvalOptions::default())
+            .expect("oracle evaluates");
+        let plan = Planner::new(cluster.distribution()).optimize(&expr, flags);
+        let out = cluster.execute(&plan).expect("distributed evaluates");
+        prop_assert!(
+            out.relation.same_bag(&oracle),
+            "flags {flags:?} second {second:?} groups {group_cols:?}\nplan:\n{}\ngot:\n{}\nwant:\n{}",
+            plan.explain(),
+            out.relation.canonicalized(),
+            oracle.canonicalized()
+        );
+    }
+
+    /// Group reduction flags never change the row traffic *upward*.
+    #[test]
+    fn group_reduction_is_monotone(
+        rows in proptest::collection::vec((-6i64..6, 0i64..3, -20i64..20), 1..60),
+        n_sites in 1usize..5,
+    ) {
+        let detail = detail_relation(rows);
+        let parts = partition_by_int_ranges(&detail, "g", n_sites);
+        let cluster = Cluster::from_partitions("t", parts);
+        let expr = build_expr(&["g"], &SecondOp::AboveAvg);
+        let planner = Planner::new(cluster.distribution());
+        let base = cluster
+            .execute(&planner.optimize(&expr, OptFlags::none()))
+            .expect("runs");
+        let reduced = cluster
+            .execute(&planner.optimize(&expr, OptFlags::group_reduction_only()))
+            .expect("runs");
+        let (d0, u0) = base.stats.total_rows();
+        let (d1, u1) = reduced.stats.total_rows();
+        prop_assert!(d1 <= d0 && u1 <= u0, "({d1},{u1}) vs ({d0},{u0})");
+        prop_assert!(reduced.relation.same_bag(&base.relation));
+    }
+}

@@ -1,0 +1,213 @@
+//! Synchronization reduction must be *provably safe*: the planner applies
+//! Prop 2 / Cor 1 only when it can prove the preconditions, and the
+//! runtime detects violated distribution declarations instead of
+//! returning silently wrong answers.
+
+use skalla::core::{plan::Planner, Cluster, OptFlags, StageKind};
+use skalla::gmdj::prelude::*;
+use skalla::relation::{row, DataType, Domain, DomainMap, Relation, Schema};
+
+fn schema() -> Schema {
+    Schema::of(&[("g", DataType::Int), ("v", DataType::Int)])
+}
+
+fn two_md_query() -> GmdjExpr {
+    GmdjExprBuilder::distinct_base("t", &["g"])
+        .gmdj(Gmdj::new("t").block(
+            ThetaBuilder::group_by(&["g"]).build(),
+            vec![AggSpec::avg("v", "a")],
+        ))
+        .gmdj(Gmdj::new("t").block(
+            ThetaBuilder::group_by(&["g"])
+                .and(Expr::dcol("v").ge(Expr::bcol("a")))
+                .build(),
+            vec![AggSpec::count("c")],
+        ))
+        .build()
+}
+
+#[test]
+fn no_chaining_without_declared_partition_attribute() {
+    // Physically partitioned on g, but the domains are not declared: the
+    // planner must not chain (it cannot prove Cor 1), only fold (Prop 2).
+    let p0 = Relation::new(schema(), vec![row![1i64, 10i64], row![1i64, 20i64]]).unwrap();
+    let p1 = Relation::new(schema(), vec![row![2i64, 5i64]]).unwrap();
+    let cluster = Cluster::from_partitions(
+        "t",
+        vec![(p0, DomainMap::new()), (p1, DomainMap::new())],
+    );
+    let plan =
+        Planner::new(cluster.distribution()).optimize(&two_md_query(), OptFlags::all());
+    assert_eq!(plan.n_rounds(), 2, "{}", plan.explain());
+    for st in &plan.stages {
+        if let StageKind::Unit(u) = &st.kind {
+            assert!(!u.local_chain);
+        }
+    }
+    // And it still computes correctly.
+    let out = cluster.execute(&plan).unwrap();
+    let sorted = out.relation.sorted_by(&["g"]).unwrap();
+    assert_eq!(sorted.rows()[0], row![1i64, 15.0, 1i64]);
+    assert_eq!(sorted.rows()[1], row![2i64, 5.0, 1i64]);
+}
+
+#[test]
+fn no_chaining_when_theta_does_not_entail_partition_equality() {
+    // g is declared as a partition attribute, but the second GMDJ groups
+    // on a *different* attribute — its θ does not entail g-equality, so
+    // only operator 1's unit can fold; no chain of both.
+    let p0 = Relation::new(schema(), vec![row![1i64, 10i64]]).unwrap();
+    let p1 = Relation::new(schema(), vec![row![2i64, 5i64]]).unwrap();
+    let cluster = Cluster::from_partitions(
+        "t",
+        vec![
+            (p0, DomainMap::new().with("g", Domain::IntRange(1, 1))),
+            (p1, DomainMap::new().with("g", Domain::IntRange(2, 2))),
+        ],
+    );
+    let expr = GmdjExprBuilder::distinct_base("t", &["g"])
+        .gmdj(Gmdj::new("t").block(
+            ThetaBuilder::group_by(&["g"]).build(),
+            vec![AggSpec::count("c1")],
+        ))
+        .gmdj(Gmdj::new("t").block(
+            // Global (non-grouped) condition: every site contributes to
+            // every base tuple.
+            Expr::dcol("v").ge(Expr::lit(0i64)),
+            vec![AggSpec::count("c2")],
+        ))
+        .build();
+    let plan = Planner::new(cluster.distribution()).optimize(&expr, OptFlags::all());
+    let has_chain = plan.stages.iter().any(|s| match &s.kind {
+        StageKind::Unit(u) => u.local_chain,
+        _ => false,
+    });
+    assert!(!has_chain, "{}", plan.explain());
+    let out = cluster.execute(&plan).unwrap();
+    let sorted = out.relation.sorted_by(&["g"]).unwrap();
+    assert_eq!(sorted.rows()[0], row![1i64, 1i64, 2i64]);
+    assert_eq!(sorted.rows()[1], row![2i64, 1i64, 2i64]);
+}
+
+#[test]
+fn lying_distribution_declaration_is_detected() {
+    // Both sites hold tuples with g = 1, but the declaration claims g is
+    // partitioned. The chained plan would double-report group 1; the
+    // ChainSync must catch it as an execution error.
+    let p0 = Relation::new(schema(), vec![row![1i64, 10i64]]).unwrap();
+    let p1 = Relation::new(schema(), vec![row![1i64, 20i64], row![2i64, 5i64]]).unwrap();
+    let cluster = Cluster::from_partitions(
+        "t",
+        vec![
+            (p0, DomainMap::new().with("g", Domain::IntRange(1, 1))),
+            // Lie: claims only g=2 lives here.
+            (p1, DomainMap::new().with("g", Domain::IntRange(2, 2))),
+        ],
+    );
+    let plan =
+        Planner::new(cluster.distribution()).optimize(&two_md_query(), OptFlags::sync_reduction_only());
+    assert_eq!(plan.n_rounds(), 1, "the lie makes the planner chain");
+    let err = cluster.execute(&plan).unwrap_err();
+    assert!(
+        err.to_string().contains("partition attribute"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn middle_unit_chaining_without_base_fold() {
+    // A literal base (coordinator-held) disables the Prop 2 fold, but the
+    // two partition-aligned GMDJs still chain into one local round.
+    let p0 = Relation::new(
+        schema(),
+        vec![row![1i64, 10i64], row![1i64, 30i64]],
+    )
+    .unwrap();
+    let p1 = Relation::new(schema(), vec![row![2i64, 8i64]]).unwrap();
+    let cluster = Cluster::from_partitions(
+        "t",
+        vec![
+            (p0, DomainMap::new().with("g", Domain::IntRange(1, 1))),
+            (p1, DomainMap::new().with("g", Domain::IntRange(2, 2))),
+        ],
+    );
+    // Base includes a group (g=3) that no site owns.
+    let base = Relation::new(
+        Schema::of(&[("g", DataType::Int)]),
+        vec![row![1i64], row![2i64], row![3i64]],
+    )
+    .unwrap();
+    let expr = GmdjExprBuilder::literal_base(base)
+        .gmdj(Gmdj::new("t").block(
+            ThetaBuilder::group_by(&["g"]).build(),
+            vec![AggSpec::avg("v", "a")],
+        ))
+        .gmdj(Gmdj::new("t").block(
+            ThetaBuilder::group_by(&["g"])
+                .and(Expr::dcol("v").ge(Expr::bcol("a")))
+                .build(),
+            vec![AggSpec::count("c")],
+        ))
+        .build();
+    let plan = Planner::new(cluster.distribution()).optimize(&expr, OptFlags::all());
+    assert_eq!(plan.n_rounds(), 1, "{}", plan.explain());
+    let StageKind::Unit(u) = &plan.stages[0].kind else {
+        panic!("expected unit");
+    };
+    assert!(u.local_chain && !u.fold_base);
+
+    let out = cluster.execute(&plan).unwrap();
+    let sorted = out.relation.sorted_by(&["g"]).unwrap();
+    assert_eq!(sorted.rows()[0], row![1i64, 20.0, 1i64]);
+    assert_eq!(sorted.rows()[1], row![2i64, 8.0, 1i64]);
+    // The unowned group gets the empty aggregates.
+    assert_eq!(
+        sorted.rows()[2],
+        Row::new(vec![Value::Int(3), Value::Null, Value::Int(0)])
+    );
+}
+
+#[test]
+fn coalescing_disabled_when_outer_depends_on_inner() {
+    let p0 = Relation::new(schema(), vec![row![1i64, 10i64], row![1i64, 20i64]]).unwrap();
+    let p1 = Relation::new(schema(), vec![row![2i64, 5i64]]).unwrap();
+    let cluster = Cluster::from_partitions(
+        "t",
+        vec![(p0, DomainMap::new()), (p1, DomainMap::new())],
+    );
+    let plan = Planner::new(cluster.distribution()).optimize(
+        &two_md_query(),
+        OptFlags {
+            coalesce: true,
+            ..OptFlags::none()
+        },
+    );
+    // θ₂ references `a` from MD₁: coalescing must not fire.
+    assert_eq!(plan.expr.ops.len(), 2, "{}", plan.explain());
+    assert!(cluster.execute(&plan).is_ok());
+}
+
+#[test]
+fn fold_skipped_for_partial_key_grouping() {
+    // Key is (g, v) but θ only groups on g: Prop 2's θ ⊨ θ_K fails and the
+    // base must synchronize separately — and results stay correct.
+    let p0 = Relation::new(schema(), vec![row![1i64, 10i64], row![1i64, 10i64]]).unwrap();
+    let p1 = Relation::new(schema(), vec![row![1i64, 20i64]]).unwrap();
+    let cluster = Cluster::from_partitions(
+        "t",
+        vec![(p0, DomainMap::new()), (p1, DomainMap::new())],
+    );
+    let expr = GmdjExprBuilder::distinct_base("t", &["g", "v"])
+        .gmdj(Gmdj::new("t").block(
+            ThetaBuilder::group_by(&["g"]).build(),
+            vec![AggSpec::count("c")],
+        ))
+        .build();
+    let plan = Planner::new(cluster.distribution()).optimize(&expr, OptFlags::all());
+    assert!(matches!(plan.stages[0].kind, StageKind::Base), "{}", plan.explain());
+    let out = cluster.execute(&plan).unwrap();
+    // Groups (1,10) and (1,20), each counting all three g=1 tuples.
+    let sorted = out.relation.sorted_by(&["v"]).unwrap();
+    assert_eq!(sorted.rows()[0], row![1i64, 10i64, 3i64]);
+    assert_eq!(sorted.rows()[1], row![1i64, 20i64, 3i64]);
+}

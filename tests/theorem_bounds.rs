@@ -1,0 +1,193 @@
+//! Quantitative claims of the paper, asserted against measured traffic:
+//!
+//! * **Theorem 2** — total shipped rows ≤ Σᵢ 2·sᵢ·|Q| + s₀·|Q|,
+//!   independent of the detail relation size.
+//! * **Sect. 5.2 analysis** — with site-side group reduction, the traffic
+//!   ratio is (2c + 2n + 1)/(4n + 1); the paper reports measurements
+//!   within 5% of this formula.
+//! * Group reduction and synchronization reduction never *increase*
+//!   traffic.
+
+use skalla::core::{plan::Planner, Cluster, OptFlags, StageKind};
+use skalla::datagen::partition::{observe_int_ranges, partition_by_int_ranges};
+use skalla::datagen::tpcr::{generate_tpcr, TpcrConfig};
+use skalla::gmdj::prelude::*;
+
+/// The Fig. 2 "group reduction query": two correlated GMDJs grouped on a
+/// partition attribute (`cust_key` stands in for the 1:1 `Customer.Name`).
+fn group_reduction_query() -> GmdjExpr {
+    GmdjExprBuilder::distinct_base("tpcr", &["cust_key"])
+        .gmdj(Gmdj::new("tpcr").block(
+            ThetaBuilder::group_by(&["cust_key"]).build(),
+            vec![AggSpec::count("cnt"), AggSpec::avg("extended_price", "avgp")],
+        ))
+        .gmdj(Gmdj::new("tpcr").block(
+            ThetaBuilder::group_by(&["cust_key"])
+                .and(Expr::dcol("extended_price").ge(Expr::bcol("avgp")))
+                .build(),
+            vec![AggSpec::count("cnt2"), AggSpec::avg("quantity", "avgq")],
+        ))
+        .build()
+}
+
+fn nation_cluster(rows: usize, customers: usize, sites: usize) -> Cluster {
+    let tpcr = generate_tpcr(&TpcrConfig {
+        rows,
+        customers,
+        nations: 8,
+        suppliers: 20,
+        parts: 64,
+        skew: 0.0,
+        seed: 77,
+    });
+    let mut parts = partition_by_int_ranges(&tpcr, "nation_key", sites);
+    observe_int_ranges(&mut parts, &["cust_key", "cust_group"]);
+    Cluster::from_partitions("tpcr", parts)
+}
+
+#[test]
+fn theorem2_row_bound_holds() {
+    let cluster = nation_cluster(4000, 512, 4);
+    let expr = group_reduction_query();
+    let planner = Planner::new(cluster.distribution());
+    for flags in [
+        OptFlags::none(),
+        OptFlags::group_reduction_only(),
+        OptFlags::all(),
+    ] {
+        let plan = planner.optimize(&expr, flags);
+        let out = cluster.execute(&plan).unwrap();
+        let q = out.relation.len() as u64;
+
+        // sᵢ per GMDJ stage and s₀ from the plan.
+        let n = cluster.n_sites() as u64;
+        let mut bound = 0u64;
+        for stage in &plan.stages {
+            match &stage.kind {
+                StageKind::Base => bound += n * q,
+                StageKind::Unit(u) => {
+                    let s_i = u
+                        .site_filters
+                        .iter()
+                        .filter(|f| !matches!(f, skalla::core::SiteFilter::Skip))
+                        .count() as u64;
+                    bound += 2 * s_i * q;
+                }
+            }
+        }
+        let (down, up) = out.stats.total_rows();
+        assert!(
+            down + up <= bound,
+            "{flags:?}: rows {} > bound {bound}",
+            down + up
+        );
+    }
+}
+
+#[test]
+fn traffic_independent_of_detail_size() {
+    // Theorem 2's point: growing the fact relation (with the same groups)
+    // leaves the traffic unchanged.
+    let expr = group_reduction_query();
+    let small = nation_cluster(2000, 256, 4);
+    let large = nation_cluster(8000, 256, 4);
+    let plan_s = Planner::new(small.distribution()).optimize(&expr, OptFlags::none());
+    let plan_l = Planner::new(large.distribution()).optimize(&expr, OptFlags::none());
+    let rows_s = small.execute(&plan_s).unwrap().stats.total_rows();
+    let rows_l = large.execute(&plan_l).unwrap().stats.total_rows();
+    // Down traffic is exactly |B| per site per round — identical. Up
+    // traffic differs only by group-presence noise; with enough rows all
+    // customers appear at their nation's site in both.
+    assert_eq!(rows_s.0, rows_l.0, "down rows must not depend on |R|");
+    assert_eq!(rows_s.1, rows_l.1, "up rows must not depend on |R|");
+}
+
+#[test]
+fn fig2_formula_within_five_percent() {
+    // Paper Sect. 5.2: groups-transferred ratio with site-side group
+    // reduction = (2c + 2n + 1)/(4n + 1), matching measurements within 5%.
+    for n in [2usize, 4, 8] {
+        let cluster = nation_cluster(6000, 512, n);
+        let expr = group_reduction_query();
+        let planner = Planner::new(cluster.distribution());
+
+        let base = cluster
+            .execute(&planner.optimize(&expr, OptFlags::none()))
+            .unwrap();
+        let site_gr = cluster
+            .execute(&planner.optimize(
+                &expr,
+                OptFlags {
+                    group_reduction_site: true,
+                    ..OptFlags::none()
+                },
+            ))
+            .unwrap();
+
+        // c scales the per-round groups returned under reduction: c·n·g
+        // groups per round against the base's n·g. Grouping on a partition
+        // attribute means every group is live at exactly one site, so the
+        // sites collectively return the whole base once per round: c = 1.
+        let c = 1.0;
+        let predicted = (2.0 * c + 2.0 * n as f64 + 1.0) / (4.0 * n as f64 + 1.0);
+
+        let (d0, u0) = base.stats.total_rows();
+        let (d1, u1) = site_gr.stats.total_rows();
+        let measured = (d1 + u1) as f64 / (d0 + u0) as f64;
+        let err = (measured - predicted).abs() / predicted;
+        assert!(
+            err < 0.05,
+            "n={n}: measured {measured:.4} vs predicted {predicted:.4} ({:.1}% off)",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn reductions_never_increase_traffic() {
+    let cluster = nation_cluster(4000, 512, 4);
+    let expr = group_reduction_query();
+    let planner = Planner::new(cluster.distribution());
+    let bytes = |flags: OptFlags| {
+        cluster
+            .execute(&planner.optimize(&expr, flags))
+            .unwrap()
+            .stats
+            .total_bytes()
+    };
+    let none = bytes(OptFlags::none());
+    let site = bytes(OptFlags {
+        group_reduction_site: true,
+        ..OptFlags::none()
+    });
+    let both_gr = bytes(OptFlags::group_reduction_only());
+    let sync = bytes(OptFlags::sync_reduction_only());
+    let all = bytes(OptFlags::all());
+    assert!(site <= none, "site GR increased traffic: {site} > {none}");
+    assert!(both_gr <= site, "coord GR increased traffic: {both_gr} > {site}");
+    assert!(sync <= none, "sync reduction increased traffic: {sync} > {none}");
+    assert!(all <= both_gr.min(sync), "combined worse than parts");
+    // And the reductions are substantial, not marginal.
+    assert!(
+        (all as f64) < 0.7 * none as f64,
+        "combined reductions should cut traffic well below the baseline: {all} vs {none}"
+    );
+}
+
+#[test]
+fn skalla_ships_no_detail_data() {
+    // The defining property: distributed traffic is bounded by groups, the
+    // baseline ships the whole fact relation.
+    let cluster = nation_cluster(8000, 128, 4);
+    let expr = group_reduction_query();
+    let plan = Planner::new(cluster.distribution()).optimize(&expr, OptFlags::none());
+    let dist = cluster.execute(&plan).unwrap();
+    let central = cluster.execute_centralized(&expr).unwrap();
+    assert!(central.relation.same_bag(&dist.relation));
+    let (_, up_central) = central.stats.total_rows();
+    assert_eq!(up_central, 8000, "baseline ships every detail row");
+    let (down, up) = dist.stats.total_rows();
+    // 128 groups, 3 rounds, 4 sites: orders of magnitude below 8000 rows.
+    assert!(down + up <= (3 * 2 * 4) * 128);
+    assert!(dist.stats.total_bytes() < central.stats.total_bytes());
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Local CI: build, test, lint. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+
+# Extended (workspace-wide) checks; tier-1 above is the gate.
+cargo test --workspace -q
+cargo clippy --all-targets --workspace -- -D warnings
+
+echo "ci.sh: all checks passed"

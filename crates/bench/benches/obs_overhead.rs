@@ -1,0 +1,79 @@
+//! Observability overhead: instrumentation calls on a disabled [`Obs`]
+//! handle must cost no more than a null check — no allocation, no lock.
+//! Compares span/event/counter calls through a disabled handle against a
+//! recording one, and measures a full query execution both ways.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use skalla_core::{Cluster, OptFlags, Planner};
+use skalla_datagen::flow::{generate_flows, FlowConfig};
+use skalla_datagen::partition::partition_by_int_ranges;
+use skalla_obs::{Obs, Track};
+
+const CALLS: usize = 10_000;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_primitives");
+    g.sample_size(20);
+
+    let disabled = Obs::disabled();
+    g.bench_function("span_disabled_x10k", |b| {
+        b.iter(|| {
+            for i in 0..CALLS {
+                let guard = disabled.span(Track::Coordinator, "work");
+                black_box((&guard, i));
+            }
+        })
+    });
+    g.bench_function("event_disabled_x10k", |b| {
+        b.iter(|| {
+            for i in 0..CALLS {
+                disabled.event(Track::Net, "msg", vec![("i", i.into())]);
+            }
+        })
+    });
+    g.bench_function("counter_disabled_x10k", |b| {
+        b.iter(|| {
+            for i in 0..CALLS {
+                disabled.counter_add("bytes", i as f64);
+            }
+        })
+    });
+
+    g.bench_function("span_recording_x10k", |b| {
+        b.iter(|| {
+            let obs = Obs::recording();
+            for i in 0..CALLS {
+                let guard = obs.span(Track::Coordinator, "work");
+                black_box((&guard, i));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let flows = generate_flows(&FlowConfig::new(5_000, 7));
+    let parts = partition_by_int_ranges(&flows, "source_as", 4);
+    let cluster = Cluster::from_partitions("flow", parts);
+    let expr = skalla_query::compile_text(
+        "BASE SELECT DISTINCT source_as FROM flow;\n\
+         MD cnt = COUNT(*), s = SUM(num_bytes) OVER flow WHERE source_as = b.source_as;",
+    )
+    .unwrap();
+    let plan = Planner::new(cluster.distribution()).optimize(&expr, OptFlags::all());
+
+    let mut g = c.benchmark_group("obs_query");
+    g.sample_size(10);
+    g.bench_function("execute_untraced", |b| {
+        b.iter(|| black_box(cluster.execute(&plan).unwrap()))
+    });
+    g.bench_function("execute_traced", |b| {
+        let mut traced = cluster.clone();
+        traced.set_obs(Obs::recording());
+        b.iter(|| black_box(traced.execute(&plan).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_query);
+criterion_main!(benches);

@@ -139,4 +139,14 @@ fn main() {
         }
         println!("formula matches within 5% ✓");
     }
+
+    // Emit a trace-derived JSON report for the full-cluster reduced run.
+    if let Some(path) = arg_value(&args, "--trace-json") {
+        let cluster = cluster_of(&parts, N_SITES);
+        let (_, report) =
+            run_traced(&cluster, &expr, OptFlags::group_reduction_only(), &cost);
+        std::fs::write(&path, report.to_json())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("\nwrote trace-derived report to {path}");
+    }
 }

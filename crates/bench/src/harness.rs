@@ -5,6 +5,10 @@
 use skalla_core::{Cluster, DistributedPlan, OptFlags, Planner, QueryResult};
 use skalla_gmdj::GmdjExpr;
 use skalla_net::CostModel;
+use skalla_obs::chrome::metrics_snapshot;
+use skalla_obs::json::Json;
+use skalla_obs::Obs;
+use std::collections::BTreeMap;
 
 /// One measured execution.
 #[derive(Debug, Clone)]
@@ -60,6 +64,65 @@ pub fn run_once(
         .unwrap_or_else(|e| panic!("benchmark query failed: {e}\n{}", plan.explain()));
     let m = Measurement::from(&result, cost);
     (plan, m)
+}
+
+/// Plan and execute with a span recorder attached, returning the
+/// measurement plus a trace-derived JSON report: headline numbers,
+/// per-span-name duration roll-ups, and the flat metrics snapshot.
+/// Serialize with [`Json::to_json`].
+pub fn run_traced(
+    cluster: &Cluster,
+    expr: &GmdjExpr,
+    flags: OptFlags,
+    cost: &CostModel,
+) -> (Measurement, Json) {
+    let obs = Obs::recording();
+    let mut cluster = cluster.clone();
+    cluster.set_obs(obs.clone());
+    let planner = Planner::new(cluster.distribution()).with_obs(obs.clone());
+    let (plan, decisions) = planner.optimize_with_decisions(expr, flags);
+    let result = cluster
+        .execute(&plan)
+        .unwrap_or_else(|e| panic!("benchmark query failed: {e}\n{}", plan.explain()));
+    let m = Measurement::from(&result, cost);
+    let rec = obs.recorder().expect("recording handle");
+
+    // Roll up closed spans by name.
+    let mut totals: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for s in rec.spans() {
+        if let Some(d) = s.dur_us {
+            let e = totals.entry(s.name).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += d;
+        }
+    }
+    let span_totals = Json::Obj(
+        totals
+            .into_iter()
+            .map(|(name, (count, total_us))| {
+                (
+                    name,
+                    Json::obj(vec![
+                        ("count", count.into()),
+                        ("total_us", total_us.into()),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let report = Json::obj(vec![
+        ("rounds", m.rounds.into()),
+        ("bytes", m.bytes.into()),
+        ("rows_down", m.rows.0.into()),
+        ("rows_up", m.rows.1.into()),
+        ("groups", m.groups.into()),
+        ("optimizer_decisions", Json::Arr(
+            decisions.iter().map(|d| d.to_string().into()).collect(),
+        )),
+        ("span_totals", span_totals),
+        ("metrics", metrics_snapshot(rec)),
+    ]);
+    (m, report)
 }
 
 /// Run `repeats` times and keep the measurement with the median simulated
@@ -222,6 +285,49 @@ mod tests {
         assert_eq!(fmt_bytes(12_000_000), "12.0 MB");
         assert_eq!(fmt_secs(2.5), "2.50 s");
         assert_eq!(fmt_secs(0.0123), "12.3 ms");
+    }
+
+    #[test]
+    fn traced_report_round_trips_through_parser() {
+        use skalla_gmdj::prelude::*;
+        use skalla_relation::{row, DataType, Domain, DomainMap, Relation, Schema};
+        let schema = Schema::of(&[("g", DataType::Int), ("v", DataType::Int)]);
+        let p0 = Relation::new(
+            schema.clone(),
+            vec![row![1i64, 10i64], row![2i64, 5i64]],
+        )
+        .unwrap();
+        let p1 = Relation::new(schema, vec![row![3i64, 7i64]]).unwrap();
+        let cluster = Cluster::from_partitions(
+            "t",
+            vec![
+                (p0, DomainMap::new().with("g", Domain::IntRange(1, 2))),
+                (p1, DomainMap::new().with("g", Domain::IntRange(3, 3))),
+            ],
+        );
+        let expr = GmdjExprBuilder::distinct_base("t", &["g"])
+            .gmdj(Gmdj::new("t").block(
+                ThetaBuilder::group_by(&["g"]).build(),
+                vec![AggSpec::count("cnt")],
+            ))
+            .build();
+        let (m, report) =
+            run_traced(&cluster, &expr, OptFlags::all(), &CostModel::lan());
+        let parsed = skalla_obs::json::parse(&report.to_json()).expect("valid JSON");
+        assert_eq!(
+            parsed.get("rounds").and_then(|v| v.as_u64()),
+            Some(m.rounds as u64)
+        );
+        assert_eq!(
+            parsed.get("bytes").and_then(|v| v.as_u64()),
+            Some(m.bytes)
+        );
+        let spans = parsed.get("span_totals").expect("span_totals");
+        assert!(spans.get("query").is_some());
+        assert!(parsed
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .is_some());
     }
 
     #[test]

@@ -16,6 +16,7 @@ use parking_lot::Mutex;
 use skalla_gmdj::eval::EvalOptions;
 use skalla_gmdj::{BaseQuery, GmdjExpr};
 use skalla_net::{star, CoordinatorNet, Direction, NetStats, SiteNet};
+use skalla_obs::{Obs, Track};
 use skalla_relation::{DomainMap, Error, Relation, Result, Schema};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -30,6 +31,7 @@ pub struct Cluster {
     eval: EvalOptions,
     timeout: Duration,
     chunk_rows: Option<usize>,
+    obs: Obs,
 }
 
 impl Cluster {
@@ -42,7 +44,17 @@ impl Cluster {
             eval: EvalOptions::default(),
             timeout: Duration::from_secs(120),
             chunk_rows: None,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach an observability handle: executions record a query span,
+    /// per-stage coordinator spans, ship/sync sub-spans, per-site task
+    /// spans, and group-reduction events, and wire the same handle into
+    /// the transport's [`NetStats`].
+    pub fn set_obs(&mut self, obs: Obs) -> &mut Cluster {
+        self.obs = obs;
+        self
     }
 
     /// Register a partitioned fact relation: one fragment (with its φ
@@ -164,6 +176,12 @@ impl Cluster {
             .collect();
 
         let (coord, site_nets) = star(n);
+        coord.stats().set_obs(self.obs.clone());
+        let mut query_span = self
+            .obs
+            .span(Track::Coordinator, "query")
+            .with("sites", n)
+            .with("rounds", plan.n_rounds());
         let times: Arc<Mutex<Vec<(usize, usize, f64)>>> = Arc::new(Mutex::new(Vec::new()));
 
         let mut handles = Vec::with_capacity(n);
@@ -172,8 +190,9 @@ impl Cluster {
             let times = Arc::clone(&times);
             let eval = self.eval;
             let chunk_rows = self.chunk_rows;
+            let obs = self.obs.clone();
             handles.push(std::thread::spawn(move || {
-                site_loop(catalog, site_net, times, eval, chunk_rows)
+                site_loop(catalog, site_net, times, eval, chunk_rows, obs)
             }));
         }
 
@@ -210,6 +229,8 @@ impl Cluster {
             }
         }
         let net = finished_rounds(coord.stats());
+        query_span.arg("result_rows", relation.len());
+        query_span.finish();
         Ok(QueryResult {
             relation,
             stats: ExecStats {
@@ -236,6 +257,7 @@ impl Cluster {
 
         for (sidx, stage) in plan.stages.iter().enumerate() {
             coord.stats().begin_round(stage.label.clone());
+            let mut stage_span = self.obs.span(Track::Coordinator, stage.label.as_str());
             let mut st = StageTimes {
                 label: stage.label.clone(),
                 site_busy_s: vec![0.0; n],
@@ -247,6 +269,7 @@ impl Cluster {
                     coord
                         .broadcast(&protocol::run_stage(sidx as u32, None))
                         .map_err(net_err)?;
+                    let mut sync_span = self.obs.span(Track::Coordinator, "BaseSync");
                     let mut sync = BaseSync::new();
                     st.coord_s += self.collect(coord, n, sidx as u32, |rel| {
                         st.rows_up += rel.len() as u64;
@@ -255,10 +278,14 @@ impl Cluster {
                     let t = Instant::now();
                     b_cur = Some(sync.finish(&plan.key)?);
                     st.coord_s += t.elapsed().as_secs_f64();
+                    sync_span.arg("rows_up", st.rows_up);
+                    sync_span.arg("groups", b_cur.as_ref().map(|b| b.len()).unwrap_or(0));
+                    sync_span.finish();
                 }
                 StageKind::Unit(unit) => {
                     // 1. Ship base fragments to participating sites.
                     let t = Instant::now();
+                    let mut ship_span = self.obs.span(Track::Coordinator, "ship base");
                     let mut participants = 0usize;
                     let shared_fragment: Option<Relation> = if unit.fold_base {
                         None
@@ -270,12 +297,44 @@ impl Cluster {
                     };
                     for site in 0..n {
                         let fragment = match &unit.site_filters[site] {
-                            SiteFilter::Skip => continue,
+                            SiteFilter::Skip => {
+                                // Thm 4, S_MD ⊂ S_B case: the whole fragment
+                                // is eliminated for this site.
+                                if self.obs.is_recording() {
+                                    let rows = b_cur.as_ref().map(|b| b.len()).unwrap_or(0);
+                                    self.obs.event(
+                                        Track::Coordinator,
+                                        "group reduction skip",
+                                        vec![
+                                            ("site", site.into()),
+                                            ("rows_eliminated", rows.into()),
+                                        ],
+                                    );
+                                }
+                                continue;
+                            }
                             SiteFilter::All => shared_fragment.clone(),
                             SiteFilter::Predicate(p) => {
                                 let b = b_cur.as_ref().expect("checked above");
                                 let bound = p.bind(b.schema(), None)?;
-                                Some(project_ship(&b.select(&bound)?, &unit.ship_columns)?)
+                                let kept = b.select(&bound)?;
+                                // Thm 4: rows eliminated by the ¬ψ filter.
+                                if self.obs.is_recording() {
+                                    self.obs.event(
+                                        Track::Coordinator,
+                                        "group reduction filter",
+                                        vec![
+                                            ("site", site.into()),
+                                            ("rows_before", b.len().into()),
+                                            ("rows_after", kept.len().into()),
+                                            (
+                                                "rows_eliminated",
+                                                (b.len() - kept.len()).into(),
+                                            ),
+                                        ],
+                                    );
+                                }
+                                Some(project_ship(&kept, &unit.ship_columns)?)
                             }
                         };
                         participants += 1;
@@ -287,12 +346,17 @@ impl Cluster {
                             .map_err(net_err)?;
                     }
                     st.coord_s += t.elapsed().as_secs_f64();
+                    ship_span.arg("rows_down", st.rows_down);
+                    ship_span.arg("participants", participants);
+                    ship_span.arg("fold_base", unit.fold_base);
+                    ship_span.finish();
 
                     // 2. Synchronize sub-results.
                     let ops = &plan.expr.ops[unit.ops.clone()];
                     let b_in_schema = &schemas[unit.ops.start];
                     let out_schema = schemas[unit.ops.end].clone();
                     if unit.local_chain {
+                        let mut sync_span = self.obs.span(Track::Coordinator, "ChainSync");
                         let mut sync = ChainSync::new(plan.key.len());
                         st.coord_s += self.collect(coord, participants, sidx as u32, |rel| {
                             st.rows_up += rel.len() as u64;
@@ -307,7 +371,10 @@ impl Cluster {
                             sync.finish_against(&b, &plan.key, &empty, out_schema)?
                         });
                         st.coord_s += t.elapsed().as_secs_f64();
+                        sync_span.arg("rows_up", st.rows_up);
+                        sync_span.finish();
                     } else {
+                        let mut sync_span = self.obs.span(Track::Coordinator, "MergeSync");
                         let op = &ops[0];
                         let mut sync = MergeSync::new(
                             if unit.fold_base { None } else { b_cur.as_ref() },
@@ -324,9 +391,14 @@ impl Cluster {
                         })?;
                         b_cur = Some(sync.finish(b_in_schema, op, detail)?);
                         st.coord_s += t.elapsed().as_secs_f64();
+                        sync_span.arg("rows_up", st.rows_up);
+                        sync_span.finish();
                     }
                 }
             }
+            stage_span.arg("rows_down", st.rows_down);
+            stage_span.arg("rows_up", st.rows_up);
+            stage_span.finish();
             stage_times.push(st);
         }
 
@@ -474,6 +546,7 @@ fn site_loop(
     times: Arc<Mutex<Vec<(usize, usize, f64)>>>,
     eval: EvalOptions,
     chunk_rows: Option<usize>,
+    obs: Obs,
 ) {
     let mut plan: Option<DistributedPlan> = None;
     loop {
@@ -495,6 +568,16 @@ fn site_loop(
                 };
                 let replies = match protocol::decode_run_stage(&msg.payload) {
                     Ok((stage, fragment)) => {
+                        let label = plan
+                            .stages
+                            .get(stage as usize)
+                            .map(|s| s.label.as_str())
+                            .unwrap_or("stage");
+                        let mut task_span =
+                            obs.span(Track::Site(net.site_id()), label);
+                        if let Some(f) = &fragment {
+                            task_span.arg("rows_in", f.len());
+                        }
                         let t = Instant::now();
                         let out = crate::site::execute_stage(
                             &catalog,
@@ -507,8 +590,16 @@ fn site_loop(
                             .lock()
                             .push((net.site_id(), stage as usize, t.elapsed().as_secs_f64()));
                         match out {
-                            Ok(rel) => chunked_results(stage, &rel, chunk_rows),
-                            Err(e) => vec![protocol::error(&e.to_string())],
+                            Ok(rel) => {
+                                task_span.arg("rows_out", rel.len());
+                                task_span.finish();
+                                chunked_results(stage, &rel, chunk_rows)
+                            }
+                            Err(e) => {
+                                task_span.arg("error", e.to_string());
+                                task_span.finish();
+                                vec![protocol::error(&e.to_string())]
+                            }
                         }
                     }
                     Err(e) => vec![protocol::error(&e.to_string())],
@@ -725,6 +816,89 @@ mod tests {
             .build();
         let plan = Planner::new(c.distribution()).optimize(&e, OptFlags::none());
         assert!(c.execute(&plan).is_err());
+    }
+
+    #[test]
+    fn execution_records_full_span_tree() {
+        let mut c = cluster();
+        let obs = Obs::recording();
+        c.set_obs(obs.clone());
+        let plan = Planner::new(c.distribution())
+            .with_obs(obs.clone())
+            .optimize(&expr(), OptFlags::none());
+        c.execute(&plan).unwrap();
+
+        let rec = obs.recorder().unwrap();
+        let spans = rec.spans();
+        // Every span closed.
+        assert!(spans.iter().all(|s| s.dur_us.is_some()));
+        // Query root on the coordinator track, stages nested beneath it.
+        let query = spans
+            .iter()
+            .find(|s| s.name == "query")
+            .expect("query span");
+        assert_eq!(query.track, Track::Coordinator);
+        for label in ["base", "gmdj 1", "gmdj 2"] {
+            let st = spans
+                .iter()
+                .find(|s| s.name == label && s.track == Track::Coordinator)
+                .unwrap_or_else(|| panic!("missing stage span {label}"));
+            assert_eq!(st.parent, Some(query.id));
+        }
+        // Sync spans nest under their stages.
+        assert!(spans.iter().any(|s| s.name == "BaseSync"));
+        assert_eq!(spans.iter().filter(|s| s.name == "MergeSync").count(), 2);
+        assert_eq!(spans.iter().filter(|s| s.name == "ship base").count(), 2);
+        // Each site ran each of the three stages.
+        for site in 0..2 {
+            assert_eq!(
+                spans
+                    .iter()
+                    .filter(|s| s.track == Track::Site(site))
+                    .count(),
+                3,
+                "site {site} task spans"
+            );
+        }
+        // The transport recorded message events and byte counters.
+        let events = rec.events();
+        assert!(events.iter().any(|e| e.name == "msg down"));
+        assert!(events.iter().any(|e| e.name == "msg up"));
+        assert!(rec.counters().contains_key("net.bytes_down"));
+    }
+
+    #[test]
+    fn group_reduction_emits_elimination_events() {
+        let mut c = cluster();
+        let obs = Obs::recording();
+        c.set_obs(obs.clone());
+        // Restrict to g <= 2: site 1 (g = 3) is skipped under Thm 4.
+        let e = GmdjExprBuilder::distinct_base("t", &["g"])
+            .gmdj(Gmdj::new("t").block(
+                ThetaBuilder::group_by(&["g"])
+                    .and(Expr::dcol("g").le(Expr::lit(2i64)))
+                    .build(),
+                vec![AggSpec::count("cnt")],
+            ))
+            .build();
+        let plan = Planner::new(c.distribution()).optimize(
+            &e,
+            OptFlags {
+                group_reduction_coord: true,
+                ..OptFlags::none()
+            },
+        );
+        c.execute(&plan).unwrap();
+        let events = obs.recorder().unwrap().events();
+        let skip = events
+            .iter()
+            .find(|e| e.name == "group reduction skip")
+            .expect("skip event");
+        assert!(skip
+            .args
+            .iter()
+            .any(|(k, v)| *k == "rows_eliminated" && *v == skalla_obs::ArgValue::UInt(3)));
+        assert!(events.iter().any(|e| e.name == "group reduction filter"));
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub mod topology;
 
 pub use cluster::Cluster;
 pub use distribution::DistributionInfo;
-pub use plan::{DistributedPlan, OptFlags, Planner, SiteFilter, Stage, StageKind, Unit};
+pub use plan::{
+    DistributedPlan, OptFlags, PlanDecision, Planner, SiteFilter, Stage, StageKind, Unit,
+};
 pub use plan_codec::{decode_plan, encode_plan};
-pub use stats::{ExecStats, QueryResult, SimBreakdown, StageTimes};
+pub use stats::{ExecStats, QueryResult, RoundSummary, SimBreakdown, StageTimes};
 pub use topology::{execute_tree, TreeQueryResult, TreeTopology};

@@ -23,6 +23,7 @@ use crate::distribution::DistributionInfo;
 use skalla_gmdj::rewrite::coalesce_chain;
 use skalla_gmdj::theta::analyze_theta;
 use skalla_gmdj::{BaseQuery, GmdjExpr};
+use skalla_obs::{Obs, Track};
 use skalla_relation::{derive_base_constraint, BaseConstraint, Expr, Side};
 use std::collections::HashSet;
 use std::fmt;
@@ -89,6 +90,156 @@ impl OptFlags {
             group_reduction_site: false,
             group_reduction_coord: false,
             sync_reduction: true,
+        }
+    }
+}
+
+/// A structured record of one optimizer decision: which rewrite fired
+/// (or was blocked) and why, with the paper reference. The planner
+/// returns these from [`Planner::optimize_with_decisions`] and, when an
+/// observability handle is attached, emits one optimizer-track event
+/// per decision.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanDecision {
+    /// Sect. 4.3 coalescing merged adjacent independent GMDJs.
+    Coalesced {
+        /// Operator count before merging.
+        ops_before: usize,
+        /// Operator count after merging.
+        ops_after: usize,
+        /// Synchronization rounds saved.
+        rounds_saved: usize,
+    },
+    /// Coalescing was enabled but found nothing to merge.
+    CoalesceBlocked {
+        /// Why no merge happened.
+        reason: String,
+    },
+    /// Prop. 2: the base computation folded into round 1.
+    FoldedBase {
+        /// How the fold was proven safe.
+        mechanism: String,
+    },
+    /// Prop. 2 fold considered but rejected.
+    FoldBlocked {
+        /// Why the fold is unsafe here.
+        reason: String,
+    },
+    /// Thm. 5 / Cor. 1: a run of GMDJs chains locally at the sites with
+    /// no intermediate synchronization.
+    LocalChain {
+        /// Stage label.
+        stage: String,
+        /// Operators in the chain (indexes into the expression).
+        ops: Range<usize>,
+        /// Base-side partition attribute proving group ownership.
+        base_col: String,
+        /// Detail-side partition attribute.
+        detail_col: String,
+    },
+    /// Prop. 1: sites return only groups with a non-empty local range.
+    SiteGroupReduction {
+        /// Stage label.
+        stage: String,
+    },
+    /// Prop. 1 would apply but is subsumed by a stronger rewrite.
+    SiteGroupReductionSuppressed {
+        /// Stage label.
+        stage: String,
+        /// Which rewrite subsumes it.
+        reason: String,
+    },
+    /// Thm. 4: per-site ¬ψ filters restrict (or skip) shipped fragments.
+    CoordGroupReduction {
+        /// Stage label.
+        stage: String,
+        /// Sites receiving a restricted fragment.
+        restricted: usize,
+        /// Sites skipped entirely (φ contradicts every θ).
+        skipped: usize,
+    },
+}
+
+impl PlanDecision {
+    /// Short machine-friendly kind tag (used as the trace event name).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PlanDecision::Coalesced { .. } => "coalesce",
+            PlanDecision::CoalesceBlocked { .. } => "coalesce blocked",
+            PlanDecision::FoldedBase { .. } => "fold base",
+            PlanDecision::FoldBlocked { .. } => "fold blocked",
+            PlanDecision::LocalChain { .. } => "local chain",
+            PlanDecision::SiteGroupReduction { .. } => "site group reduction",
+            PlanDecision::SiteGroupReductionSuppressed { .. } => {
+                "site group reduction suppressed"
+            }
+            PlanDecision::CoordGroupReduction { .. } => "coord group reduction",
+        }
+    }
+
+    /// The stage this decision applies to, when stage-scoped.
+    pub fn stage(&self) -> Option<&str> {
+        match self {
+            PlanDecision::LocalChain { stage, .. }
+            | PlanDecision::SiteGroupReduction { stage }
+            | PlanDecision::SiteGroupReductionSuppressed { stage, .. }
+            | PlanDecision::CoordGroupReduction { stage, .. } => Some(stage),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PlanDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanDecision::Coalesced {
+                ops_before,
+                ops_after,
+                rounds_saved,
+            } => write!(
+                f,
+                "coalescing (Sect. 4.3): merged {ops_before} operator(s) into \
+                 {ops_after}, saving {rounds_saved} round(s)"
+            ),
+            PlanDecision::CoalesceBlocked { reason } => {
+                write!(f, "coalescing (Sect. 4.3) blocked: {reason}")
+            }
+            PlanDecision::FoldedBase { mechanism } => {
+                write!(f, "base fold (Prop. 2): {mechanism}")
+            }
+            PlanDecision::FoldBlocked { reason } => {
+                write!(f, "base fold (Prop. 2) blocked: {reason}")
+            }
+            PlanDecision::LocalChain {
+                stage,
+                ops,
+                base_col,
+                detail_col,
+            } => write!(
+                f,
+                "{stage}: ops {}..{} chain locally (Thm. 5/Cor. 1) via \
+                 b.{base_col} = r.{detail_col}",
+                ops.start + 1,
+                ops.end
+            ),
+            PlanDecision::SiteGroupReduction { stage } => write!(
+                f,
+                "{stage}: site-side group reduction (Prop. 1) — ship only \
+                 matched groups"
+            ),
+            PlanDecision::SiteGroupReductionSuppressed { stage, reason } => write!(
+                f,
+                "{stage}: site-side group reduction (Prop. 1) suppressed: {reason}"
+            ),
+            PlanDecision::CoordGroupReduction {
+                stage,
+                restricted,
+                skipped,
+            } => write!(
+                f,
+                "{stage}: coordinator group reduction (Thm. 4) — \
+                 {restricted} site(s) restricted, {skipped} skipped"
+            ),
         }
     }
 }
@@ -311,12 +462,23 @@ impl fmt::Display for DistributedPlan {
 #[derive(Debug, Clone)]
 pub struct Planner {
     dist: DistributionInfo,
+    obs: Obs,
 }
 
 impl Planner {
     /// A planner with the given distribution knowledge.
     pub fn new(dist: DistributionInfo) -> Planner {
-        Planner { dist }
+        Planner {
+            dist,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Attach an observability handle: every [`PlanDecision`] is also
+    /// emitted as an optimizer-track event.
+    pub fn with_obs(mut self, obs: Obs) -> Planner {
+        self.obs = obs;
+        self
     }
 
     /// The distribution knowledge in use.
@@ -328,7 +490,19 @@ impl Planner {
     /// optimization whose preconditions cannot be proven is skipped (with
     /// a note), falling back to the safe general plan.
     pub fn optimize(&self, expr: &GmdjExpr, flags: OptFlags) -> DistributedPlan {
+        self.optimize_with_decisions(expr, flags).0
+    }
+
+    /// [`Planner::optimize`], additionally returning the structured
+    /// record of which rewrites fired or were blocked, and why.
+    pub fn optimize_with_decisions(
+        &self,
+        expr: &GmdjExpr,
+        flags: OptFlags,
+    ) -> (DistributedPlan, Vec<PlanDecision>) {
+        let _span = self.obs.span(Track::Optimizer, "optimize");
         let mut notes = Vec::new();
+        let mut decisions: Vec<PlanDecision> = Vec::new();
         let n_sites = self.dist.n_sites();
 
         // 1. Coalescing.
@@ -341,6 +515,16 @@ impl Planner {
                     merged.ops.len(),
                     report.rounds_saved()
                 ));
+                decisions.push(PlanDecision::Coalesced {
+                    ops_before: expr.ops.len(),
+                    ops_after: merged.ops.len(),
+                    rounds_saved: report.rounds_saved(),
+                });
+            } else if expr.ops.len() > 1 {
+                decisions.push(PlanDecision::CoalesceBlocked {
+                    reason: "no adjacent independent operators over the same detail table"
+                        .to_string(),
+                });
             }
             merged
         } else {
@@ -425,6 +609,9 @@ impl Planner {
                         "folded base computation into round 1 (Prop 2 via partition attribute)"
                             .to_string(),
                     );
+                    decisions.push(PlanDecision::FoldedBase {
+                        mechanism: "chained unit: partition attribute entails θ_K".to_string(),
+                    });
                 } else {
                     // Single operator: every θ must entail θ_K.
                     let all_entail = first_op.blocks.iter().all(|b| {
@@ -437,12 +624,28 @@ impl Planner {
                             "folded base computation into round 1 (Prop 2: every θ entails θ_K)"
                                 .to_string(),
                         );
+                        decisions.push(PlanDecision::FoldedBase {
+                            mechanism: "every θ entails θ_K".to_string(),
+                        });
                     } else {
                         notes.push(
                             "Prop 2 fold not applicable: some θ does not entail θ_K".to_string(),
                         );
+                        decisions.push(PlanDecision::FoldBlocked {
+                            reason: "some θ does not entail θ_K".to_string(),
+                        });
                     }
                 }
+            } else if !base_matches {
+                decisions.push(PlanDecision::FoldBlocked {
+                    reason: "base is not a distinct-project over the first operator's \
+                             detail table"
+                        .to_string(),
+                });
+            } else {
+                decisions.push(PlanDecision::FoldBlocked {
+                    reason: "synchronization key differs from the base columns".to_string(),
+                });
             }
         }
 
@@ -530,6 +733,48 @@ impl Planner {
             } else {
                 format!("gmdj {}-{} (local chain)", range.start + 1, range.end)
             };
+
+            if let Some((b, d)) = ownership {
+                decisions.push(PlanDecision::LocalChain {
+                    stage: label.clone(),
+                    ops: range.clone(),
+                    base_col: b.clone(),
+                    detail_col: d.clone(),
+                });
+            }
+            let site_reduce = flags.group_reduction_site && !fold_base && !local_chain;
+            if site_reduce {
+                decisions.push(PlanDecision::SiteGroupReduction {
+                    stage: label.clone(),
+                });
+            } else if flags.group_reduction_site {
+                decisions.push(PlanDecision::SiteGroupReductionSuppressed {
+                    stage: label.clone(),
+                    reason: if fold_base {
+                        "fold-base already derives groups at the sites".to_string()
+                    } else {
+                        "local chain ships only owned groups".to_string()
+                    },
+                });
+            }
+            if flags.group_reduction_coord && !fold_base {
+                let restricted = site_filters
+                    .iter()
+                    .filter(|f| matches!(f, SiteFilter::Predicate(_)))
+                    .count();
+                let skipped = site_filters
+                    .iter()
+                    .filter(|f| matches!(f, SiteFilter::Skip))
+                    .count();
+                if restricted + skipped > 0 {
+                    decisions.push(PlanDecision::CoordGroupReduction {
+                        stage: label.clone(),
+                        restricted,
+                        skipped,
+                    });
+                }
+            }
+
             stages.push(Stage {
                 label,
                 kind: StageKind::Unit(Unit {
@@ -543,17 +788,27 @@ impl Planner {
                     // Site-side reduction is meaningless when the sites'
                     // shipped rows *are* the base structure (fold) or when
                     // ownership already restricts them (local chain).
-                    site_reduce: flags.group_reduction_site && !fold_base && !local_chain,
+                    site_reduce,
                 }),
             });
         }
 
-        DistributedPlan {
-            expr,
-            key,
-            stages,
-            notes,
+        if self.obs.is_recording() {
+            for d in &decisions {
+                self.obs
+                    .event(Track::Optimizer, d.kind(), vec![("detail", d.to_string().into())]);
+            }
         }
+
+        (
+            DistributedPlan {
+                expr,
+                key,
+                stages,
+                notes,
+            },
+            decisions,
+        )
     }
 }
 
@@ -778,6 +1033,94 @@ mod tests {
         let text = plan.explain();
         assert!(text.contains("local chain"), "{text}");
         assert!(text.contains("Prop 2"), "{text}");
+    }
+
+    #[test]
+    fn decisions_cover_fired_rewrites() {
+        let planner = Planner::new(dist_with_partition_attr(4));
+        let (plan, decisions) =
+            planner.optimize_with_decisions(&correlated_expr(), OptFlags::all());
+        assert_eq!(plan.n_rounds(), 1);
+        assert!(decisions
+            .iter()
+            .any(|d| matches!(d, PlanDecision::FoldedBase { .. })));
+        assert!(decisions.iter().any(|d| matches!(
+            d,
+            PlanDecision::LocalChain { ops, .. } if *ops == (0..2)
+        )));
+        // Prop 1 is subsumed by the local chain, and that is recorded.
+        assert!(decisions
+            .iter()
+            .any(|d| matches!(d, PlanDecision::SiteGroupReductionSuppressed { .. })));
+        // Every decision renders and carries a kind tag.
+        for d in &decisions {
+            assert!(!d.kind().is_empty());
+            assert!(!d.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn decisions_record_blocked_rewrites() {
+        let planner = Planner::new(DistributionInfo::new(2));
+        let expr = GmdjExprBuilder::distinct_base("t", &["g", "h"])
+            .gmdj(Gmdj::new("t").block(
+                ThetaBuilder::group_by(&["g"]).build(),
+                vec![AggSpec::count("c")],
+            ))
+            .build();
+        let (_, decisions) =
+            planner.optimize_with_decisions(&expr, OptFlags::sync_reduction_only());
+        assert!(decisions.iter().any(|d| matches!(
+            d,
+            PlanDecision::FoldBlocked { reason } if reason.contains("θ_K")
+        )));
+    }
+
+    #[test]
+    fn decisions_count_coord_reduction_sites() {
+        let expr = GmdjExprBuilder::distinct_base("t", &["g"])
+            .gmdj(Gmdj::new("t").block(
+                ThetaBuilder::group_by(&["g"])
+                    .and(Expr::dcol("g").le(Expr::lit(9i64)))
+                    .build(),
+                vec![AggSpec::count("c")],
+            ))
+            .build();
+        let planner = Planner::new(dist_with_partition_attr(3));
+        let flags = OptFlags {
+            group_reduction_coord: true,
+            ..OptFlags::none()
+        };
+        let (_, decisions) = planner.optimize_with_decisions(&expr, flags);
+        assert!(decisions.iter().any(|d| matches!(
+            d,
+            PlanDecision::CoordGroupReduction {
+                restricted: 1,
+                skipped: 2,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn planner_emits_optimizer_events_when_observed() {
+        use skalla_obs::Obs;
+        let obs = Obs::recording();
+        let planner = Planner::new(dist_with_partition_attr(4)).with_obs(obs.clone());
+        let (_, decisions) =
+            planner.optimize_with_decisions(&correlated_expr(), OptFlags::all());
+        let rec = obs.recorder().unwrap();
+        let events = rec.events();
+        assert_eq!(events.len(), decisions.len());
+        for (e, d) in events.iter().zip(&decisions) {
+            assert_eq!(e.name, d.kind());
+            assert_eq!(e.track, Track::Optimizer);
+        }
+        // The optimize pass itself is a closed span on the optimizer track.
+        let spans = rec.spans();
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "optimize" && s.track == Track::Optimizer && s.dur_us.is_some()));
     }
 
     #[test]

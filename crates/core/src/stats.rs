@@ -112,6 +112,113 @@ impl ExecStats {
     }
 }
 
+/// One row of the per-round timeline table: compute and traffic for a
+/// single round, with the busy-time skew across participating sites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSummary {
+    /// Stage label.
+    pub label: String,
+    /// Busy seconds of the slowest participating site.
+    pub slowest_site_s: f64,
+    /// Mean busy seconds over participating sites (busy > 0).
+    pub mean_site_s: f64,
+    /// Skew ratio: slowest / mean (1.0 when no site worked).
+    pub skew: f64,
+    /// Coordinator compute seconds.
+    pub coord_s: f64,
+    /// Rows shipped coordinator → sites.
+    pub rows_down: u64,
+    /// Rows shipped sites → coordinator.
+    pub rows_up: u64,
+    /// Bytes coordinator → sites (payload + framing).
+    pub bytes_down: u64,
+    /// Bytes sites → coordinator.
+    pub bytes_up: u64,
+    /// Messages both ways.
+    pub msgs: u64,
+}
+
+impl ExecStats {
+    /// Per-round summaries, zipping compute measurements with traffic.
+    pub fn round_summaries(&self) -> Vec<RoundSummary> {
+        self.stages
+            .iter()
+            .enumerate()
+            .map(|(i, st)| {
+                let busy: Vec<f64> = st
+                    .site_busy_s
+                    .iter()
+                    .copied()
+                    .filter(|s| *s > 0.0)
+                    .collect();
+                let slowest = busy.iter().copied().fold(0.0, f64::max);
+                let mean = if busy.is_empty() {
+                    0.0
+                } else {
+                    busy.iter().sum::<f64>() / busy.len() as f64
+                };
+                let skew = if mean > 0.0 { slowest / mean } else { 1.0 };
+                let (bytes_down, bytes_up, msgs) = match self.net.get(i) {
+                    Some(r) => {
+                        let t = r.totals();
+                        (t.down_bytes, t.up_bytes, t.down_msgs + t.up_msgs)
+                    }
+                    None => (0, 0, 0),
+                };
+                RoundSummary {
+                    label: st.label.clone(),
+                    slowest_site_s: slowest,
+                    mean_site_s: mean,
+                    skew,
+                    coord_s: st.coord_s,
+                    rows_down: st.rows_down,
+                    rows_up: st.rows_up,
+                    bytes_down,
+                    bytes_up,
+                    msgs,
+                }
+            })
+            .collect()
+    }
+
+    /// Render the per-round timeline as a fixed-width text table (the
+    /// `EXPLAIN ANALYZE` output).
+    pub fn round_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<5} {:<24} {:>9} {:>10} {:>5} {:>8} {:>9} {:>8} {:>10} {:>9} {:>5}\n",
+            "round",
+            "stage",
+            "busy max",
+            "busy mean",
+            "skew",
+            "coord s",
+            "rows down",
+            "rows up",
+            "bytes down",
+            "bytes up",
+            "msgs"
+        ));
+        for (i, r) in self.round_summaries().iter().enumerate() {
+            out.push_str(&format!(
+                "{:<5} {:<24} {:>9.4} {:>10.4} {:>5.2} {:>8.4} {:>9} {:>8} {:>10} {:>9} {:>5}\n",
+                i,
+                r.label,
+                r.slowest_site_s,
+                r.mean_site_s,
+                r.skew,
+                r.coord_s,
+                r.rows_down,
+                r.rows_up,
+                r.bytes_down,
+                r.bytes_up,
+                r.msgs
+            ));
+        }
+        out
+    }
+}
+
 /// The outcome of a distributed query: the result relation plus the
 /// execution statistics.
 #[derive(Debug, Clone)]
@@ -171,6 +278,48 @@ mod tests {
         assert_eq!(s.total_messages(), 3);
         assert_eq!(s.total_rows(), (200, 200));
         assert_eq!(s.n_rounds(), 2);
+    }
+
+    #[test]
+    fn round_summaries_zip_compute_and_traffic() {
+        let s = stats();
+        let rows = s.round_summaries();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].label, "base");
+        assert!((rows[0].slowest_site_s - 0.3).abs() < 1e-12);
+        assert!((rows[0].mean_site_s - 0.2).abs() < 1e-12);
+        assert!((rows[0].skew - 1.5).abs() < 1e-12);
+        assert_eq!(rows[0].bytes_up, 1000);
+        assert_eq!(rows[0].bytes_down, 0);
+        assert_eq!(rows[1].rows_down, 200);
+        assert_eq!(rows[1].msgs, 2);
+    }
+
+    #[test]
+    fn skew_is_one_when_no_site_worked() {
+        let s = ExecStats {
+            stages: vec![StageTimes {
+                label: "plan".into(),
+                site_busy_s: vec![0.0, 0.0],
+                ..StageTimes::default()
+            }],
+            net: vec![round("plan", 100, 0)],
+            wall_s: 0.0,
+        };
+        let rows = s.round_summaries();
+        assert_eq!(rows[0].skew, 1.0);
+        assert_eq!(rows[0].slowest_site_s, 0.0);
+    }
+
+    #[test]
+    fn round_table_renders_every_round() {
+        let s = stats();
+        let table = s.round_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 rounds
+        assert!(lines[0].contains("busy max"));
+        assert!(lines[1].contains("base"));
+        assert!(lines[2].contains("gmdj 1"));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! against them in the integration tests.
 
 use parking_lot::Mutex;
+use skalla_obs::{Obs, Track};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -79,6 +80,7 @@ pub struct NetStats {
     n_sites: usize,
     rounds: Mutex<Vec<RoundStats>>,
     current: AtomicUsize,
+    obs: Mutex<Obs>,
 }
 
 impl NetStats {
@@ -92,8 +94,16 @@ impl NetStats {
                 per_site: vec![LinkStats::default(); n_sites],
             }]),
             current: AtomicUsize::new(0),
+            obs: Mutex::new(Obs::disabled()),
         };
         Arc::new(stats)
+    }
+
+    /// Attach an observability handle: every recorded message also emits
+    /// a `msg down` / `msg up` instant event on the net track, carrying
+    /// the same byte accounting as [`LinkStats`].
+    pub fn set_obs(&self, obs: Obs) {
+        *self.obs.lock() = obs;
     }
 
     /// Number of site links.
@@ -113,6 +123,13 @@ impl NetStats {
 
     /// Record a transfer of `payload_bytes` on `site`'s link.
     pub fn record(&self, site: usize, dir: Direction, payload_bytes: u64) {
+        self.record_msg(site, dir, payload_bytes, None);
+    }
+
+    /// Record a transfer with its message tag. Every message kind —
+    /// plan, task, result, error, shutdown — goes through here, so the
+    /// [`MESSAGE_OVERHEAD_BYTES`] framing is counted uniformly.
+    pub fn record_msg(&self, site: usize, dir: Direction, payload_bytes: u64, tag: Option<u8>) {
         let cur = self.current.load(Ordering::SeqCst);
         let mut rounds = self.rounds.lock();
         let link = &mut rounds[cur].per_site[site];
@@ -125,6 +142,27 @@ impl NetStats {
                 link.up_bytes += payload_bytes + MESSAGE_OVERHEAD_BYTES;
                 link.up_msgs += 1;
             }
+        }
+        drop(rounds);
+        let obs = self.obs.lock().clone();
+        if obs.is_recording() {
+            let name = match dir {
+                Direction::Down => "msg down",
+                Direction::Up => "msg up",
+            };
+            let mut args: Vec<(&'static str, skalla_obs::ArgValue)> = vec![
+                ("site", site.into()),
+                ("bytes", (payload_bytes + MESSAGE_OVERHEAD_BYTES).into()),
+            ];
+            if let Some(t) = tag {
+                args.push(("tag", (t as u64).into()));
+            }
+            obs.event(Track::Net, name, args);
+            let counter = match dir {
+                Direction::Down => "net.bytes_down",
+                Direction::Up => "net.bytes_up",
+            };
+            obs.counter_add(counter, (payload_bytes + MESSAGE_OVERHEAD_BYTES) as f64);
         }
     }
 

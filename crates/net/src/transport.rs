@@ -70,7 +70,7 @@ impl CoordinatorNet {
     /// Send a message to one site.
     pub fn send(&self, site: usize, msg: Message) -> Result<(), NetError> {
         self.stats
-            .record(site, Direction::Down, msg.payload.len() as u64);
+            .record_msg(site, Direction::Down, msg.payload.len() as u64, Some(msg.tag));
         self.to_sites[site]
             .send(msg)
             .map_err(|_| NetError::Disconnected)
@@ -112,7 +112,7 @@ impl SiteNet {
     /// Send a message to the coordinator.
     pub fn send(&self, msg: Message) -> Result<(), NetError> {
         self.stats
-            .record(self.site_id, Direction::Up, msg.payload.len() as u64);
+            .record_msg(self.site_id, Direction::Up, msg.payload.len() as u64, Some(msg.tag));
         self.tx
             .send((self.site_id, msg))
             .map_err(|_| NetError::Disconnected)
@@ -186,6 +186,71 @@ mod tests {
         assert_eq!(t.up_bytes, 3 * (1 + MESSAGE_OVERHEAD_BYTES));
         assert_eq!(t.down_msgs, 3);
         assert_eq!(t.up_msgs, 3);
+    }
+
+    /// Pins the accounting contract: *every* message kind — including
+    /// zero-payload control messages like shutdown, and error replies —
+    /// is charged its payload plus exactly one framing overhead, in the
+    /// direction it travelled.
+    #[test]
+    fn every_message_kind_counts_framing_overhead() {
+        // Tag values mirror the coordinator protocol: run-stage, result,
+        // error, shutdown, plan. The accounting must not special-case any.
+        let down_msgs = [(1u8, 64usize), (4, 0), (5, 300)]; // task, shutdown, plan
+        let up_msgs = [(2u8, 128usize), (3, 17)]; // result, error
+
+        let (coord, sites) = star(2);
+        for (tag, len) in down_msgs {
+            coord.send(1, Message::new(tag, vec![0; len])).unwrap();
+        }
+        for (tag, len) in up_msgs {
+            sites[0].send(Message::new(tag, vec![0; len])).unwrap();
+        }
+
+        let rounds = coord.stats().rounds();
+        let link_down = rounds[0].per_site[1];
+        let link_up = rounds[0].per_site[0];
+        let expect_down: u64 = down_msgs
+            .iter()
+            .map(|(_, len)| *len as u64 + MESSAGE_OVERHEAD_BYTES)
+            .sum();
+        let expect_up: u64 = up_msgs
+            .iter()
+            .map(|(_, len)| *len as u64 + MESSAGE_OVERHEAD_BYTES)
+            .sum();
+        assert_eq!(link_down.down_bytes, expect_down);
+        assert_eq!(link_down.down_msgs, down_msgs.len() as u64);
+        assert_eq!(link_up.up_bytes, expect_up);
+        assert_eq!(link_up.up_msgs, up_msgs.len() as u64);
+        // Nothing leaked onto the other links/directions.
+        assert_eq!(link_down.up_msgs, 0);
+        assert_eq!(link_up.down_msgs, 0);
+    }
+
+    #[test]
+    fn recorded_messages_emit_obs_events() {
+        use skalla_obs::Obs;
+        let (coord, sites) = star(1);
+        let obs = Obs::recording();
+        coord.stats().set_obs(obs.clone());
+        coord.send(0, Message::new(5, vec![0; 10])).unwrap();
+        sites[0].send(Message::new(3, vec![0; 4])).unwrap();
+        let events = obs.recorder().unwrap().events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "msg down");
+        assert!(events[0]
+            .args
+            .iter()
+            .any(|(k, v)| *k == "bytes"
+                && *v == skalla_obs::ArgValue::UInt(10 + MESSAGE_OVERHEAD_BYTES)));
+        assert!(events[0]
+            .args
+            .iter()
+            .any(|(k, v)| *k == "tag" && *v == skalla_obs::ArgValue::UInt(5)));
+        assert_eq!(events[1].name, "msg up");
+        let counters = obs.recorder().unwrap().counters();
+        assert_eq!(counters["net.bytes_down"], (10 + MESSAGE_OVERHEAD_BYTES) as f64);
+        assert_eq!(counters["net.bytes_up"], (4 + MESSAGE_OVERHEAD_BYTES) as f64);
     }
 
     #[test]

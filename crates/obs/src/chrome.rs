@@ -1,0 +1,254 @@
+//! Trace and metrics export.
+//!
+//! [`chrome_trace`] renders a [`Recorder`] into Chrome trace-event
+//! JSON (the `{"traceEvents": [...]}` object form), which loads in
+//! Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`. Each
+//! [`Track`] becomes one named thread; spans are complete (`"X"`)
+//! events, instant events are `"i"`, counter histories are `"C"`.
+//!
+//! [`metrics_snapshot`] renders the same recorder as a flat metrics
+//! document: final counter values plus count/sum/min/max/mean and
+//! p50/p90/p99 for every histogram.
+
+use crate::json::Json;
+use crate::{Recorder, Track};
+
+const PID: u64 = 1;
+
+fn args_json(args: &[(&'static str, crate::ArgValue)]) -> Json {
+    Json::Obj(
+        args.iter()
+            .map(|(k, v)| (k.to_string(), v.to_json()))
+            .collect(),
+    )
+}
+
+/// Render the recorder as a Chrome trace-event document.
+pub fn chrome_trace(rec: &Recorder) -> Json {
+    let spans = rec.spans();
+    let events = rec.events();
+    let counters = rec.counter_samples();
+    let now = rec.now_us();
+
+    let mut out: Vec<Json> = Vec::with_capacity(spans.len() + events.len() + counters.len() + 8);
+
+    out.push(Json::obj(vec![
+        ("ph", Json::from("M")),
+        ("pid", Json::UInt(PID)),
+        ("name", Json::from("process_name")),
+        (
+            "args",
+            Json::obj(vec![("name", Json::from("skalla"))]),
+        ),
+    ]));
+
+    // One thread-name metadata record per track that appears.
+    let mut tracks: Vec<Track> = spans
+        .iter()
+        .map(|s| s.track)
+        .chain(events.iter().map(|e| e.track))
+        .collect();
+    tracks.sort_by_key(|t| t.tid());
+    tracks.dedup();
+    for t in tracks {
+        out.push(Json::obj(vec![
+            ("ph", Json::from("M")),
+            ("pid", Json::UInt(PID)),
+            ("tid", Json::UInt(t.tid())),
+            ("name", Json::from("thread_name")),
+            ("args", Json::obj(vec![("name", Json::from(t.label()))])),
+        ]));
+    }
+
+    for s in &spans {
+        // A span still open at export time is drawn up to "now".
+        let dur = s.dur_us.unwrap_or_else(|| now.saturating_sub(s.start_us));
+        out.push(Json::obj(vec![
+            ("ph", Json::from("X")),
+            ("pid", Json::UInt(PID)),
+            ("tid", Json::UInt(s.track.tid())),
+            ("ts", Json::UInt(s.start_us)),
+            ("dur", Json::UInt(dur)),
+            ("name", Json::from(s.name.as_str())),
+            ("cat", Json::from(s.track.category())),
+            ("args", args_json(&s.args)),
+        ]));
+    }
+
+    for e in &events {
+        out.push(Json::obj(vec![
+            ("ph", Json::from("i")),
+            ("s", Json::from("t")),
+            ("pid", Json::UInt(PID)),
+            ("tid", Json::UInt(e.track.tid())),
+            ("ts", Json::UInt(e.ts_us)),
+            ("name", Json::from(e.name.as_str())),
+            ("cat", Json::from(e.track.category())),
+            ("args", args_json(&e.args)),
+        ]));
+    }
+
+    for c in &counters {
+        out.push(Json::obj(vec![
+            ("ph", Json::from("C")),
+            ("pid", Json::UInt(PID)),
+            ("ts", Json::UInt(c.ts_us)),
+            ("name", Json::from(c.name.as_str())),
+            (
+                "args",
+                Json::obj(vec![("value", Json::Float(c.value))]),
+            ),
+        ]));
+    }
+
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(out)),
+        ("displayTimeUnit", Json::from("ms")),
+        (
+            "otherData",
+            Json::obj(vec![(
+                "wall_start_unix_us",
+                Json::UInt(rec.wall_start_unix_us()),
+            )]),
+        ),
+    ])
+}
+
+/// Serialize [`chrome_trace`] to a JSON string.
+pub fn write_chrome_trace(rec: &Recorder) -> String {
+    chrome_trace(rec).to_json()
+}
+
+/// Render final counter values and histogram summaries.
+pub fn metrics_snapshot(rec: &Recorder) -> Json {
+    let mut counters: Vec<(String, Json)> = rec
+        .counters()
+        .into_iter()
+        .map(|(k, v)| (k, Json::Float(v)))
+        .collect();
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut hists: Vec<(String, Json)> = rec
+        .histograms()
+        .into_iter()
+        .map(|(k, h)| {
+            (
+                k,
+                Json::obj(vec![
+                    ("count", Json::UInt(h.count())),
+                    ("sum", Json::Float(h.sum())),
+                    ("min", Json::Float(h.min())),
+                    ("max", Json::Float(h.max())),
+                    ("mean", Json::Float(h.mean())),
+                    ("p50", Json::Float(h.percentile(50.0))),
+                    ("p90", Json::Float(h.percentile(90.0))),
+                    ("p99", Json::Float(h.percentile(99.0))),
+                ]),
+            )
+        })
+        .collect();
+    hists.sort_by(|a, b| a.0.cmp(&b.0));
+
+    Json::obj(vec![
+        ("wall_start_unix_us", Json::UInt(rec.wall_start_unix_us())),
+        ("elapsed_us", Json::UInt(rec.now_us())),
+        ("counters", Json::Obj(counters)),
+        ("histograms", Json::Obj(hists)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::{Obs, Track};
+
+    fn sample_obs() -> Obs {
+        let obs = Obs::recording();
+        {
+            let _q = obs.span(Track::Coordinator, "query").with("stages", 2u64);
+            {
+                let _s = obs.span(Track::Coordinator, "stage md1");
+                let _t = obs
+                    .span(Track::Site(0), "task md1")
+                    .with("rows_up", 128u64);
+                obs.event(
+                    Track::Net,
+                    "send",
+                    vec![("bytes", 512u64.into()), ("site", 0usize.into())],
+                );
+                obs.counter("bytes_total", 512.0);
+            }
+            obs.hist("site_busy_s", 0.25);
+        }
+        obs
+    }
+
+    /// Golden test: the Chrome trace is well-formed JSON and carries
+    /// the expected event structure (round-trips through the parser).
+    #[test]
+    fn chrome_trace_round_trips() {
+        let obs = sample_obs();
+        let text = write_chrome_trace(obs.recorder().unwrap());
+        let doc = parse(&text).expect("trace is valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+
+        let of_ph = |ph: &str| -> Vec<&Json> {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some(ph))
+                .collect()
+        };
+        // process_name + 3 thread names (coordinator, net, site 0).
+        assert_eq!(of_ph("M").len(), 4);
+        let spans = of_ph("X");
+        assert_eq!(spans.len(), 3);
+        for s in &spans {
+            assert!(s.get("ts").unwrap().as_u64().is_some());
+            assert!(s.get("dur").unwrap().as_u64().is_some());
+            assert!(s.get("name").unwrap().as_str().is_some());
+        }
+        let task = spans
+            .iter()
+            .find(|s| s.get("name").unwrap().as_str() == Some("task md1"))
+            .unwrap();
+        assert_eq!(
+            task.get("args").unwrap().get("rows_up").unwrap().as_u64(),
+            Some(128)
+        );
+        assert_eq!(task.get("tid").unwrap().as_u64(), Some(16));
+        let instants = of_ph("i");
+        assert_eq!(instants.len(), 1);
+        assert_eq!(
+            instants[0].get("args").unwrap().get("bytes").unwrap().as_u64(),
+            Some(512)
+        );
+        assert_eq!(of_ph("C").len(), 1);
+    }
+
+    #[test]
+    fn metrics_snapshot_summarizes() {
+        let obs = sample_obs();
+        let text = metrics_snapshot(obs.recorder().unwrap()).to_json();
+        let doc = parse(&text).expect("snapshot is valid JSON");
+        assert_eq!(
+            doc.get("counters").unwrap().get("bytes_total").unwrap().as_f64(),
+            Some(512.0)
+        );
+        let h = doc.get("histograms").unwrap().get("site_busy_s").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(h.get("min").unwrap().as_f64(), Some(0.25));
+        assert_eq!(h.get("max").unwrap().as_f64(), Some(0.25));
+        let p50 = h.get("p50").unwrap().as_f64().unwrap();
+        assert_eq!(p50, 0.25, "single observation clamps to min/max");
+    }
+
+    #[test]
+    fn empty_recorder_exports_cleanly() {
+        let obs = Obs::recording();
+        let doc = parse(&write_chrome_trace(obs.recorder().unwrap())).unwrap();
+        assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 1);
+        let snap = parse(&metrics_snapshot(obs.recorder().unwrap()).to_json()).unwrap();
+        assert_eq!(snap.get("counters").unwrap(), &Json::Obj(vec![]));
+    }
+}

@@ -1,0 +1,225 @@
+//! Minimal `criterion` shim (see `shims/README.md`).
+//!
+//! Provides the harness surface the workspace's benches use —
+//! [`Criterion::benchmark_group`], group tuning knobs, `bench_function`
+//! / `bench_with_input`, [`Bencher::iter`], [`BenchmarkId`], and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is a plain
+//! warm-up + timed-loop mean (no statistics, no reports, no HTML).
+//!
+//! Because benches are built with `harness = false`, `cargo test` also
+//! runs them; `criterion_main!`'s generated `main` exits immediately
+//! when invoked with libtest-style flags (`--test`, `--list`, …).
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark label, optionally `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Runs one benchmark's closure in a warm-up + timed loop.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    min_iters: u64,
+}
+
+impl Bencher {
+    /// Benchmark `routine`, printing its mean wall time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            std_black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.min_iters || start.elapsed() < self.measurement {
+            std_black_box(routine());
+            iters += 1;
+        }
+        let mean = start.elapsed().as_secs_f64() / iters as f64;
+        println!("    mean {:>12.3} µs over {iters} iters", mean * 1e6);
+    }
+}
+
+/// A named set of related benchmarks sharing tuning knobs.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+    sample_size: u64,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower bound on timed iterations (criterion's sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// How long to run the routine untimed before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Target wall time for the measurement loop.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        println!("bench {}/{}", self.name, id.label);
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            min_iters: self.sample_size,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Run one benchmark that borrows a prepared input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (no-op: the shim keeps no deferred state).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Whether this process was invoked by `cargo test`'s libtest driver
+/// rather than `cargo bench` — benches must then exit without running.
+pub fn invoked_as_test() -> bool {
+    std::env::args().skip(1).any(|a| {
+        a == "--test" || a == "--list" || a == "--exact" || a.starts_with("--format")
+    })
+}
+
+/// Bundle bench functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups (no-op under `cargo test`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if $crate::invoked_as_test() {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_iters() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert!(runs >= 3, "ran {runs} iters");
+    }
+
+    #[test]
+    fn bench_with_input_passes_borrow() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(1)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        let data = vec![1u64, 2, 3];
+        let mut seen = 0u64;
+        g.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| seen = d.iter().sum())
+        });
+        assert_eq!(seen, 6);
+    }
+}

@@ -18,6 +18,8 @@ use skalla::datagen::flow::{generate_flows, FlowConfig};
 use skalla::datagen::partition::observe_int_ranges;
 use skalla::datagen::tpcr::{generate_tpcr, TpcrConfig};
 use skalla::net::CostModel;
+use skalla::obs::chrome::{metrics_snapshot, write_chrome_trace};
+use skalla::obs::Obs;
 use skalla::query;
 use skalla::relation::{csv, DataType, Relation, Schema};
 use std::process::ExitCode;
@@ -69,7 +71,12 @@ QUERY OPTIONS:
   --opt all|none|coalesce|group-reduction|sync-reduction   (default: all)
   -q QUERY | --query-file F   the query text
   --limit N                   print at most N result rows (default: 20)
-  --chunk N                   row blocking: ship results in chunks of N rows";
+  --chunk N                   row blocking: ship results in chunks of N rows
+
+OBSERVABILITY (run only):
+  --trace FILE.json           record spans/events and write a Chrome trace
+                              (load in Perfetto or chrome://tracing)
+  --metrics FILE.json         write a flat counters/histograms snapshot";
 
 fn opt(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -192,15 +199,31 @@ fn build_cluster(args: &[String]) -> Result<Cluster, String> {
 fn cmd_run(args: &[String], execute: bool) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let text = load_query(args)?;
+    let trace_path = opt(args, "--trace");
+    let metrics_path = opt(args, "--metrics");
+    let obs = if execute && (trace_path.is_some() || metrics_path.is_some()) {
+        Obs::recording()
+    } else {
+        Obs::disabled()
+    };
     let mut cluster = build_cluster(args)?;
+    cluster.set_obs(obs.clone());
     if let Some(chunk) = opt(args, "--chunk") {
         let n: usize = chunk.parse().map_err(|e| format!("bad --chunk: {e}"))?;
         cluster.set_chunk_rows(Some(n));
     }
 
     let expr = query::compile_text(&text).map_err(|e| e.to_string())?;
-    let plan = Planner::new(cluster.distribution()).optimize(&expr, flags);
+    let planner = Planner::new(cluster.distribution()).with_obs(obs.clone());
+    let (plan, decisions) = planner.optimize_with_decisions(&expr, flags);
     println!("\n{}", plan.explain());
+    if !decisions.is_empty() {
+        println!("=== optimizer decisions ===");
+        for d in &decisions {
+            println!("{d}");
+        }
+        println!();
+    }
     if !execute {
         return Ok(());
     }
@@ -236,6 +259,21 @@ fn cmd_run(args: &[String], execute: bool) -> Result<(), String> {
         sim.comm_s
     );
     println!("wall clock:      {:.4}s", stats.wall_s);
+    println!("\n=== per-round timeline ===");
+    print!("{}", stats.round_table());
+
+    if let Some(rec) = obs.recorder() {
+        if let Some(path) = &trace_path {
+            std::fs::write(path, write_chrome_trace(rec))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            println!("\nwrote Chrome trace to {path} (open in Perfetto or chrome://tracing)");
+        }
+        if let Some(path) = &metrics_path {
+            std::fs::write(path, metrics_snapshot(rec).to_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote metrics snapshot to {path}");
+        }
+    }
     Ok(())
 }
 

@@ -18,6 +18,9 @@
 //!   expressions, interval analysis, binary codec.
 //! * [`gmdj`] — the GMDJ operator algebra and the centralized evaluator.
 //! * [`net`] — simulated network transport with exact byte accounting.
+//! * [`obs`] — dependency-free span/event/metric recorder with
+//!   Chrome-trace (Perfetto) export, wired through the planner, the
+//!   cluster runtime, and the transport.
 //! * [`datagen`] — seeded TPC-R-style and IP-flow data generators.
 //! * [`core`] — the distributed engine: sites, coordinator,
 //!   `GMDJDistribEval`, the optimization suite, and the Egil planner.
@@ -66,5 +69,6 @@ pub use skalla_core as core;
 pub use skalla_datagen as datagen;
 pub use skalla_gmdj as gmdj;
 pub use skalla_net as net;
+pub use skalla_obs as obs;
 pub use skalla_query as query;
 pub use skalla_relation as relation;

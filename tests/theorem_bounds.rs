@@ -88,18 +88,34 @@ fn theorem2_row_bound_holds() {
 fn traffic_independent_of_detail_size() {
     // Theorem 2's point: growing the fact relation (with the same groups)
     // leaves the traffic unchanged.
+    // A customer can fail to be drawn at all at the smaller row count, so
+    // compare traffic *per base group*: down traffic is exactly |B| per
+    // site per round and (without reductions) up traffic is |B| per site
+    // per round too, so rows/|B| is invariant in |R|.
     let expr = group_reduction_query();
     let small = nation_cluster(2000, 256, 4);
     let large = nation_cluster(8000, 256, 4);
     let plan_s = Planner::new(small.distribution()).optimize(&expr, OptFlags::none());
     let plan_l = Planner::new(large.distribution()).optimize(&expr, OptFlags::none());
-    let rows_s = small.execute(&plan_s).unwrap().stats.total_rows();
-    let rows_l = large.execute(&plan_l).unwrap().stats.total_rows();
-    // Down traffic is exactly |B| per site per round — identical. Up
-    // traffic differs only by group-presence noise; with enough rows all
-    // customers appear at their nation's site in both.
-    assert_eq!(rows_s.0, rows_l.0, "down rows must not depend on |R|");
-    assert_eq!(rows_s.1, rows_l.1, "up rows must not depend on |R|");
+    let out_s = small.execute(&plan_s).unwrap();
+    let out_l = large.execute(&plan_l).unwrap();
+    let (b_s, b_l) = (out_s.relation.len() as u64, out_l.relation.len() as u64);
+    let (down_s, up_s) = out_s.stats.total_rows();
+    let (down_l, up_l) = out_l.stats.total_rows();
+    assert_eq!(down_s % b_s, 0, "down rows are a whole multiple of |B|");
+    assert_eq!(down_l % b_l, 0, "down rows are a whole multiple of |B|");
+    assert_eq!(up_s % b_s, 0, "up rows are a whole multiple of |B|");
+    assert_eq!(up_l % b_l, 0, "up rows are a whole multiple of |B|");
+    assert_eq!(
+        down_s / b_s,
+        down_l / b_l,
+        "down rows per group must not depend on |R|"
+    );
+    assert_eq!(
+        up_s / b_s,
+        up_l / b_l,
+        "up rows per group must not depend on |R|"
+    );
 }
 
 #[test]

@@ -4,11 +4,21 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
-cargo test -q
+# Tier-1 suite at two kernel settings: serial and a 4-worker pool. The
+# morsel merge order is deterministic, so both runs must pass identically.
+# (Morsel size is left at its default: shrinking it globally would change
+# the oracle-vs-distributed morsel decomposition and reassociate inexact
+# f64 sums; multi-morsel coverage lives in the gmdj unit tests, the
+# property test, and fig_kernel.)
+SKALLA_THREADS=1 cargo test -q
+SKALLA_THREADS=4 cargo test -q
 cargo clippy --all-targets -- -D warnings
 
 # Extended (workspace-wide) checks; tier-1 above is the gate.
 cargo test --workspace -q
 cargo clippy --all-targets --workspace -- -D warnings
+# Zero-allocation probe regression guard (plain-main bench, not run by
+# `cargo test`).
+cargo bench -p skalla-bench --bench probe_alloc
 
 echo "ci.sh: all checks passed"

@@ -24,7 +24,7 @@ fn bench_eval_strategy(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(2));
     for (label, hash) in [("hash_path", true), ("nested_loop", false)] {
         let mut cluster = cluster_of(&parts, 4);
-        cluster.set_eval_options(EvalOptions { hash_path: hash });
+        cluster.set_eval_options(EvalOptions { hash_path: hash, ..EvalOptions::default() });
         let plan = Planner::new(cluster.distribution()).optimize(&expr, OptFlags::all());
         g.bench_function(label, |b| {
             b.iter(|| cluster.execute(&plan).expect("query runs"));
@@ -65,7 +65,7 @@ fn bench_local_gmdj(c: &mut Criterion) {
     for (label, hash) in [("hash_path", true), ("nested_loop", false)] {
         g.bench_function(label, |b| {
             b.iter(|| {
-                eval_local(&base, detail, &op, EvalOptions { hash_path: hash })
+                eval_local(&base, detail, &op, EvalOptions { hash_path: hash, ..EvalOptions::default() })
                     .expect("evaluates")
             });
         });

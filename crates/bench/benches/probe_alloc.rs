@@ -1,0 +1,132 @@
+//! Regression guard: the GMDJ hash-probe loop performs **zero heap
+//! allocations per detail-tuple miss**.
+//!
+//! The legacy probe materialized a `Vec<Value>` key per detail tuple
+//! (`Row::key`) even when the index missed; the bucket index probes with a
+//! precomputed hash and in-place column comparisons instead. This guard
+//! measures allocator activity with a counting `#[global_allocator]` while
+//! evaluating two all-miss workloads that differ only in detail size: for
+//! the fast path the difference must be (near) zero, while the legacy path
+//! is kept as a positive control proving the instrument actually counts
+//! per-probe allocations.
+//!
+//! Not a timing benchmark — plain assertions, run by `ci.sh`.
+
+use skalla_gmdj::prelude::*;
+use skalla_gmdj::{eval_local, EvalOptions};
+use skalla_relation::{DataType, Row};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Detail rows whose keys all miss the base index (base keys are < 1000).
+fn miss_detail(rows: usize) -> Relation {
+    Relation::new(
+        Schema::of(&[("g", DataType::Int), ("v", DataType::Int)]),
+        (0..rows)
+            .map(|i| Row::new(vec![(1000 + i as i64).into(), (i as i64).into()]))
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    f();
+    ALLOCS.load(Ordering::SeqCst) - before
+}
+
+fn main() {
+    let base = Relation::new(
+        Schema::of(&[("g", DataType::Int)]),
+        (0..64).map(|g: i64| Row::new(vec![g.into()])).collect(),
+    )
+    .unwrap();
+    let op = Gmdj::new("t").block(
+        ThetaBuilder::group_by(&["g"]).build(),
+        vec![AggSpec::count("cnt")],
+    );
+    // Single morsel, single worker: the only size-dependent work is the
+    // probe loop itself.
+    let opts = |legacy_probe: bool| EvalOptions {
+        hash_path: true,
+        parallelism: 1,
+        morsel_rows: 1 << 30,
+        legacy_probe,
+        fault_panic_morsel: None,
+    };
+
+    const SMALL: usize = 1_000;
+    const LARGE: usize = 11_000;
+    let small = miss_detail(SMALL);
+    let large = miss_detail(LARGE);
+
+    // Warm up both paths (lazy one-time allocations must not skew counts).
+    for legacy in [false, true] {
+        eval_local(&base, &small, &op, opts(legacy)).unwrap();
+    }
+
+    let fast_small = allocs_during(|| {
+        eval_local(&base, &small, &op, opts(false)).unwrap();
+    });
+    let fast_large = allocs_during(|| {
+        eval_local(&base, &large, &op, opts(false)).unwrap();
+    });
+    let legacy_small = allocs_during(|| {
+        eval_local(&base, &small, &op, opts(true)).unwrap();
+    });
+    let legacy_large = allocs_during(|| {
+        eval_local(&base, &large, &op, opts(true)).unwrap();
+    });
+
+    let fast_delta = fast_large.saturating_sub(fast_small);
+    let legacy_delta = legacy_large.saturating_sub(legacy_small);
+    let extra_rows = (LARGE - SMALL) as u64;
+
+    println!("probe_alloc guard ({extra_rows} extra all-miss probes)");
+    println!("  fast probe   allocation delta: {fast_delta}");
+    println!("  legacy probe allocation delta: {legacy_delta}");
+
+    // Fast path: probing must not allocate per miss. Allow a tiny slack for
+    // allocator-internal noise, but nothing proportional to row count.
+    assert!(
+        fast_delta <= 16,
+        "fast probe allocated {fast_delta} times for {extra_rows} extra misses \
+         — the zero-allocation probe regressed"
+    );
+    // Positive control: the legacy probe allocates a key per miss, so the
+    // counter must see at least one allocation per extra row.
+    assert!(
+        legacy_delta >= extra_rows,
+        "legacy probe delta {legacy_delta} < {extra_rows}: the tracking \
+         allocator is not observing per-probe allocations"
+    );
+    println!("probe_alloc guard passed ✓");
+}

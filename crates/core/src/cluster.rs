@@ -7,7 +7,9 @@
 //! sites compute, synchronize the sub-results, finalize. It also provides
 //! the ship-everything centralized baseline that Skalla's design avoids.
 
-use crate::coordinator::{empty_aggregates, BaseSync, ChainSync, MergeSync};
+use crate::coordinator::{
+    empty_aggregates, parallel_merge_tree, BaseSync, ChainSync, MergeSync,
+};
 use crate::distribution::DistributionInfo;
 use crate::plan::{DistributedPlan, SiteFilter, StageKind};
 use crate::protocol;
@@ -188,17 +190,17 @@ impl Cluster {
         for site_net in site_nets {
             let catalog = self.sites[site_net.site_id()].clone();
             let times = Arc::clone(&times);
-            let eval = self.eval;
             let chunk_rows = self.chunk_rows;
             let obs = self.obs.clone();
             handles.push(std::thread::spawn(move || {
-                site_loop(catalog, site_net, times, eval, chunk_rows, obs)
+                site_loop(catalog, site_net, times, chunk_rows, obs)
             }));
         }
 
-        // Ship the plan itself over the accounted transport (round 0).
+        // Ship the plan (with the evaluation options every site's kernel
+        // should use) over the accounted transport (round 0).
         coord.stats().begin_round("plan");
-        let plan_bytes = crate::plan_codec::encode_plan(plan);
+        let plan_bytes = crate::plan_codec::encode_plan_with_options(plan, &self.eval);
         let plan_msg = skalla_net::Message::new(protocol::TAG_PLAN, plan_bytes);
         let dispatch = coord.broadcast(&plan_msg).map_err(net_err);
 
@@ -271,7 +273,7 @@ impl Cluster {
                         .map_err(net_err)?;
                     let mut sync_span = self.obs.span(Track::Coordinator, "BaseSync");
                     let mut sync = BaseSync::new();
-                    st.coord_s += self.collect(coord, n, sidx as u32, |rel| {
+                    st.coord_s += self.collect(coord, n, sidx as u32, |_, rel| {
                         st.rows_up += rel.len() as u64;
                         sync.absorb(rel)
                     })?;
@@ -358,7 +360,7 @@ impl Cluster {
                     if unit.local_chain {
                         let mut sync_span = self.obs.span(Track::Coordinator, "ChainSync");
                         let mut sync = ChainSync::new(plan.key.len());
-                        st.coord_s += self.collect(coord, participants, sidx as u32, |rel| {
+                        st.coord_s += self.collect(coord, participants, sidx as u32, |_, rel| {
                             st.rows_up += rel.len() as u64;
                             sync.absorb(&rel)
                         })?;
@@ -381,17 +383,36 @@ impl Cluster {
                             &plan.key,
                             op,
                         )?;
-                        st.coord_s += self.collect(coord, participants, sidx as u32, |rel| {
+                        // Gather each site's chunks (site order, arrival
+                        // order within a site) and merge them as a parallel
+                        // binary tree instead of a left fold; only the final
+                        // merged relation is absorbed into X.
+                        let mut chunks_per_site: Vec<Vec<Relation>> = vec![Vec::new(); n];
+                        st.coord_s += self.collect(coord, participants, sidx as u32, |site, rel| {
                             st.rows_up += rel.len() as u64;
-                            sync.absorb(&rel)
+                            chunks_per_site[site].push(rel);
+                            Ok(())
                         })?;
                         let t = Instant::now();
+                        let chunks: Vec<Relation> =
+                            chunks_per_site.into_iter().flatten().collect();
+                        let n_chunks = chunks.len();
+                        let merged = parallel_merge_tree(
+                            chunks,
+                            plan.key.len(),
+                            op,
+                            self.eval.effective_parallelism(),
+                        )?;
+                        if let Some(m) = &merged {
+                            sync.absorb(m)?;
+                        }
                         let detail = detail_schemas.get(&unit.table).ok_or_else(|| {
                             Error::Plan(format!("unknown table {:?}", unit.table))
                         })?;
                         b_cur = Some(sync.finish(b_in_schema, op, detail)?);
                         st.coord_s += t.elapsed().as_secs_f64();
                         sync_span.arg("rows_up", st.rows_up);
+                        sync_span.arg("chunks", n_chunks);
                         sync_span.finish();
                     }
                 }
@@ -408,20 +429,20 @@ impl Cluster {
     }
 
     /// Receive stage results from `expected` sites (each possibly split
-    /// into row-blocked chunks), feeding every chunk into `absorb` as it
-    /// arrives; returns coordinator busy seconds (decode + absorb,
-    /// excluding waits).
+    /// into row-blocked chunks), feeding every chunk into `absorb` (with
+    /// the reporting site's id) as it arrives; returns coordinator busy
+    /// seconds (decode + absorb, excluding waits).
     fn collect(
         &self,
         coord: &CoordinatorNet,
         expected: usize,
         stage: u32,
-        mut absorb: impl FnMut(Relation) -> Result<()>,
+        mut absorb: impl FnMut(usize, Relation) -> Result<()>,
     ) -> Result<f64> {
         let mut busy = 0.0;
         let mut finished = 0usize;
         while finished < expected {
-            let (_site, msg) = coord.recv(self.timeout).map_err(net_err)?;
+            let (site, msg) = coord.recv(self.timeout).map_err(net_err)?;
             let t = Instant::now();
             match msg.tag {
                 protocol::TAG_RESULT => {
@@ -434,7 +455,7 @@ impl Cluster {
                     if last {
                         finished += 1;
                     }
-                    absorb(rel)?;
+                    absorb(site, rel)?;
                 }
                 protocol::TAG_ERROR => {
                     return Err(Error::Execution(format!(
@@ -538,29 +559,34 @@ fn finished_rounds(stats: &NetStats) -> Vec<skalla_net::RoundStats> {
         .collect()
 }
 
-/// The per-site worker loop: receive the plan, then wait for stage tasks,
-/// execute, reply.
+/// The per-site worker loop: receive the plan (which carries the kernel's
+/// evaluation options), then wait for stage tasks, execute, reply.
 fn site_loop(
     catalog: HashMap<String, Arc<Relation>>,
     net: SiteNet,
     times: Arc<Mutex<Vec<(usize, usize, f64)>>>,
-    eval: EvalOptions,
     chunk_rows: Option<usize>,
     obs: Obs,
 ) {
     let mut plan: Option<DistributedPlan> = None;
+    let mut eval = EvalOptions::default();
     loop {
         let Ok(msg) = net.recv() else {
             return; // coordinator hung up
         };
         match msg.tag {
             protocol::TAG_SHUTDOWN => return,
-            protocol::TAG_PLAN => match crate::plan_codec::decode_plan(&msg.payload) {
-                Ok(p) => plan = Some(p),
-                Err(e) => {
-                    let _ = net.send(protocol::error(&format!("bad plan: {e}")));
+            protocol::TAG_PLAN => {
+                match crate::plan_codec::decode_plan_with_options(&msg.payload) {
+                    Ok((p, e)) => {
+                        plan = Some(p);
+                        eval = e;
+                    }
+                    Err(e) => {
+                        let _ = net.send(protocol::error(&format!("bad plan: {e}")));
+                    }
                 }
-            },
+            }
             protocol::TAG_RUN_STAGE => {
                 let Some(plan) = &plan else {
                     let _ = net.send(protocol::error("stage task before plan"));
@@ -579,12 +605,14 @@ fn site_loop(
                             task_span.arg("rows_in", f.len());
                         }
                         let t = Instant::now();
-                        let out = crate::site::execute_stage(
+                        let out = crate::site::execute_stage_traced(
                             &catalog,
                             plan,
                             stage as usize,
                             fragment,
                             eval,
+                            &obs,
+                            net.site_id(),
                         );
                         times
                             .lock()

@@ -341,6 +341,79 @@ impl PartialMerge {
     }
 }
 
+/// Combine one pair (or a lone leftover) of sub-result chunks with a
+/// [`PartialMerge`].
+fn merge_pair(pair: &[Relation], key_len: usize, op: &Gmdj) -> Result<Relation> {
+    if pair.len() == 1 {
+        return Ok(pair[0].clone());
+    }
+    let mut pm = PartialMerge::new(key_len, op);
+    pm.absorb(&pair[0])?;
+    pm.absorb(&pair[1])?;
+    Ok(pm.into_relation(pair[0].schema_ref()))
+}
+
+/// Merge sub-result chunks as a binary tree of [`PartialMerge`]s instead of
+/// a left fold, pairing adjacent chunks level by level until one remains.
+///
+/// Levels with several pairs run them on scoped worker threads (up to
+/// `parallelism`). The tree *shape* depends only on `chunks.len()`, and
+/// within every [`PartialMerge`] accumulators merge in fixed (left, right)
+/// order — so the result is deterministic regardless of thread count, and
+/// equal to the left fold by merge associativity (Theorem 1, proven by
+/// `partial_merge_is_associative_with_merge_sync`).
+///
+/// Returns `None` when `chunks` is empty.
+pub fn parallel_merge_tree(
+    mut chunks: Vec<Relation>,
+    key_len: usize,
+    op: &Gmdj,
+    parallelism: usize,
+) -> Result<Option<Relation>> {
+    while chunks.len() > 1 {
+        let pairs: Vec<&[Relation]> = chunks.chunks(2).collect();
+        let merged: Vec<Result<Relation>> = if parallelism > 1 && pairs.len() > 1 {
+            let workers = parallelism.min(pairs.len());
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let mut out: Vec<Option<Result<Relation>>> =
+                (0..pairs.len()).map(|_| None).collect();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let pairs = &pairs;
+                        let next = &next;
+                        s.spawn(move || {
+                            let mut done = Vec::new();
+                            loop {
+                                let i = next
+                                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if i >= pairs.len() {
+                                    break;
+                                }
+                                done.push((i, merge_pair(pairs[i], key_len, op)));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (i, r) in h.join().expect("merge workers do not panic") {
+                        out[i] = Some(r);
+                    }
+                }
+            });
+            out.into_iter().map(|r| r.expect("every pair merged")).collect()
+        } else {
+            pairs
+                .iter()
+                .map(|p| merge_pair(p, key_len, op))
+                .collect()
+        };
+        chunks = merged.into_iter().collect::<Result<Vec<_>>>()?;
+    }
+    Ok(chunks.pop())
+}
+
 /// The finalize-of-nothing aggregate values for a run of operators: what a
 /// group's outputs are when no detail tuple anywhere matches it.
 pub fn empty_aggregates(ops: &[Gmdj]) -> Result<Vec<Value>> {
@@ -576,6 +649,63 @@ mod tests {
         let tree_out = root.finish(b0().schema(), &op(), &detail_schema()).unwrap();
 
         assert_eq!(direct_out, tree_out);
+    }
+
+    #[test]
+    fn parallel_merge_tree_equals_left_fold() {
+        let h_schema = Schema::of(&[
+            ("g", DataType::Int),
+            ("cnt", DataType::Int),
+            ("avg__sum", DataType::Int),
+            ("avg__cnt", DataType::Int),
+        ]);
+        // 7 chunks (odd count exercises the lone-leftover path).
+        let chunks: Vec<Relation> = (0..7)
+            .map(|i| {
+                Relation::new(
+                    h_schema.clone(),
+                    vec![
+                        row![1i64, 1i64, 10 * (i + 1), 1i64],
+                        row![2i64, 2i64, i, 2i64],
+                    ],
+                )
+                .unwrap()
+            })
+            .collect();
+
+        let mut fold = MergeSync::new(Some(&b0()), &key(), &op()).unwrap();
+        for c in &chunks {
+            fold.absorb(c).unwrap();
+        }
+        let fold_out = fold.finish(b0().schema(), &op(), &detail_schema()).unwrap();
+
+        for parallelism in [1usize, 4] {
+            let merged = parallel_merge_tree(chunks.clone(), 1, &op(), parallelism)
+                .unwrap()
+                .unwrap();
+            let mut sync = MergeSync::new(Some(&b0()), &key(), &op()).unwrap();
+            sync.absorb(&merged).unwrap();
+            let tree_out = sync.finish(b0().schema(), &op(), &detail_schema()).unwrap();
+            assert_eq!(tree_out, fold_out, "parallelism {parallelism}");
+        }
+    }
+
+    #[test]
+    fn parallel_merge_tree_empty_and_single() {
+        assert!(parallel_merge_tree(Vec::new(), 1, &op(), 4)
+            .unwrap()
+            .is_none());
+        let h_schema = Schema::of(&[
+            ("g", DataType::Int),
+            ("cnt", DataType::Int),
+            ("avg__sum", DataType::Int),
+            ("avg__cnt", DataType::Int),
+        ]);
+        let one = Relation::new(h_schema, vec![row![1i64, 1i64, 5i64, 1i64]]).unwrap();
+        let out = parallel_merge_tree(vec![one.clone()], 1, &op(), 4)
+            .unwrap()
+            .unwrap();
+        assert_eq!(out, one);
     }
 
     #[test]

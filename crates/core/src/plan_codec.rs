@@ -8,6 +8,7 @@
 
 use crate::plan::{DistributedPlan, SiteFilter, Stage, StageKind, Unit};
 use skalla_gmdj::codec::{get_gmdj_expr, put_gmdj_expr};
+use skalla_gmdj::EvalOptions;
 use skalla_relation::codec::{Decoder, Encoder};
 use skalla_relation::{Error, Result};
 
@@ -89,6 +90,59 @@ fn get_unit(dec: &mut Decoder<'_>) -> Result<Unit> {
         site_filters,
         site_reduce,
     })
+}
+
+fn put_eval_options(enc: &mut Encoder, opts: &EvalOptions) {
+    enc.put_u8(opts.hash_path as u8);
+    enc.put_u32(opts.parallelism as u32);
+    enc.put_u32(opts.morsel_rows.min(u32::MAX as usize) as u32);
+    enc.put_u8(opts.legacy_probe as u8);
+    match opts.fault_panic_morsel {
+        Some(m) => {
+            enc.put_u8(1);
+            enc.put_u32(m as u32);
+        }
+        None => enc.put_u8(0),
+    }
+}
+
+fn get_eval_options(dec: &mut Decoder<'_>) -> Result<EvalOptions> {
+    let hash_path = dec.get_u8()? != 0;
+    let parallelism = dec.get_u32()? as usize;
+    let morsel_rows = (dec.get_u32()? as usize).max(1);
+    let legacy_probe = dec.get_u8()? != 0;
+    let fault_panic_morsel = match dec.get_u8()? {
+        0 => None,
+        1 => Some(dec.get_u32()? as usize),
+        t => return Err(Error::Codec(format!("bad fault flag {t}"))),
+    };
+    Ok(EvalOptions {
+        hash_path,
+        parallelism,
+        morsel_rows,
+        legacy_probe,
+        fault_panic_morsel,
+    })
+}
+
+/// Encode the evaluation options followed by the plan — the `TAG_PLAN`
+/// payload the coordinator broadcasts, so every site runs its kernel with
+/// the cluster-configured knobs.
+pub fn encode_plan_with_options(plan: &DistributedPlan, opts: &EvalOptions) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    put_eval_options(&mut enc, opts);
+    let mut bytes = enc.finish();
+    bytes.extend(encode_plan(plan));
+    bytes
+}
+
+/// Decode a `TAG_PLAN` payload: evaluation options, then the plan.
+pub fn decode_plan_with_options(bytes: &[u8]) -> Result<(DistributedPlan, EvalOptions)> {
+    let mut dec = Decoder::new(bytes);
+    let opts = get_eval_options(&mut dec)?;
+    let consumed = bytes.len() - dec.remaining();
+    let plan = decode_plan(&bytes[consumed..])?;
+    Ok((plan, opts))
 }
 
 /// Encode a distributed plan to bytes.
@@ -192,6 +246,36 @@ mod tests {
             let bytes = encode_plan(&plan);
             let back = decode_plan(&bytes).unwrap_or_else(|e| panic!("{flags:?}: {e}"));
             assert_eq!(back, plan, "{flags:?}");
+        }
+    }
+
+    #[test]
+    fn plan_with_options_round_trips() {
+        let plan = planner_with_knowledge().optimize(&expr(), OptFlags::all());
+        for opts in [
+            EvalOptions {
+                hash_path: true,
+                parallelism: 0,
+                morsel_rows: 65_536,
+                legacy_probe: false,
+                fault_panic_morsel: None,
+            },
+            EvalOptions {
+                hash_path: false,
+                parallelism: 7,
+                morsel_rows: 256,
+                legacy_probe: true,
+                fault_panic_morsel: Some(3),
+            },
+        ] {
+            let bytes = encode_plan_with_options(&plan, &opts);
+            let (back_plan, back_opts) = decode_plan_with_options(&bytes).unwrap();
+            assert_eq!(back_plan, plan);
+            assert_eq!(back_opts.hash_path, opts.hash_path);
+            assert_eq!(back_opts.parallelism, opts.parallelism);
+            assert_eq!(back_opts.morsel_rows, opts.morsel_rows);
+            assert_eq!(back_opts.legacy_probe, opts.legacy_probe);
+            assert_eq!(back_opts.fault_panic_morsel, opts.fault_panic_morsel);
         }
     }
 

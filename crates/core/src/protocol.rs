@@ -20,7 +20,10 @@ pub const TAG_RESULT: u8 = 2;
 pub const TAG_ERROR: u8 = 3;
 /// Coordinator → site: query finished, thread may exit.
 pub const TAG_SHUTDOWN: u8 = 4;
-/// Coordinator → site: the distributed plan for the upcoming query.
+/// Coordinator → site: the distributed plan for the upcoming query. The
+/// payload is the cluster's evaluation options (thread count, morsel size,
+/// probe strategy) followed by the encoded plan — see
+/// [`crate::plan_codec::encode_plan_with_options`].
 pub const TAG_PLAN: u8 = 5;
 
 /// Encode a `RUN_STAGE` message.

@@ -7,8 +7,9 @@
 //! coordinator, it produces the relation to ship back.
 
 use crate::plan::{DistributedPlan, StageKind, Unit};
-use skalla_gmdj::eval::{eval_full, eval_local, EvalOptions};
+use skalla_gmdj::eval::{eval_local_traced, finalize_physical, EvalOptions};
 use skalla_gmdj::{BaseQuery, Catalog};
+use skalla_obs::Obs;
 use skalla_relation::{Error, Relation, Result, Value};
 use std::collections::HashSet;
 
@@ -21,13 +22,30 @@ pub fn execute_stage(
     incoming: Option<Relation>,
     eval: EvalOptions,
 ) -> Result<Relation> {
+    execute_stage_traced(catalog, plan, stage, incoming, eval, &Obs::disabled(), 0)
+}
+
+/// [`execute_stage`] with observability: the GMDJ kernel records
+/// per-morsel spans on this site's worker tracks.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_stage_traced(
+    catalog: &dyn Catalog,
+    plan: &DistributedPlan,
+    stage: usize,
+    incoming: Option<Relation>,
+    eval: EvalOptions,
+    obs: &Obs,
+    site: usize,
+) -> Result<Relation> {
     let st = plan
         .stages
         .get(stage)
         .ok_or_else(|| Error::Execution(format!("no stage {stage}")))?;
     match &st.kind {
         StageKind::Base => plan.base_fragment(catalog),
-        StageKind::Unit(unit) => execute_unit(catalog, plan, unit, incoming, eval),
+        StageKind::Unit(unit) => {
+            execute_unit(catalog, plan, unit, incoming, eval, obs, site)
+        }
     }
 }
 
@@ -66,6 +84,8 @@ fn execute_unit(
     unit: &Unit,
     incoming: Option<Relation>,
     eval: EvalOptions,
+    obs: &Obs,
+    site: usize,
 ) -> Result<Relation> {
     let detail = catalog.table(&unit.table)?;
     let b_frag = base_input(catalog, plan, unit, incoming)?;
@@ -90,7 +110,13 @@ fn execute_unit(
         };
         let mut cur = owned;
         for op in &plan.expr.ops[unit.ops.clone()] {
-            cur = eval_full(&cur, detail, op, eval)?;
+            let local = eval_local_traced(&cur, detail, op, eval, obs, site)?;
+            cur = finalize_physical(
+                &local.physical,
+                cur.schema().len(),
+                op,
+                detail.schema(),
+            )?;
         }
         // Ship K + every logical aggregate the unit produced.
         let mut cols = key.clone();
@@ -102,7 +128,7 @@ fn execute_unit(
         // One operator: sub-aggregates, shipped as physical accumulators.
         debug_assert_eq!(unit.ops.len(), 1);
         let op = &plan.expr.ops[unit.ops.start];
-        let local = eval_local(&b_frag, detail, op, eval)?;
+        let local = eval_local_traced(&b_frag, detail, op, eval, obs, site)?;
         let shipped = if unit.site_reduce {
             local.reduced()
         } else {

@@ -9,8 +9,24 @@
 //!   tuples are hash-indexed on their key columns and each detail tuple
 //!   probes the index, applying the residual condition to the candidates.
 //!   Cost `O(|B| + |R|·candidates)`. This mirrors the efficient centralized
-//!   evaluation of [2, 7] cited by the paper.
-//! * **Nested loop** — the general fallback, `O(|B|·|R|)`.
+//!   evaluation of [2, 7] cited by the paper. The index is a hash-to-bucket
+//!   structure over row positions (precomputed u64 key hashes, bucket heads
+//!   plus a per-row chain link), so probing a detail tuple clones no
+//!   [`Value`]s and performs **zero heap allocations** per probe.
+//! * **Nested loop** — the general fallback, `O(|B|·|R|)`, with trivially
+//!   true residuals pre-bound out of the inner loop.
+//!
+//! **Morsel-driven parallelism.** The detail relation is split into
+//! fixed-size morsels of [`EvalOptions::morsel_rows`] rows (Leis et al.,
+//! SIGMOD 2014). Worker threads (a [`std::thread::scope`] pool of
+//! [`EvalOptions::parallelism`] threads) claim morsels from an atomic
+//! counter; every block's base-side index is built **once** and shared
+//! immutably across the pool (blocks with identical equi-keys share one
+//! index via a small cache). Each morsel accumulates into its own
+//! `accs`/`matched` arrays, and morsel results are merged **in morsel
+//! order** via [`AccLayout::merge`]. Because the morsel decomposition
+//! depends only on the input size and `morsel_rows` — never on the thread
+//! count — float aggregates are bit-identical across `parallelism` values.
 //!
 //! [`eval_local`] produces *physical* (sub-aggregate) accumulators plus a
 //! per-group match flag — exactly what a warehouse site ships to the
@@ -20,8 +36,16 @@
 use crate::agg::AccLayout;
 use crate::operator::Gmdj;
 use crate::theta::analyze_theta;
-use skalla_relation::{BoundExpr, Relation, Result, Row, Schema, Value};
+use skalla_obs::{Obs, Track};
+use skalla_relation::{BoundExpr, Error, Relation, Result, Row, Schema, Value};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default morsel size (rows of the detail relation per work unit).
+pub const DEFAULT_MORSEL_ROWS: usize = 65_536;
 
 /// Evaluation knobs.
 #[derive(Debug, Clone, Copy)]
@@ -29,11 +53,63 @@ pub struct EvalOptions {
     /// Use the hash fast path when θ has equi-key conjuncts (on by
     /// default; disable for the nested-loop ablation bench).
     pub hash_path: bool,
+    /// Worker threads for the morsel-parallel kernel. `0` means "auto":
+    /// use [`std::thread::available_parallelism`]. `1` runs the kernel
+    /// serially (same morsel structure, same bits).
+    pub parallelism: usize,
+    /// Rows per morsel. Output bits depend on this (it fixes the
+    /// accumulator merge structure) but **not** on `parallelism`.
+    pub morsel_rows: usize,
+    /// Use the legacy allocating `HashMap<Vec<Value>, Vec<usize>>` probe
+    /// instead of the zero-allocation bucket index. Kept only for the
+    /// `fig_kernel` ablation bench.
+    pub legacy_probe: bool,
+    /// Fault injection for robustness tests: panic when a worker starts
+    /// the morsel with this index. `None` in production.
+    pub fault_panic_morsel: Option<usize>,
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
 }
 
 impl Default for EvalOptions {
+    /// Defaults honour `SKALLA_THREADS` and `SKALLA_MORSEL_ROWS` from the
+    /// environment (used by `ci.sh` to run the whole suite at several
+    /// thread counts), falling back to auto parallelism and
+    /// [`DEFAULT_MORSEL_ROWS`].
     fn default() -> Self {
-        EvalOptions { hash_path: true }
+        EvalOptions {
+            hash_path: true,
+            parallelism: env_usize("SKALLA_THREADS").unwrap_or(0),
+            morsel_rows: env_usize("SKALLA_MORSEL_ROWS")
+                .unwrap_or(DEFAULT_MORSEL_ROWS)
+                .max(1),
+            legacy_probe: false,
+            fault_panic_morsel: None,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Default options with an explicit worker count (`0` = auto).
+    pub fn with_parallelism(parallelism: usize) -> EvalOptions {
+        EvalOptions {
+            parallelism,
+            ..EvalOptions::default()
+        }
+    }
+
+    /// The resolved worker count: `parallelism`, or the machine's
+    /// available cores when `0`.
+    pub fn effective_parallelism(&self) -> usize {
+        if self.parallelism > 0 {
+            self.parallelism
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
     }
 }
 
@@ -66,6 +142,94 @@ impl LocalGmdj {
     }
 }
 
+/// Hash the values of `row` at `cols` with the deterministic (zero-keyed)
+/// SipHash behind [`DefaultHasher`]. Uses [`Value`]'s own `Hash` impl, so
+/// `Int(2)` and `Double(2.0)` — which compare equal — hash equally. No
+/// allocation.
+fn key_hash(row: &Row, cols: &[usize]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for &c in cols {
+        row.get(c).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// A zero-allocation multimap from key hashes to base-row positions:
+/// power-of-two bucket heads plus a per-row chain link (the "open" table
+/// is keyed by row position, so duplicate base keys cost one link each).
+/// Probes compare precomputed u64 hashes first and leave `Value` equality
+/// to the caller — no `Vec<Value>` key is ever materialized.
+struct KeyIndex {
+    /// Bucket → first chained row position + 1 (0 = empty bucket).
+    heads: Vec<u32>,
+    /// Row position → next position + 1 in the same bucket.
+    next: Vec<u32>,
+    /// Precomputed key hash per base row.
+    hashes: Vec<u64>,
+}
+
+impl KeyIndex {
+    fn build(base: &Relation, keys: &[usize]) -> KeyIndex {
+        let n = base.len();
+        assert!(n < u32::MAX as usize, "base relation too large to index");
+        let cap = (n.max(1) * 2).next_power_of_two();
+        let mut heads = vec![0u32; cap];
+        let mut next = vec![0u32; n];
+        let mut hashes = vec![0u64; n];
+        for (pos, row) in base.iter().enumerate() {
+            let h = key_hash(row, keys);
+            hashes[pos] = h;
+            let b = (h as usize) & (cap - 1);
+            next[pos] = heads[b];
+            heads[b] = pos as u32 + 1;
+        }
+        KeyIndex {
+            heads,
+            next,
+            hashes,
+        }
+    }
+
+    /// Base-row positions whose key hash equals `hash` (callers verify
+    /// actual key equality — hash collisions are possible).
+    fn candidates(&self, hash: u64) -> Candidates<'_> {
+        let bucket = (hash as usize) & (self.heads.len() - 1);
+        Candidates {
+            index: self,
+            cur: self.heads[bucket],
+            hash,
+        }
+    }
+}
+
+struct Candidates<'a> {
+    index: &'a KeyIndex,
+    cur: u32,
+    hash: u64,
+}
+
+impl Iterator for Candidates<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.cur != 0 {
+            let pos = (self.cur - 1) as usize;
+            self.cur = self.index.next[pos];
+            if self.index.hashes[pos] == self.hash {
+                return Some(pos);
+            }
+        }
+        None
+    }
+}
+
+/// One block's base-side index: the zero-allocation bucket index, or the
+/// legacy allocating map (ablation only).
+enum BaseIndex {
+    Fast(KeyIndex),
+    Legacy(HashMap<Vec<Value>, Vec<usize>>),
+}
+
 struct PreparedBlock {
     /// Base-side positions of equi-key columns (empty ⇒ nested loop).
     base_keys: Vec<usize>,
@@ -73,8 +237,12 @@ struct PreparedBlock {
     detail_keys: Vec<usize>,
     /// Bound residual (or the full θ for the nested-loop path).
     condition: BoundExpr,
-    /// `true` when `condition` is only the residual of an equi split.
-    hash: bool,
+    /// `true` when `condition` is a trivially true literal — pre-bound out
+    /// of the inner loops on both the hash and nested-loop paths.
+    trivial_condition: bool,
+    /// Slot in the shared index cache (`Some` ⇒ hash path; blocks with
+    /// identical `base_keys` share one slot).
+    index: Option<usize>,
     /// Bound aggregate inputs (`None` for `COUNT(*)`), with the slot
     /// offset of each aggregate.
     aggs: Vec<(Option<BoundExpr>, usize)>,
@@ -120,15 +288,197 @@ fn prepare_blocks(
             };
             aggs.push((bound, *off));
         }
+        let trivial_condition =
+            matches!(condition, BoundExpr::Lit(ref v) if v.is_truthy());
         blocks.push(PreparedBlock {
             base_keys,
             detail_keys,
             condition,
-            hash: use_hash,
+            trivial_condition,
+            index: use_hash.then_some(usize::MAX), // patched by build_indexes
             aggs,
         });
     }
     Ok((layout, blocks))
+}
+
+/// Build each hash block's base-side index **once**, deduplicating blocks
+/// that share identical `base_keys` through a small cache.
+fn build_indexes(
+    base: &Relation,
+    blocks: &mut [PreparedBlock],
+    opts: EvalOptions,
+) -> Vec<BaseIndex> {
+    let mut cache: HashMap<Vec<usize>, usize> = HashMap::new();
+    let mut indexes: Vec<BaseIndex> = Vec::new();
+    for pb in blocks.iter_mut() {
+        if pb.index.is_none() {
+            continue;
+        }
+        let slot = *cache.entry(pb.base_keys.clone()).or_insert_with(|| {
+            let idx = if opts.legacy_probe {
+                let mut map: HashMap<Vec<Value>, Vec<usize>> =
+                    HashMap::with_capacity(base.len());
+                for (pos, row) in base.iter().enumerate() {
+                    map.entry(row.key(&pb.base_keys)).or_default().push(pos);
+                }
+                BaseIndex::Legacy(map)
+            } else {
+                BaseIndex::Fast(KeyIndex::build(base, &pb.base_keys))
+            };
+            indexes.push(idx);
+            indexes.len() - 1
+        });
+        pb.index = Some(slot);
+    }
+    indexes
+}
+
+/// Per-morsel accumulation state: one accumulator vector and one match
+/// flag per base row.
+struct MorselState {
+    accs: Vec<Vec<Value>>,
+    matched: Vec<bool>,
+}
+
+/// The immutable evaluation context shared across the worker pool.
+struct Kernel<'a> {
+    base: &'a Relation,
+    detail: &'a Relation,
+    gmdj: &'a Gmdj,
+    layout: &'a AccLayout,
+    blocks: &'a [PreparedBlock],
+    indexes: &'a [BaseIndex],
+    opts: EvalOptions,
+    morsel_rows: usize,
+    n_morsels: usize,
+}
+
+impl Kernel<'_> {
+    /// Evaluate one morsel of the detail relation against every block,
+    /// into fresh accumulators.
+    fn run_morsel(&self, m: usize) -> Result<MorselState> {
+        if self.opts.fault_panic_morsel == Some(m) {
+            panic!("injected fault in morsel {m}");
+        }
+        let lo = m * self.morsel_rows;
+        let hi = ((m + 1) * self.morsel_rows).min(self.detail.len());
+        let morsel = &self.detail.rows()[lo..hi];
+        let mut state = MorselState {
+            accs: (0..self.base.len()).map(|_| self.layout.init()).collect(),
+            matched: vec![false; self.base.len()],
+        };
+        for (bi, pb) in self.blocks.iter().enumerate() {
+            let block = &self.gmdj.blocks[bi];
+            match pb.index.map(|i| &self.indexes[i]) {
+                Some(BaseIndex::Fast(index)) => {
+                    // Hash path: probe without materializing a key.
+                    for r in morsel {
+                        let h = key_hash(r, &pb.detail_keys);
+                        for pos in index.candidates(h) {
+                            let b = &self.base.rows()[pos];
+                            if !keys_equal(b, &pb.base_keys, r, &pb.detail_keys) {
+                                continue;
+                            }
+                            if !pb.trivial_condition
+                                && !pb.condition.eval(b, r)?.is_truthy()
+                            {
+                                continue;
+                            }
+                            state.matched[pos] = true;
+                            update_aggs(block, pb, &mut state.accs[pos], b, r)?;
+                        }
+                    }
+                }
+                Some(BaseIndex::Legacy(index)) => {
+                    // Ablation-only: the old allocating probe.
+                    for r in morsel {
+                        let Some(cands) = index.get(&r.key(&pb.detail_keys)) else {
+                            continue;
+                        };
+                        for &pos in cands {
+                            let b = &self.base.rows()[pos];
+                            if !pb.trivial_condition
+                                && !pb.condition.eval(b, r)?.is_truthy()
+                            {
+                                continue;
+                            }
+                            state.matched[pos] = true;
+                            update_aggs(block, pb, &mut state.accs[pos], b, r)?;
+                        }
+                    }
+                }
+                None => {
+                    // Nested loop: evaluate θ for every (b, r) pair.
+                    for (pos, b) in self.base.iter().enumerate() {
+                        let acc = &mut state.accs[pos];
+                        for r in morsel {
+                            if !pb.trivial_condition
+                                && !pb.condition.eval(b, r)?.is_truthy()
+                            {
+                                continue;
+                            }
+                            state.matched[pos] = true;
+                            update_aggs(block, pb, acc, b, r)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(state)
+    }
+
+    /// Run one morsel behind a panic barrier, recording a span on the
+    /// worker's own track (span nesting is per-track, so concurrent
+    /// workers must not share one).
+    fn run_morsel_caught(
+        &self,
+        m: usize,
+        worker: usize,
+        obs: &Obs,
+        site: usize,
+    ) -> Result<MorselState> {
+        let mut span = if obs.is_recording() {
+            Some(
+                obs.span(Track::Worker(site, worker), "morsel")
+                    .with("morsel", m)
+                    .with(
+                        "rows",
+                        ((m + 1) * self.morsel_rows).min(self.detail.len())
+                            - m * self.morsel_rows,
+                    ),
+            )
+        } else {
+            None
+        };
+        let t = std::time::Instant::now();
+        let out = catch_unwind(AssertUnwindSafe(|| self.run_morsel(m)))
+            .unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                Err(Error::Execution(format!(
+                    "worker panicked in morsel {m}: {msg}"
+                )))
+            });
+        if let Some(span) = span.take() {
+            obs.hist("kernel.morsel_us", t.elapsed().as_micros() as f64);
+            obs.counter_add("kernel.morsels", 1.0);
+            span.finish();
+        }
+        out
+    }
+}
+
+/// Column-wise key equality between a base and a detail row — compares
+/// `&Value`s in place, cloning nothing.
+fn keys_equal(b: &Row, base_keys: &[usize], r: &Row, detail_keys: &[usize]) -> bool {
+    base_keys
+        .iter()
+        .zip(detail_keys)
+        .all(|(&bk, &dk)| b.get(bk) == r.get(dk))
 }
 
 /// Evaluate a GMDJ at one site: sub-aggregates only.
@@ -138,59 +488,106 @@ pub fn eval_local(
     gmdj: &Gmdj,
     opts: EvalOptions,
 ) -> Result<LocalGmdj> {
+    eval_local_traced(base, detail, gmdj, opts, &Obs::disabled(), 0)
+}
+
+/// [`eval_local`] with observability: per-morsel spans are recorded on
+/// [`Track::Worker`]`(site, worker)` tracks, with `kernel.morsel_us`
+/// histogram and `kernel.morsels` counter updates.
+pub fn eval_local_traced(
+    base: &Relation,
+    detail: &Relation,
+    gmdj: &Gmdj,
+    opts: EvalOptions,
+    obs: &Obs,
+    site: usize,
+) -> Result<LocalGmdj> {
     gmdj.validate(base.schema(), detail.schema())?;
-    let (layout, blocks) = prepare_blocks(gmdj, base.schema(), detail.schema(), opts)?;
+    let (layout, mut blocks) = prepare_blocks(gmdj, base.schema(), detail.schema(), opts)?;
+    let indexes = build_indexes(base, &mut blocks, opts);
 
-    let mut accs: Vec<Vec<Value>> = (0..base.len()).map(|_| layout.init()).collect();
-    let mut matched = vec![false; base.len()];
+    let morsel_rows = opts.morsel_rows.max(1);
+    let n_morsels = detail.len().div_ceil(morsel_rows).max(1);
+    let kernel = Kernel {
+        base,
+        detail,
+        gmdj,
+        layout: &layout,
+        blocks: &blocks,
+        indexes: &indexes,
+        opts,
+        morsel_rows,
+        n_morsels,
+    };
+    let workers = kernel.opts.effective_parallelism().clamp(1, n_morsels);
 
-    for (bi, pb) in blocks.iter().enumerate() {
-        let block = &gmdj.blocks[bi];
-        if pb.hash {
-            // Hash path: index base tuples on their equi-key columns.
-            let mut index: HashMap<Vec<Value>, Vec<usize>> =
-                HashMap::with_capacity(base.len());
-            for (pos, row) in base.iter().enumerate() {
-                index.entry(row.key(&pb.base_keys)).or_default().push(pos);
-            }
-            let is_trivial_residual =
-                matches!(pb.condition, BoundExpr::Lit(ref v) if v.is_truthy());
-            for r in detail {
-                let Some(cands) = index.get(&r.key(&pb.detail_keys)) else {
-                    continue;
-                };
-                for &pos in cands {
-                    let b = &base.rows()[pos];
-                    if !is_trivial_residual && !pb.condition.eval(b, r)?.is_truthy() {
-                        continue;
-                    }
-                    matched[pos] = true;
-                    update_aggs(block, pb, &mut accs[pos], b, r)?;
+    // Evaluate all morsels; each gets fresh accumulators, so results are a
+    // pure function of (input, morsel_rows) — independent of `workers`.
+    let mut states: Vec<Option<Result<MorselState>>> = (0..n_morsels).map(|_| None).collect();
+    if workers == 1 {
+        for (m, slot) in states.iter_mut().enumerate() {
+            *slot = Some(kernel.run_morsel_caught(m, 0, obs, site));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let worker_outs: Vec<Vec<(usize, Result<MorselState>)>> =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let kernel = &kernel;
+                        let next = &next;
+                        s.spawn(move || {
+                            let mut out = Vec::new();
+                            loop {
+                                let m = next.fetch_add(1, Ordering::Relaxed);
+                                if m >= kernel.n_morsels {
+                                    break;
+                                }
+                                out.push((m, kernel.run_morsel_caught(m, w, obs, site)));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panics are caught"))
+                    .collect()
+            });
+        for (m, result) in worker_outs.into_iter().flatten() {
+            states[m] = Some(result);
+        }
+    }
+
+    // Merge in morsel order (deterministic): start from morsel 0's state
+    // and fold the rest via AccLayout::merge. Errors surface for the
+    // smallest failing morsel index, independent of worker scheduling.
+    let mut merged: Option<MorselState> = None;
+    for state in states {
+        let state = state.expect("every morsel was claimed")?;
+        match &mut merged {
+            None => merged = Some(state),
+            Some(acc) => {
+                for (dst, src) in acc.accs.iter_mut().zip(&state.accs) {
+                    layout.merge(dst, src)?;
                 }
-            }
-        } else {
-            // Nested loop: evaluate θ for every (b, r) pair.
-            for (pos, b) in base.iter().enumerate() {
-                let acc = &mut accs[pos];
-                for r in detail {
-                    if pb.condition.eval(b, r)?.is_truthy() {
-                        matched[pos] = true;
-                        update_aggs(block, pb, acc, b, r)?;
-                    }
+                for (dst, src) in acc.matched.iter_mut().zip(&state.matched) {
+                    *dst |= *src;
                 }
             }
         }
     }
+    let merged = merged.expect("at least one morsel");
 
     let phys_schema = gmdj.physical_schema(base.schema(), detail.schema())?;
     let rows: Vec<Row> = base
         .iter()
-        .zip(accs)
+        .zip(merged.accs)
         .map(|(b, acc)| b.extend(&acc))
         .collect();
     Ok(LocalGmdj {
         physical: Relation::new(phys_schema, rows)?,
-        matched,
+        matched: merged.matched,
     })
 }
 
@@ -289,9 +686,20 @@ mod tests {
         )
     }
 
+    /// Environment-independent options for deterministic tests.
+    fn opts() -> EvalOptions {
+        EvalOptions {
+            hash_path: true,
+            parallelism: 1,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            legacy_probe: false,
+            fault_panic_morsel: None,
+        }
+    }
+
     #[test]
     fn grouped_count_and_avg() {
-        let out = eval_full(&base(), &detail(), &simple_gmdj(), EvalOptions::default()).unwrap();
+        let out = eval_full(&base(), &detail(), &simple_gmdj(), opts()).unwrap();
         assert_eq!(out.schema().column_names(), ["g", "cnt", "avg"]);
         assert_eq!(out.rows()[0], row![1i64, 2i64, 15.0]);
         assert_eq!(out.rows()[1], row![2i64, 3i64, 7.0]);
@@ -304,11 +712,99 @@ mod tests {
 
     #[test]
     fn hash_and_nested_loop_agree() {
-        let hash = eval_full(&base(), &detail(), &simple_gmdj(), EvalOptions { hash_path: true })
-            .unwrap();
-        let nl = eval_full(&base(), &detail(), &simple_gmdj(), EvalOptions { hash_path: false })
-            .unwrap();
+        let hash = eval_full(&base(), &detail(), &simple_gmdj(), opts()).unwrap();
+        let nl = eval_full(
+            &base(),
+            &detail(),
+            &simple_gmdj(),
+            EvalOptions {
+                hash_path: false,
+                ..opts()
+            },
+        )
+        .unwrap();
         assert_eq!(hash, nl);
+    }
+
+    #[test]
+    fn legacy_probe_matches_bucket_index() {
+        let fast = eval_local(&base(), &detail(), &simple_gmdj(), opts()).unwrap();
+        let legacy = eval_local(
+            &base(),
+            &detail(),
+            &simple_gmdj(),
+            EvalOptions {
+                legacy_probe: true,
+                ..opts()
+            },
+        )
+        .unwrap();
+        assert_eq!(fast.physical, legacy.physical);
+        assert_eq!(fast.matched, legacy.matched);
+    }
+
+    #[test]
+    fn morsel_decomposition_is_thread_count_invariant() {
+        // Tiny morsels force many of them; every parallelism level must
+        // produce identical physical accumulators and flags.
+        let reference = eval_local(
+            &base(),
+            &detail(),
+            &simple_gmdj(),
+            EvalOptions {
+                morsel_rows: 2,
+                ..opts()
+            },
+        )
+        .unwrap();
+        for p in [2usize, 3, 8] {
+            let out = eval_local(
+                &base(),
+                &detail(),
+                &simple_gmdj(),
+                EvalOptions {
+                    morsel_rows: 2,
+                    parallelism: p,
+                    ..opts()
+                },
+            )
+            .unwrap();
+            assert_eq!(out.physical, reference.physical, "parallelism {p}");
+            assert_eq!(out.matched, reference.matched, "parallelism {p}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_execution_error() {
+        let err = eval_local(
+            &base(),
+            &detail(),
+            &simple_gmdj(),
+            EvalOptions {
+                morsel_rows: 1,
+                parallelism: 2,
+                fault_panic_morsel: Some(1),
+                ..opts()
+            },
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("panicked in morsel 1"), "unexpected: {msg}");
+    }
+
+    #[test]
+    fn duplicate_base_keys_all_probe_candidates() {
+        // Duplicate base tuples share a bucket chain; each must receive
+        // its own accumulators through the position-keyed index.
+        let b = Relation::new(
+            Schema::of(&[("g", DataType::Int)]),
+            vec![row![2i64], row![2i64], row![1i64]],
+        )
+        .unwrap();
+        let out = eval_full(&b, &detail(), &simple_gmdj(), opts()).unwrap();
+        assert_eq!(out.rows()[0], row![2i64, 3i64, 7.0]);
+        assert_eq!(out.rows()[0], out.rows()[1]);
+        assert_eq!(out.rows()[2], row![1i64, 2i64, 15.0]);
     }
 
     #[test]
@@ -323,7 +819,7 @@ mod tests {
             Expr::dcol("v").ge(Expr::bcol("lo")),
             vec![AggSpec::count("cnt")],
         );
-        let out = eval_full(&base, &detail(), &g, EvalOptions::default()).unwrap();
+        let out = eval_full(&base, &detail(), &g, opts()).unwrap();
         // lo=0 matches all 5; lo=8 matches v ∈ {10, 20, 9}.
         assert_eq!(out.rows()[0], row![0i64, 5i64]);
         assert_eq!(out.rows()[1], row![8i64, 3i64]);
@@ -333,14 +829,14 @@ mod tests {
     fn correlated_second_block_uses_first_outputs() {
         // Two-step: first compute avg per group, then count tuples above it
         // (paper Example 1 collapsed to one partition).
-        let b1 = eval_full(&base(), &detail(), &simple_gmdj(), EvalOptions::default()).unwrap();
+        let b1 = eval_full(&base(), &detail(), &simple_gmdj(), opts()).unwrap();
         let g2 = Gmdj::new("t").block(
             ThetaBuilder::group_by(&["g"])
                 .and(Expr::dcol("v").ge(Expr::bcol("avg")))
                 .build(),
             vec![AggSpec::count("cnt2")],
         );
-        let out = eval_full(&b1, &detail(), &g2, EvalOptions::default()).unwrap();
+        let out = eval_full(&b1, &detail(), &g2, opts()).unwrap();
         // Group 1: avg 15, v ∈ {20} above-or-equal → wait, v ∈ {10, 20}; 20 >= 15 → 1.
         assert_eq!(out.rows()[0], row![1i64, 2i64, 15.0, 1i64]);
         // Group 2: avg 7, v ∈ {7, 9} ≥ 7 → 2.
@@ -351,8 +847,7 @@ mod tests {
 
     #[test]
     fn local_eval_matched_flags_and_reduction() {
-        let local = eval_local(&base(), &detail(), &simple_gmdj(), EvalOptions::default())
-            .unwrap();
+        let local = eval_local(&base(), &detail(), &simple_gmdj(), opts()).unwrap();
         assert_eq!(local.matched, vec![true, true, false]);
         let reduced = local.reduced();
         assert_eq!(reduced.len(), 2);
@@ -371,8 +866,8 @@ mod tests {
         let p1 = Relation::from_shared(d.schema_ref(), d.rows()[..2].to_vec());
         let p2 = Relation::from_shared(d.schema_ref(), d.rows()[2..].to_vec());
         let g = simple_gmdj();
-        let l1 = eval_local(&base(), &p1, &g, EvalOptions::default()).unwrap();
-        let l2 = eval_local(&base(), &p2, &g, EvalOptions::default()).unwrap();
+        let l1 = eval_local(&base(), &p1, &g, opts()).unwrap();
+        let l2 = eval_local(&base(), &p2, &g, opts()).unwrap();
 
         let layout = g.layout();
         let base_arity = base().schema().len();
@@ -390,14 +885,14 @@ mod tests {
         }
         let merged_final =
             finalize_physical(&merged, base_arity, &g, d.schema()).unwrap();
-        let direct = eval_full(&base(), &d, &g, EvalOptions::default()).unwrap();
+        let direct = eval_full(&base(), &d, &g, opts()).unwrap();
         assert_eq!(merged_final, direct);
     }
 
     #[test]
     fn empty_detail_relation() {
         let d = Relation::empty(detail().schema().clone());
-        let out = eval_full(&base(), &d, &simple_gmdj(), EvalOptions::default()).unwrap();
+        let out = eval_full(&base(), &d, &simple_gmdj(), opts()).unwrap();
         assert_eq!(out.len(), 3);
         assert_eq!(out.rows()[0].get(1), &Value::Int(0));
         assert!(out.rows()[0].get(2).is_null());
@@ -406,7 +901,7 @@ mod tests {
     #[test]
     fn empty_base_relation() {
         let b = Relation::empty(base().schema().clone());
-        let out = eval_full(&b, &detail(), &simple_gmdj(), EvalOptions::default()).unwrap();
+        let out = eval_full(&b, &detail(), &simple_gmdj(), opts()).unwrap();
         assert!(out.is_empty());
         assert_eq!(out.schema().column_names(), ["g", "cnt", "avg"]);
     }
@@ -424,7 +919,7 @@ mod tests {
                     .build(),
                 vec![AggSpec::count("big_cnt"), AggSpec::max("v", "big_max")],
             );
-        let out = eval_full(&base(), &detail(), &g, EvalOptions::default()).unwrap();
+        let out = eval_full(&base(), &detail(), &g, opts()).unwrap();
         assert_eq!(out.rows()[0], row![1i64, 2i64, 2i64, 20i64]);
         assert_eq!(out.rows()[1], row![2i64, 3i64, 1i64, 9i64]);
     }
@@ -438,8 +933,34 @@ mod tests {
             vec![row![1i64], row![1i64]],
         )
         .unwrap();
-        let out = eval_full(&b, &detail(), &simple_gmdj(), EvalOptions::default()).unwrap();
+        let out = eval_full(&b, &detail(), &simple_gmdj(), opts()).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out.rows()[0], out.rows()[1]);
+    }
+
+    #[test]
+    fn morsel_spans_are_recorded_per_worker() {
+        let obs = Obs::recording();
+        eval_local_traced(
+            &base(),
+            &detail(),
+            &simple_gmdj(),
+            EvalOptions {
+                morsel_rows: 2,
+                parallelism: 2,
+                ..opts()
+            },
+            &obs,
+            7,
+        )
+        .unwrap();
+        let rec = obs.recorder().unwrap();
+        let spans = rec.spans();
+        let morsels: Vec<_> = spans.iter().filter(|s| s.name == "morsel").collect();
+        assert_eq!(morsels.len(), 3, "5 rows / 2-row morsels");
+        assert!(morsels
+            .iter()
+            .all(|s| matches!(s.track, Track::Worker(7, _)) && s.dur_us.is_some()));
+        assert_eq!(rec.histograms()["kernel.morsel_us"].count(), 3);
     }
 }

@@ -23,7 +23,10 @@ pub mod theta;
 
 pub use agg::{AccLayout, AggFunc, AggSpec};
 pub use chain::{BaseQuery, Catalog, GmdjExpr, GmdjExprBuilder};
-pub use eval::{eval_full, eval_local, finalize_physical, EvalOptions, LocalGmdj};
+pub use eval::{
+    eval_full, eval_local, eval_local_traced, finalize_physical, EvalOptions, LocalGmdj,
+    DEFAULT_MORSEL_ROWS,
+};
 pub use operator::{Gmdj, GmdjBlock};
 pub use rewrite::{can_coalesce, coalesce, coalesce_chain, CoalesceReport};
 pub use theta::{analyze_theta, ThetaAnalysis, ThetaBuilder};

@@ -42,16 +42,23 @@ pub enum Track {
     Net,
     /// One executing site.
     Site(usize),
+    /// One kernel worker thread within a site (`(site, worker)`). The
+    /// morsel-parallel GMDJ kernel opens per-morsel spans here; a
+    /// dedicated track per worker keeps span nesting (which is
+    /// per-track) correct when workers run concurrently.
+    Worker(usize, usize),
 }
 
 impl Track {
-    /// Stable thread id for trace export (sites start at 16).
+    /// Stable thread id for trace export (sites start at 16, kernel
+    /// workers at 4096 in blocks of 64 per site).
     pub fn tid(self) -> u64 {
         match self {
             Track::Coordinator => 1,
             Track::Optimizer => 2,
             Track::Net => 3,
             Track::Site(i) => 16 + i as u64,
+            Track::Worker(site, w) => 4096 + (site as u64) * 64 + (w as u64).min(63),
         }
     }
 
@@ -62,6 +69,7 @@ impl Track {
             Track::Optimizer => "optimizer".to_string(),
             Track::Net => "net".to_string(),
             Track::Site(i) => format!("site {i}"),
+            Track::Worker(site, w) => format!("site {site} worker {w}"),
         }
     }
 
@@ -72,6 +80,7 @@ impl Track {
             Track::Optimizer => "opt",
             Track::Net => "net",
             Track::Site(_) => "site",
+            Track::Worker(_, _) => "worker",
         }
     }
 }

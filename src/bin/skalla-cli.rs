@@ -72,6 +72,8 @@ QUERY OPTIONS:
   -q QUERY | --query-file F   the query text
   --limit N                   print at most N result rows (default: 20)
   --chunk N                   row blocking: ship results in chunks of N rows
+  --threads N                 worker threads per site for the morsel-parallel
+                              GMDJ kernel (default: available cores; 1 = serial)
 
 OBSERVABILITY (run only):
   --trace FILE.json           record spans/events and write a Chrome trace
@@ -211,6 +213,13 @@ fn cmd_run(args: &[String], execute: bool) -> Result<(), String> {
     if let Some(chunk) = opt(args, "--chunk") {
         let n: usize = chunk.parse().map_err(|e| format!("bad --chunk: {e}"))?;
         cluster.set_chunk_rows(Some(n));
+    }
+    if let Some(threads) = opt(args, "--threads") {
+        let n: usize = threads.parse().map_err(|e| format!("bad --threads: {e}"))?;
+        if n == 0 {
+            return Err("--threads must be at least 1 (omit for auto)".to_string());
+        }
+        cluster.set_eval_options(skalla::gmdj::EvalOptions::with_parallelism(n));
     }
 
     let expr = query::compile_text(&text).map_err(|e| e.to_string())?;

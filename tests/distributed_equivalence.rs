@@ -235,7 +235,7 @@ fn nested_loop_and_hash_paths_agree_distributed() {
             "flow",
             partition_by_int_ranges(&flows, "source_as", 3),
         );
-        c.set_eval_options(EvalOptions { hash_path: hash });
+        c.set_eval_options(EvalOptions { hash_path: hash, ..EvalOptions::default() });
         let plan = Planner::new(c.distribution()).optimize(&expr, OptFlags::all());
         c.execute(&plan).unwrap().relation
     };

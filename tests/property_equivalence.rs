@@ -9,6 +9,22 @@ use skalla::gmdj::eval::EvalOptions;
 use skalla::gmdj::prelude::*;
 use skalla::relation::{DataType, Relation, Row, Schema};
 
+/// A detail relation with a Double measure column, for bit-identity tests
+/// of float aggregation (values chosen to have inexact f64 sums).
+fn detail_relation_f64(rows: Vec<(i64, i64, i64)>) -> Relation {
+    Relation::new(
+        Schema::of(&[
+            ("g", DataType::Int),
+            ("h", DataType::Int),
+            ("v", DataType::Double),
+        ]),
+        rows.into_iter()
+            .map(|(g, h, v)| Row::new(vec![g.into(), h.into(), (v as f64 / 3.0).into()]))
+            .collect(),
+    )
+    .expect("static schema")
+}
+
 fn detail_relation(rows: Vec<(i64, i64, i64)>) -> Relation {
     Relation::new(
         Schema::of(&[
@@ -118,6 +134,78 @@ proptest! {
             out.relation.canonicalized(),
             oracle.canonicalized()
         );
+    }
+
+    /// The morsel-parallel kernel is **bit-identical** across thread
+    /// counts, probe strategies, and both evaluation paths: the morsel
+    /// decomposition and merge order depend only on the input and the
+    /// morsel size, never on worker scheduling. Verified on f64 SUM / AVG
+    /// / VAR accumulators (where reassociation would change low bits) by
+    /// comparing raw bit patterns, not `Value` equality (which treats
+    /// -0.0 == 0.0).
+    #[test]
+    fn parallel_kernel_is_bit_identical(
+        rows in proptest::collection::vec((-6i64..6, 0i64..3, -20i64..20), 0..80),
+        hash_path in any::<bool>(),
+        non_equi in any::<bool>(),
+    ) {
+        let detail = detail_relation_f64(rows);
+        let base = detail.project(&["g"]).expect("project").distinct();
+        let theta = if non_equi {
+            // Overlapping ranges: exercises the nested-loop morsel path.
+            ThetaBuilder::group_by(&["g"])
+                .and(Expr::dcol("v").ge(Expr::lit(-3.0)))
+                .build()
+        } else {
+            ThetaBuilder::group_by(&["g"]).build()
+        };
+        let op = Gmdj::new("t").block(
+            theta,
+            vec![
+                AggSpec::count("cnt"),
+                AggSpec::sum("v", "sm"),
+                AggSpec::avg("v", "av"),
+                AggSpec::var("v", "vr"),
+                AggSpec::min("v", "mn"),
+                AggSpec::max("v", "mx"),
+            ],
+        );
+        // Explicit options (not Default) so the test is independent of
+        // SKALLA_THREADS / SKALLA_MORSEL_ROWS in the environment. Tiny
+        // morsels force many merge steps even on small inputs.
+        let opts = |parallelism: usize, legacy_probe: bool| EvalOptions {
+            hash_path,
+            parallelism,
+            morsel_rows: 7,
+            legacy_probe,
+            fault_panic_morsel: None,
+        };
+        let reference = skalla::gmdj::eval_local(&base, &detail, &op, opts(1, false))
+            .expect("serial kernel");
+        for (p, legacy) in [(1, true), (2, false), (2, true), (7, false)] {
+            let out = skalla::gmdj::eval_local(&base, &detail, &op, opts(p, legacy))
+                .expect("parallel kernel");
+            prop_assert_eq!(out.matched.clone(), reference.matched.clone(),
+                "matched flags, parallelism {} legacy {}", p, legacy);
+            prop_assert_eq!(
+                out.physical.len(), reference.physical.len(),
+                "row count, parallelism {} legacy {}", p, legacy
+            );
+            for (got, want) in out.physical.rows().iter().zip(reference.physical.rows()) {
+                for (gv, wv) in got.values().iter().zip(want.values()) {
+                    let same = match (gv, wv) {
+                        (skalla::relation::Value::Double(a), skalla::relation::Value::Double(b)) =>
+                            a.to_bits() == b.to_bits(),
+                        _ => gv == wv,
+                    };
+                    prop_assert!(
+                        same,
+                        "bit mismatch at parallelism {} legacy {}: {:?} vs {:?}",
+                        p, legacy, gv, wv
+                    );
+                }
+            }
+        }
     }
 
     /// Group reduction flags never change the row traffic *upward*.

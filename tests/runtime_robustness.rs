@@ -151,6 +151,40 @@ fn multi_table_chain_executes() {
 }
 
 #[test]
+fn worker_panic_mid_morsel_is_a_clean_execution_error() {
+    use skalla::gmdj::EvalOptions;
+    let mut c = cluster();
+    // One-row morsels with two workers, and a fault injected into morsel 0:
+    // the panicking worker must not poison the cluster — the site catches
+    // the unwind and reports a clean execution error upstream.
+    c.set_eval_options(EvalOptions {
+        parallelism: 2,
+        morsel_rows: 1,
+        fault_panic_morsel: Some(0),
+        ..EvalOptions::default()
+    });
+    let plan = Planner::new(c.distribution()).optimize(&expr(), OptFlags::none());
+    let err = c.execute(&plan).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("panicked in morsel 0") && msg.contains("site failed"),
+        "unexpected error: {msg}"
+    );
+
+    // The same cluster value with clean options executes normally — no
+    // poisoned state survives the failed run.
+    c.set_eval_options(EvalOptions {
+        parallelism: 2,
+        morsel_rows: 1,
+        ..EvalOptions::default()
+    });
+    let out = c.execute(&plan).unwrap();
+    let sorted = out.relation.sorted_by(&["g"]).unwrap();
+    assert_eq!(sorted.rows()[0], row![1i64, 2i64]);
+    assert_eq!(sorted.rows()[1], row![2i64, 1i64]);
+}
+
+#[test]
 fn plan_survives_codec_round_trip_and_still_executes() {
     let c = cluster();
     let plan = Planner::new(c.distribution()).optimize(&expr(), OptFlags::all());

@@ -7,9 +7,7 @@
 //! sites compute, synchronize the sub-results, finalize. It also provides
 //! the ship-everything centralized baseline that Skalla's design avoids.
 
-use crate::coordinator::{
-    empty_aggregates, parallel_merge_tree, BaseSync, ChainSync, MergeSync,
-};
+use crate::coordinator::{empty_aggregates, parallel_merge_tree, BaseSync, ChainSync, MergeSync};
 use crate::distribution::DistributionInfo;
 use crate::plan::{DistributedPlan, SiteFilter, StageKind};
 use crate::protocol;
@@ -17,7 +15,7 @@ use crate::stats::{ExecStats, QueryResult, StageTimes};
 use parking_lot::Mutex;
 use skalla_gmdj::eval::EvalOptions;
 use skalla_gmdj::{BaseQuery, GmdjExpr};
-use skalla_net::{star, CoordinatorNet, Direction, NetStats, SiteNet};
+use skalla_net::{star, CoordinatorTransport, Direction, NetStats};
 use skalla_obs::{Obs, Track};
 use skalla_relation::{DomainMap, Error, Relation, Result, Schema};
 use std::collections::HashMap;
@@ -82,11 +80,7 @@ impl Cluster {
             let (rel, dom) = p.into();
             match &schema {
                 None => schema = Some(rel.schema().clone()),
-                Some(s) => assert_eq!(
-                    s,
-                    rel.schema(),
-                    "fragment schemas must agree across sites"
-                ),
+                Some(s) => assert_eq!(s, rel.schema(), "fragment schemas must agree across sites"),
             }
             domains.push(dom);
             self.sites[site].insert(table.clone(), Arc::new(rel));
@@ -190,22 +184,31 @@ impl Cluster {
         for site_net in site_nets {
             let catalog = self.sites[site_net.site_id()].clone();
             let times = Arc::clone(&times);
-            let chunk_rows = self.chunk_rows;
             let obs = self.obs.clone();
             handles.push(std::thread::spawn(move || {
-                site_loop(catalog, site_net, times, chunk_rows, obs)
+                crate::site::site_loop(&catalog, &site_net, Some(&times), &obs)
             }));
         }
 
         // Ship the plan (with the evaluation options every site's kernel
-        // should use) over the accounted transport (round 0).
+        // should use, and the row-blocking chunk size) over the accounted
+        // transport (round 0).
         coord.stats().begin_round("plan");
-        let plan_bytes = crate::plan_codec::encode_plan_with_options(plan, &self.eval);
+        let plan_bytes =
+            crate::plan_codec::encode_plan_with_options(plan, &self.eval, self.chunk_rows);
         let plan_msg = skalla_net::Message::new(protocol::TAG_PLAN, plan_bytes);
         let dispatch = coord.broadcast(&plan_msg).map_err(net_err);
 
         let run = dispatch.and_then(|()| {
-            self.run_coordinator(&coord, plan, &schemas, &detail_schemas)
+            run_coordinator(
+                &coord,
+                plan,
+                &schemas,
+                &detail_schemas,
+                &self.eval,
+                self.timeout,
+                &self.obs,
+            )
         });
 
         // Always release the sites, even on error.
@@ -241,237 +244,6 @@ impl Cluster {
                 wall_s: wall_start.elapsed().as_secs_f64(),
             },
         })
-    }
-
-    fn run_coordinator(
-        &self,
-        coord: &CoordinatorNet,
-        plan: &DistributedPlan,
-        schemas: &[Schema],
-        detail_schemas: &HashMap<String, Schema>,
-    ) -> Result<(Relation, Vec<StageTimes>)> {
-        let n = self.n_sites();
-        let mut b_cur: Option<Relation> = match &plan.expr.base {
-            BaseQuery::Literal(rel) => Some(rel.clone()),
-            BaseQuery::DistinctProject { .. } => None,
-        };
-        let mut stage_times = Vec::with_capacity(plan.stages.len());
-
-        for (sidx, stage) in plan.stages.iter().enumerate() {
-            coord.stats().begin_round(stage.label.clone());
-            let mut stage_span = self.obs.span(Track::Coordinator, stage.label.as_str());
-            let mut st = StageTimes {
-                label: stage.label.clone(),
-                site_busy_s: vec![0.0; n],
-                ..StageTimes::default()
-            };
-
-            match &stage.kind {
-                StageKind::Base => {
-                    coord
-                        .broadcast(&protocol::run_stage(sidx as u32, None))
-                        .map_err(net_err)?;
-                    let mut sync_span = self.obs.span(Track::Coordinator, "BaseSync");
-                    let mut sync = BaseSync::new();
-                    st.coord_s += self.collect(coord, n, sidx as u32, |_, rel| {
-                        st.rows_up += rel.len() as u64;
-                        sync.absorb(rel)
-                    })?;
-                    let t = Instant::now();
-                    b_cur = Some(sync.finish(&plan.key)?);
-                    st.coord_s += t.elapsed().as_secs_f64();
-                    sync_span.arg("rows_up", st.rows_up);
-                    sync_span.arg("groups", b_cur.as_ref().map(|b| b.len()).unwrap_or(0));
-                    sync_span.finish();
-                }
-                StageKind::Unit(unit) => {
-                    // 1. Ship base fragments to participating sites.
-                    let t = Instant::now();
-                    let mut ship_span = self.obs.span(Track::Coordinator, "ship base");
-                    let mut participants = 0usize;
-                    let shared_fragment: Option<Relation> = if unit.fold_base {
-                        None
-                    } else {
-                        let b = b_cur.as_ref().ok_or_else(|| {
-                            Error::Execution("unit stage with no base structure".into())
-                        })?;
-                        Some(project_ship(b, &unit.ship_columns)?)
-                    };
-                    for site in 0..n {
-                        let fragment = match &unit.site_filters[site] {
-                            SiteFilter::Skip => {
-                                // Thm 4, S_MD ⊂ S_B case: the whole fragment
-                                // is eliminated for this site.
-                                if self.obs.is_recording() {
-                                    let rows = b_cur.as_ref().map(|b| b.len()).unwrap_or(0);
-                                    self.obs.event(
-                                        Track::Coordinator,
-                                        "group reduction skip",
-                                        vec![
-                                            ("site", site.into()),
-                                            ("rows_eliminated", rows.into()),
-                                        ],
-                                    );
-                                }
-                                continue;
-                            }
-                            SiteFilter::All => shared_fragment.clone(),
-                            SiteFilter::Predicate(p) => {
-                                let b = b_cur.as_ref().expect("checked above");
-                                let bound = p.bind(b.schema(), None)?;
-                                let kept = b.select(&bound)?;
-                                // Thm 4: rows eliminated by the ¬ψ filter.
-                                if self.obs.is_recording() {
-                                    self.obs.event(
-                                        Track::Coordinator,
-                                        "group reduction filter",
-                                        vec![
-                                            ("site", site.into()),
-                                            ("rows_before", b.len().into()),
-                                            ("rows_after", kept.len().into()),
-                                            (
-                                                "rows_eliminated",
-                                                (b.len() - kept.len()).into(),
-                                            ),
-                                        ],
-                                    );
-                                }
-                                Some(project_ship(&kept, &unit.ship_columns)?)
-                            }
-                        };
-                        participants += 1;
-                        if let Some(f) = &fragment {
-                            st.rows_down += f.len() as u64;
-                        }
-                        coord
-                            .send(site, protocol::run_stage(sidx as u32, fragment.as_ref()))
-                            .map_err(net_err)?;
-                    }
-                    st.coord_s += t.elapsed().as_secs_f64();
-                    ship_span.arg("rows_down", st.rows_down);
-                    ship_span.arg("participants", participants);
-                    ship_span.arg("fold_base", unit.fold_base);
-                    ship_span.finish();
-
-                    // 2. Synchronize sub-results.
-                    let ops = &plan.expr.ops[unit.ops.clone()];
-                    let b_in_schema = &schemas[unit.ops.start];
-                    let out_schema = schemas[unit.ops.end].clone();
-                    if unit.local_chain {
-                        let mut sync_span = self.obs.span(Track::Coordinator, "ChainSync");
-                        let mut sync = ChainSync::new(plan.key.len());
-                        st.coord_s += self.collect(coord, participants, sidx as u32, |_, rel| {
-                            st.rows_up += rel.len() as u64;
-                            sync.absorb(&rel)
-                        })?;
-                        let t = Instant::now();
-                        b_cur = Some(if unit.fold_base {
-                            sync.finish_folded(out_schema)?
-                        } else {
-                            let empty = empty_aggregates(ops)?;
-                            let b = b_cur.take().expect("checked above");
-                            sync.finish_against(&b, &plan.key, &empty, out_schema)?
-                        });
-                        st.coord_s += t.elapsed().as_secs_f64();
-                        sync_span.arg("rows_up", st.rows_up);
-                        sync_span.finish();
-                    } else {
-                        let mut sync_span = self.obs.span(Track::Coordinator, "MergeSync");
-                        let op = &ops[0];
-                        let mut sync = MergeSync::new(
-                            if unit.fold_base { None } else { b_cur.as_ref() },
-                            &plan.key,
-                            op,
-                        )?;
-                        // Gather each site's chunks (site order, arrival
-                        // order within a site) and merge them as a parallel
-                        // binary tree instead of a left fold; only the final
-                        // merged relation is absorbed into X.
-                        let mut chunks_per_site: Vec<Vec<Relation>> = vec![Vec::new(); n];
-                        st.coord_s += self.collect(coord, participants, sidx as u32, |site, rel| {
-                            st.rows_up += rel.len() as u64;
-                            chunks_per_site[site].push(rel);
-                            Ok(())
-                        })?;
-                        let t = Instant::now();
-                        let chunks: Vec<Relation> =
-                            chunks_per_site.into_iter().flatten().collect();
-                        let n_chunks = chunks.len();
-                        let merged = parallel_merge_tree(
-                            chunks,
-                            plan.key.len(),
-                            op,
-                            self.eval.effective_parallelism(),
-                        )?;
-                        if let Some(m) = &merged {
-                            sync.absorb(m)?;
-                        }
-                        let detail = detail_schemas.get(&unit.table).ok_or_else(|| {
-                            Error::Plan(format!("unknown table {:?}", unit.table))
-                        })?;
-                        b_cur = Some(sync.finish(b_in_schema, op, detail)?);
-                        st.coord_s += t.elapsed().as_secs_f64();
-                        sync_span.arg("rows_up", st.rows_up);
-                        sync_span.arg("chunks", n_chunks);
-                        sync_span.finish();
-                    }
-                }
-            }
-            stage_span.arg("rows_down", st.rows_down);
-            stage_span.arg("rows_up", st.rows_up);
-            stage_span.finish();
-            stage_times.push(st);
-        }
-
-        let relation = b_cur
-            .ok_or_else(|| Error::Execution("plan produced no result".into()))?;
-        Ok((relation, stage_times))
-    }
-
-    /// Receive stage results from `expected` sites (each possibly split
-    /// into row-blocked chunks), feeding every chunk into `absorb` (with
-    /// the reporting site's id) as it arrives; returns coordinator busy
-    /// seconds (decode + absorb, excluding waits).
-    fn collect(
-        &self,
-        coord: &CoordinatorNet,
-        expected: usize,
-        stage: u32,
-        mut absorb: impl FnMut(usize, Relation) -> Result<()>,
-    ) -> Result<f64> {
-        let mut busy = 0.0;
-        let mut finished = 0usize;
-        while finished < expected {
-            let (site, msg) = coord.recv(self.timeout).map_err(net_err)?;
-            let t = Instant::now();
-            match msg.tag {
-                protocol::TAG_RESULT => {
-                    let (s, last, rel) = protocol::decode_result(&msg.payload)?;
-                    if s != stage {
-                        return Err(Error::Execution(format!(
-                            "result for stage {s} while synchronizing stage {stage}"
-                        )));
-                    }
-                    if last {
-                        finished += 1;
-                    }
-                    absorb(site, rel)?;
-                }
-                protocol::TAG_ERROR => {
-                    return Err(Error::Execution(format!(
-                        "site failed: {}",
-                        protocol::decode_error(&msg.payload)
-                    )));
-                }
-                t => {
-                    return Err(Error::Execution(format!(
-                        "unexpected message tag {t} from site"
-                    )))
-                }
-            }
-            busy += t.elapsed().as_secs_f64();
-        }
-        Ok(busy)
     }
 
     /// The ship-everything baseline: gather every referenced fragment at
@@ -533,12 +305,244 @@ impl Cluster {
     }
 }
 
+/// Drive Alg. GMDJDistribEval over any coordinator transport: per stage,
+/// ship the base structure down, collect sub-results, synchronize. Shared
+/// by the in-process [`Cluster`] and the TCP
+/// [`crate::remote::RemoteCluster`], which is what makes the two
+/// transports byte-identical by construction — the protocol logic cannot
+/// diverge between them.
+pub(crate) fn run_coordinator(
+    coord: &dyn CoordinatorTransport,
+    plan: &DistributedPlan,
+    schemas: &[Schema],
+    detail_schemas: &HashMap<String, Schema>,
+    eval: &EvalOptions,
+    timeout: Duration,
+    obs: &Obs,
+) -> Result<(Relation, Vec<StageTimes>)> {
+    let n = coord.n_sites();
+    let mut b_cur: Option<Relation> = match &plan.expr.base {
+        BaseQuery::Literal(rel) => Some(rel.clone()),
+        BaseQuery::DistinctProject { .. } => None,
+    };
+    let mut stage_times = Vec::with_capacity(plan.stages.len());
+
+    for (sidx, stage) in plan.stages.iter().enumerate() {
+        coord.stats().begin_round(stage.label.clone());
+        let mut stage_span = obs.span(Track::Coordinator, stage.label.as_str());
+        let mut st = StageTimes {
+            label: stage.label.clone(),
+            site_busy_s: vec![0.0; n],
+            ..StageTimes::default()
+        };
+
+        match &stage.kind {
+            StageKind::Base => {
+                coord
+                    .broadcast(&protocol::run_stage(sidx as u32, None))
+                    .map_err(net_err)?;
+                let mut sync_span = obs.span(Track::Coordinator, "BaseSync");
+                let mut sync = BaseSync::new();
+                st.coord_s += collect(coord, timeout, n, sidx as u32, |_, rel| {
+                    st.rows_up += rel.len() as u64;
+                    sync.absorb(rel)
+                })?;
+                let t = Instant::now();
+                b_cur = Some(sync.finish(&plan.key)?);
+                st.coord_s += t.elapsed().as_secs_f64();
+                sync_span.arg("rows_up", st.rows_up);
+                sync_span.arg("groups", b_cur.as_ref().map(|b| b.len()).unwrap_or(0));
+                sync_span.finish();
+            }
+            StageKind::Unit(unit) => {
+                // 1. Ship base fragments to participating sites.
+                let t = Instant::now();
+                let mut ship_span = obs.span(Track::Coordinator, "ship base");
+                let mut participants = 0usize;
+                let shared_fragment: Option<Relation> = if unit.fold_base {
+                    None
+                } else {
+                    let b = b_cur.as_ref().ok_or_else(|| {
+                        Error::Execution("unit stage with no base structure".into())
+                    })?;
+                    Some(project_ship(b, &unit.ship_columns)?)
+                };
+                for site in 0..n {
+                    let fragment = match &unit.site_filters[site] {
+                        SiteFilter::Skip => {
+                            // Thm 4, S_MD ⊂ S_B case: the whole fragment
+                            // is eliminated for this site.
+                            if obs.is_recording() {
+                                let rows = b_cur.as_ref().map(|b| b.len()).unwrap_or(0);
+                                obs.event(
+                                    Track::Coordinator,
+                                    "group reduction skip",
+                                    vec![("site", site.into()), ("rows_eliminated", rows.into())],
+                                );
+                            }
+                            continue;
+                        }
+                        SiteFilter::All => shared_fragment.clone(),
+                        SiteFilter::Predicate(p) => {
+                            let b = b_cur.as_ref().expect("checked above");
+                            let bound = p.bind(b.schema(), None)?;
+                            let kept = b.select(&bound)?;
+                            // Thm 4: rows eliminated by the ¬ψ filter.
+                            if obs.is_recording() {
+                                obs.event(
+                                    Track::Coordinator,
+                                    "group reduction filter",
+                                    vec![
+                                        ("site", site.into()),
+                                        ("rows_before", b.len().into()),
+                                        ("rows_after", kept.len().into()),
+                                        ("rows_eliminated", (b.len() - kept.len()).into()),
+                                    ],
+                                );
+                            }
+                            Some(project_ship(&kept, &unit.ship_columns)?)
+                        }
+                    };
+                    participants += 1;
+                    if let Some(f) = &fragment {
+                        st.rows_down += f.len() as u64;
+                    }
+                    coord
+                        .send(site, protocol::run_stage(sidx as u32, fragment.as_ref()))
+                        .map_err(net_err)?;
+                }
+                st.coord_s += t.elapsed().as_secs_f64();
+                ship_span.arg("rows_down", st.rows_down);
+                ship_span.arg("participants", participants);
+                ship_span.arg("fold_base", unit.fold_base);
+                ship_span.finish();
+
+                // 2. Synchronize sub-results.
+                let ops = &plan.expr.ops[unit.ops.clone()];
+                let b_in_schema = &schemas[unit.ops.start];
+                let out_schema = schemas[unit.ops.end].clone();
+                if unit.local_chain {
+                    let mut sync_span = obs.span(Track::Coordinator, "ChainSync");
+                    let mut sync = ChainSync::new(plan.key.len());
+                    st.coord_s += collect(coord, timeout, participants, sidx as u32, |_, rel| {
+                        st.rows_up += rel.len() as u64;
+                        sync.absorb(&rel)
+                    })?;
+                    let t = Instant::now();
+                    b_cur = Some(if unit.fold_base {
+                        sync.finish_folded(out_schema)?
+                    } else {
+                        let empty = empty_aggregates(ops)?;
+                        let b = b_cur.take().expect("checked above");
+                        sync.finish_against(&b, &plan.key, &empty, out_schema)?
+                    });
+                    st.coord_s += t.elapsed().as_secs_f64();
+                    sync_span.arg("rows_up", st.rows_up);
+                    sync_span.finish();
+                } else {
+                    let mut sync_span = obs.span(Track::Coordinator, "MergeSync");
+                    let op = &ops[0];
+                    let mut sync = MergeSync::new(
+                        if unit.fold_base { None } else { b_cur.as_ref() },
+                        &plan.key,
+                        op,
+                    )?;
+                    // Gather each site's chunks (site order, arrival
+                    // order within a site) and merge them as a parallel
+                    // binary tree instead of a left fold; only the final
+                    // merged relation is absorbed into X.
+                    let mut chunks_per_site: Vec<Vec<Relation>> = vec![Vec::new(); n];
+                    st.coord_s +=
+                        collect(coord, timeout, participants, sidx as u32, |site, rel| {
+                            st.rows_up += rel.len() as u64;
+                            chunks_per_site[site].push(rel);
+                            Ok(())
+                        })?;
+                    let t = Instant::now();
+                    let chunks: Vec<Relation> = chunks_per_site.into_iter().flatten().collect();
+                    let n_chunks = chunks.len();
+                    let merged = parallel_merge_tree(
+                        chunks,
+                        plan.key.len(),
+                        op,
+                        eval.effective_parallelism(),
+                    )?;
+                    if let Some(m) = &merged {
+                        sync.absorb(m)?;
+                    }
+                    let detail = detail_schemas
+                        .get(&unit.table)
+                        .ok_or_else(|| Error::Plan(format!("unknown table {:?}", unit.table)))?;
+                    b_cur = Some(sync.finish(b_in_schema, op, detail)?);
+                    st.coord_s += t.elapsed().as_secs_f64();
+                    sync_span.arg("rows_up", st.rows_up);
+                    sync_span.arg("chunks", n_chunks);
+                    sync_span.finish();
+                }
+            }
+        }
+        stage_span.arg("rows_down", st.rows_down);
+        stage_span.arg("rows_up", st.rows_up);
+        stage_span.finish();
+        stage_times.push(st);
+    }
+
+    let relation = b_cur.ok_or_else(|| Error::Execution("plan produced no result".into()))?;
+    Ok((relation, stage_times))
+}
+
+/// Receive stage results from `expected` sites (each possibly split
+/// into row-blocked chunks), feeding every chunk into `absorb` (with
+/// the reporting site's id) as it arrives; returns coordinator busy
+/// seconds (decode + absorb, excluding waits).
+pub(crate) fn collect(
+    coord: &dyn CoordinatorTransport,
+    timeout: Duration,
+    expected: usize,
+    stage: u32,
+    mut absorb: impl FnMut(usize, Relation) -> Result<()>,
+) -> Result<f64> {
+    let mut busy = 0.0;
+    let mut finished = 0usize;
+    while finished < expected {
+        let (site, msg) = coord.recv(timeout).map_err(net_err)?;
+        let t = Instant::now();
+        match msg.tag {
+            protocol::TAG_RESULT => {
+                let (s, last, rel) = protocol::decode_result(&msg.payload)?;
+                if s != stage {
+                    return Err(Error::Execution(format!(
+                        "result for stage {s} while synchronizing stage {stage}"
+                    )));
+                }
+                if last {
+                    finished += 1;
+                }
+                absorb(site, rel)?;
+            }
+            protocol::TAG_ERROR => {
+                return Err(Error::Execution(format!(
+                    "site failed: {}",
+                    protocol::decode_error(&msg.payload)
+                )));
+            }
+            t => {
+                return Err(Error::Execution(format!(
+                    "unexpected message tag {t} from site"
+                )))
+            }
+        }
+        busy += t.elapsed().as_secs_f64();
+    }
+    Ok(busy)
+}
+
 /// Project the base structure to the shipped columns.
 fn project_ship(b: &Relation, ship_columns: &[String]) -> Result<Relation> {
     b.project(&ship_columns.iter().map(String::as_str).collect::<Vec<_>>())
 }
 
-fn net_err(e: skalla_net::NetError) -> Error {
+pub(crate) fn net_err(e: skalla_net::NetError) -> Error {
     Error::Execution(format!("network: {e}"))
 }
 
@@ -553,121 +557,7 @@ fn finished_rounds(stats: &NetStats) -> Vec<skalla_net::RoundStats> {
             .unwrap_or(true),
         "traffic before the first stage"
     );
-    rounds
-        .into_iter()
-        .skip(1)
-        .collect()
-}
-
-/// The per-site worker loop: receive the plan (which carries the kernel's
-/// evaluation options), then wait for stage tasks, execute, reply.
-fn site_loop(
-    catalog: HashMap<String, Arc<Relation>>,
-    net: SiteNet,
-    times: Arc<Mutex<Vec<(usize, usize, f64)>>>,
-    chunk_rows: Option<usize>,
-    obs: Obs,
-) {
-    let mut plan: Option<DistributedPlan> = None;
-    let mut eval = EvalOptions::default();
-    loop {
-        let Ok(msg) = net.recv() else {
-            return; // coordinator hung up
-        };
-        match msg.tag {
-            protocol::TAG_SHUTDOWN => return,
-            protocol::TAG_PLAN => {
-                match crate::plan_codec::decode_plan_with_options(&msg.payload) {
-                    Ok((p, e)) => {
-                        plan = Some(p);
-                        eval = e;
-                    }
-                    Err(e) => {
-                        let _ = net.send(protocol::error(&format!("bad plan: {e}")));
-                    }
-                }
-            }
-            protocol::TAG_RUN_STAGE => {
-                let Some(plan) = &plan else {
-                    let _ = net.send(protocol::error("stage task before plan"));
-                    continue;
-                };
-                let replies = match protocol::decode_run_stage(&msg.payload) {
-                    Ok((stage, fragment)) => {
-                        let label = plan
-                            .stages
-                            .get(stage as usize)
-                            .map(|s| s.label.as_str())
-                            .unwrap_or("stage");
-                        let mut task_span =
-                            obs.span(Track::Site(net.site_id()), label);
-                        if let Some(f) = &fragment {
-                            task_span.arg("rows_in", f.len());
-                        }
-                        let t = Instant::now();
-                        let out = crate::site::execute_stage_traced(
-                            &catalog,
-                            plan,
-                            stage as usize,
-                            fragment,
-                            eval,
-                            &obs,
-                            net.site_id(),
-                        );
-                        times
-                            .lock()
-                            .push((net.site_id(), stage as usize, t.elapsed().as_secs_f64()));
-                        match out {
-                            Ok(rel) => {
-                                task_span.arg("rows_out", rel.len());
-                                task_span.finish();
-                                chunked_results(stage, &rel, chunk_rows)
-                            }
-                            Err(e) => {
-                                task_span.arg("error", e.to_string());
-                                task_span.finish();
-                                vec![protocol::error(&e.to_string())]
-                            }
-                        }
-                    }
-                    Err(e) => vec![protocol::error(&e.to_string())],
-                };
-                for reply in replies {
-                    if net.send(reply).is_err() {
-                        return;
-                    }
-                }
-            }
-            _ => {
-                let _ = net.send(protocol::error("unexpected message tag"));
-            }
-        }
-    }
-}
-
-/// Split a stage result into row-blocked RESULT messages (one final
-/// message when chunking is off or the relation is small).
-fn chunked_results(
-    stage: u32,
-    rel: &Relation,
-    chunk_rows: Option<usize>,
-) -> Vec<skalla_net::Message> {
-    match chunk_rows {
-        Some(chunk) if rel.len() > chunk => {
-            let schema = rel.schema_ref();
-            let chunks: Vec<&[skalla_relation::Row]> = rel.rows().chunks(chunk).collect();
-            let n = chunks.len();
-            chunks
-                .into_iter()
-                .enumerate()
-                .map(|(i, rows)| {
-                    let part = Relation::from_shared(Arc::clone(&schema), rows.to_vec());
-                    protocol::result_chunk(stage, &part, i + 1 == n)
-                })
-                .collect()
-        }
-        _ => vec![protocol::result(stage, rel)],
-    }
+    rounds.into_iter().skip(1).collect()
 }
 
 #[cfg(test)]
@@ -701,12 +591,14 @@ mod tests {
                 ThetaBuilder::group_by(&["g"]).build(),
                 vec![AggSpec::count("cnt"), AggSpec::avg("v", "avg")],
             ))
-            .gmdj(Gmdj::new("t").block(
-                ThetaBuilder::group_by(&["g"])
-                    .and(Expr::dcol("v").ge(Expr::bcol("avg")))
-                    .build(),
-                vec![AggSpec::count("above")],
-            ))
+            .gmdj(
+                Gmdj::new("t").block(
+                    ThetaBuilder::group_by(&["g"])
+                        .and(Expr::dcol("v").ge(Expr::bcol("avg")))
+                        .build(),
+                    vec![AggSpec::count("above")],
+                ),
+            )
             .build()
     }
 
@@ -752,9 +644,9 @@ mod tests {
                 sync_reduction: bits & 8 != 0,
             };
             let plan = Planner::new(c.distribution()).optimize(&expr(), flags);
-            let out = c.execute(&plan).unwrap_or_else(|e| {
-                panic!("flags {flags:?} failed: {e}\n{}", plan.explain())
-            });
+            let out = c
+                .execute(&plan)
+                .unwrap_or_else(|e| panic!("flags {flags:?} failed: {e}\n{}", plan.explain()));
             assert!(
                 out.relation.same_bag(&oracle),
                 "flags {flags:?} wrong result\n{}",
@@ -902,12 +794,14 @@ mod tests {
         c.set_obs(obs.clone());
         // Restrict to g <= 2: site 1 (g = 3) is skipped under Thm 4.
         let e = GmdjExprBuilder::distinct_base("t", &["g"])
-            .gmdj(Gmdj::new("t").block(
-                ThetaBuilder::group_by(&["g"])
-                    .and(Expr::dcol("g").le(Expr::lit(2i64)))
-                    .build(),
-                vec![AggSpec::count("cnt")],
-            ))
+            .gmdj(
+                Gmdj::new("t").block(
+                    ThetaBuilder::group_by(&["g"])
+                        .and(Expr::dcol("g").le(Expr::lit(2i64)))
+                        .build(),
+                    vec![AggSpec::count("cnt")],
+                ),
+            )
             .build();
         let plan = Planner::new(c.distribution()).optimize(
             &e,

@@ -4,8 +4,13 @@
 //! queries (GMDJ expressions) over a coordinator + local-warehouse-sites
 //! architecture, shipping only aggregate structures — never detail data.
 //!
-//! * [`cluster::Cluster`] — the runtime: threaded sites, coordinator,
-//!   Alg. GMDJDistribEval, and the ship-everything centralized baseline.
+//! * [`cluster::Cluster`] — the in-process runtime: threaded sites,
+//!   coordinator, Alg. GMDJDistribEval, and the ship-everything
+//!   centralized baseline.
+//! * [`remote::RemoteCluster`] / [`remote::SiteServer`] — the same
+//!   coordinator algorithm over the TCP transport, for real
+//!   multi-process clusters (`skalla-cli site` / `skalla-cli run
+//!   --sites`).
 //! * [`plan::Planner`] — the Egil planner: coalescing, distribution-aware
 //!   and distribution-independent group reduction, synchronization
 //!   reduction (Prop 2, Thm 5/Cor 1).
@@ -24,6 +29,7 @@ pub mod distribution;
 pub mod plan;
 pub mod plan_codec;
 pub mod protocol;
+pub mod remote;
 pub mod site;
 pub mod stats;
 pub mod topology;
@@ -34,5 +40,6 @@ pub use plan::{
     DistributedPlan, OptFlags, PlanDecision, Planner, SiteFilter, Stage, StageKind, Unit,
 };
 pub use plan_codec::{decode_plan, encode_plan};
+pub use remote::{RemoteCluster, SiteServer};
 pub use stats::{ExecStats, QueryResult, RoundSummary, SimBreakdown, StageTimes};
 pub use topology::{execute_tree, TreeQueryResult, TreeTopology};

@@ -125,24 +125,45 @@ fn get_eval_options(dec: &mut Decoder<'_>) -> Result<EvalOptions> {
     })
 }
 
-/// Encode the evaluation options followed by the plan — the `TAG_PLAN`
-/// payload the coordinator broadcasts, so every site runs its kernel with
-/// the cluster-configured knobs.
-pub fn encode_plan_with_options(plan: &DistributedPlan, opts: &EvalOptions) -> Vec<u8> {
+/// Encode the evaluation options, the row-blocking chunk size, and then
+/// the plan — the `TAG_PLAN` payload the coordinator broadcasts, so every
+/// site runs its kernel with the cluster-configured knobs. Carrying
+/// `chunk_rows` in-band (rather than at thread-spawn time) means a remote
+/// site process chunks its results exactly like an in-process site, which
+/// the transport-invariance of the byte accounting depends on.
+pub fn encode_plan_with_options(
+    plan: &DistributedPlan,
+    opts: &EvalOptions,
+    chunk_rows: Option<usize>,
+) -> Vec<u8> {
     let mut enc = Encoder::new();
     put_eval_options(&mut enc, opts);
+    match chunk_rows {
+        Some(rows) => {
+            enc.put_u8(1);
+            enc.put_u32(rows.min(u32::MAX as usize) as u32);
+        }
+        None => enc.put_u8(0),
+    }
     let mut bytes = enc.finish();
     bytes.extend(encode_plan(plan));
     bytes
 }
 
-/// Decode a `TAG_PLAN` payload: evaluation options, then the plan.
-pub fn decode_plan_with_options(bytes: &[u8]) -> Result<(DistributedPlan, EvalOptions)> {
+/// Decode a `TAG_PLAN` payload: evaluation options, chunk size, plan.
+pub fn decode_plan_with_options(
+    bytes: &[u8],
+) -> Result<(DistributedPlan, EvalOptions, Option<usize>)> {
     let mut dec = Decoder::new(bytes);
     let opts = get_eval_options(&mut dec)?;
+    let chunk_rows = match dec.get_u8()? {
+        0 => None,
+        1 => Some((dec.get_u32()? as usize).max(1)),
+        t => return Err(Error::Codec(format!("bad chunk flag {t}"))),
+    };
     let consumed = bytes.len() - dec.remaining();
     let plan = decode_plan(&bytes[consumed..])?;
-    Ok((plan, opts))
+    Ok((plan, opts, chunk_rows))
 }
 
 /// Encode a distributed plan to bytes.
@@ -209,9 +230,7 @@ mod tests {
         d.set_table(
             "t",
             (0..3)
-                .map(|i| {
-                    DomainMap::new().with("g", Domain::IntRange(10 * i, 10 * i + 9))
-                })
+                .map(|i| DomainMap::new().with("g", Domain::IntRange(10 * i, 10 * i + 9)))
                 .collect(),
         );
         Planner::new(d)
@@ -223,12 +242,14 @@ mod tests {
                 ThetaBuilder::group_by(&["g"]).build(),
                 vec![AggSpec::count("c"), AggSpec::avg("v", "a")],
             ))
-            .gmdj(Gmdj::new("t").block(
-                ThetaBuilder::group_by(&["g"])
-                    .and(Expr::dcol("v").ge(Expr::bcol("a")))
-                    .build(),
-                vec![AggSpec::count("above")],
-            ))
+            .gmdj(
+                Gmdj::new("t").block(
+                    ThetaBuilder::group_by(&["g"])
+                        .and(Expr::dcol("v").ge(Expr::bcol("a")))
+                        .build(),
+                    vec![AggSpec::count("above")],
+                ),
+            )
             .build()
     }
 
@@ -268,14 +289,17 @@ mod tests {
                 fault_panic_morsel: Some(3),
             },
         ] {
-            let bytes = encode_plan_with_options(&plan, &opts);
-            let (back_plan, back_opts) = decode_plan_with_options(&bytes).unwrap();
-            assert_eq!(back_plan, plan);
-            assert_eq!(back_opts.hash_path, opts.hash_path);
-            assert_eq!(back_opts.parallelism, opts.parallelism);
-            assert_eq!(back_opts.morsel_rows, opts.morsel_rows);
-            assert_eq!(back_opts.legacy_probe, opts.legacy_probe);
-            assert_eq!(back_opts.fault_panic_morsel, opts.fault_panic_morsel);
+            for chunk_rows in [None, Some(512)] {
+                let bytes = encode_plan_with_options(&plan, &opts, chunk_rows);
+                let (back_plan, back_opts, back_chunk) = decode_plan_with_options(&bytes).unwrap();
+                assert_eq!(back_plan, plan);
+                assert_eq!(back_chunk, chunk_rows);
+                assert_eq!(back_opts.hash_path, opts.hash_path);
+                assert_eq!(back_opts.parallelism, opts.parallelism);
+                assert_eq!(back_opts.morsel_rows, opts.morsel_rows);
+                assert_eq!(back_opts.legacy_probe, opts.legacy_probe);
+                assert_eq!(back_opts.fault_panic_morsel, opts.fault_panic_morsel);
+            }
         }
     }
 

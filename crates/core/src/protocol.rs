@@ -2,15 +2,16 @@
 //!
 //! Data that the paper's cost analysis counts — base-structure fragments
 //! shipped down, sub-aggregate relations shipped up — travels as
-//! codec-serialized payloads whose bytes are recorded by `skalla-net`. The
-//! *plan* itself is distributed out-of-band (sites receive an `Arc` of the
-//! plan at spawn time): plan text is a few hundred bytes sent once, which
-//! the paper does not account, and keeping it out-of-band avoids
-//! maintaining a serializer for expression trees.
+//! codec-serialized payloads whose bytes are recorded by `skalla-net`.
+//! The plan itself travels in-band too (`TAG_PLAN`, a few hundred bytes
+//! broadcast once per query), as does the catalog handshake a remote
+//! coordinator uses to learn site schemas (`TAG_CATALOG_REQ`/
+//! `TAG_CATALOG`). Every message is payload-identical whichever transport
+//! carries it, so the recorded traffic is transport-invariant.
 
 use skalla_net::Message;
 use skalla_relation::codec::{Decoder, Encoder};
-use skalla_relation::{Error, Relation, Result};
+use skalla_relation::{Domain, DomainMap, Error, Relation, Result, Schema};
 
 /// Coordinator → site: run a stage (optionally with a base fragment).
 pub const TAG_RUN_STAGE: u8 = 1;
@@ -25,12 +26,19 @@ pub const TAG_SHUTDOWN: u8 = 4;
 /// probe strategy) followed by the encoded plan — see
 /// [`crate::plan_codec::encode_plan_with_options`].
 pub const TAG_PLAN: u8 = 5;
+/// Coordinator → site: describe your local warehouse. Sent once per
+/// session by a *remote* coordinator (TCP transport), which — unlike the
+/// in-process [`crate::Cluster`] — has no shared-memory view of the
+/// sites' tables, schemas, or partition domains, yet needs all three for
+/// plan validation and distribution-aware optimization.
+pub const TAG_CATALOG_REQ: u8 = 6;
+/// Site → coordinator: the catalog reply — one [`SiteCatalogEntry`] per
+/// local table, sorted by table name so the payload is deterministic.
+pub const TAG_CATALOG: u8 = 7;
 
 /// Encode a `RUN_STAGE` message.
 pub fn run_stage(stage: u32, fragment: Option<&Relation>) -> Message {
-    let mut enc = Encoder::with_capacity(
-        8 + fragment.map(|r| r.encoded_size()).unwrap_or(0),
-    );
+    let mut enc = Encoder::with_capacity(8 + fragment.map(|r| r.encoded_size()).unwrap_or(0));
     enc.put_u32(stage);
     match fragment {
         Some(rel) => {
@@ -108,6 +116,122 @@ pub fn shutdown() -> Message {
     Message::new(TAG_SHUTDOWN, Vec::new())
 }
 
+/// What one site advertises about one of its tables in the catalog
+/// handshake: enough for a remote coordinator to validate plans (schema),
+/// optimize with distribution knowledge (the site's φ domains), and print
+/// diagnostics (row count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteCatalogEntry {
+    /// Table name.
+    pub table: String,
+    /// The fragment's schema (identical across sites by construction).
+    pub schema: Schema,
+    /// This site's partition-domain description φᵢ for the table.
+    pub domains: DomainMap,
+    /// Local fragment row count (diagnostics only).
+    pub rows: u64,
+}
+
+fn put_domain(enc: &mut Encoder, d: &Domain) {
+    match d {
+        Domain::Any => enc.put_u8(0),
+        Domain::IntRange(lo, hi) => {
+            enc.put_u8(1);
+            enc.put_i64(*lo);
+            enc.put_i64(*hi);
+        }
+        Domain::Set(values) => {
+            enc.put_u8(2);
+            enc.put_u32(values.len() as u32);
+            for v in values {
+                enc.put_value(v);
+            }
+        }
+    }
+}
+
+fn get_domain(dec: &mut Decoder<'_>) -> Result<Domain> {
+    match dec.get_u8()? {
+        0 => Ok(Domain::Any),
+        1 => Ok(Domain::IntRange(dec.get_i64()?, dec.get_i64()?)),
+        2 => {
+            let n = dec.get_u32()? as usize;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(dec.get_value()?);
+            }
+            Ok(Domain::of(values))
+        }
+        t => Err(Error::Codec(format!("bad domain tag {t}"))),
+    }
+}
+
+fn put_domain_map(enc: &mut Encoder, map: &DomainMap) {
+    // DomainMap iterates in hash order; sort so the payload (and hence
+    // the recorded byte counts) is deterministic.
+    let mut columns: Vec<&str> = map.constrained_columns().collect();
+    columns.sort_unstable();
+    enc.put_u32(columns.len() as u32);
+    for col in columns {
+        enc.put_str(col);
+        put_domain(enc, map.get(col));
+    }
+}
+
+fn get_domain_map(dec: &mut Decoder<'_>) -> Result<DomainMap> {
+    let n = dec.get_u32()? as usize;
+    let mut map = DomainMap::new();
+    for _ in 0..n {
+        let col = dec.get_str()?;
+        map.insert(col, get_domain(dec)?);
+    }
+    Ok(map)
+}
+
+/// Encode a `CATALOG_REQ` message.
+pub fn catalog_request() -> Message {
+    Message::new(TAG_CATALOG_REQ, Vec::new())
+}
+
+/// Encode a `CATALOG` reply. Entries are sorted by table name so every
+/// site produces a deterministic payload for the same warehouse.
+pub fn catalog(entries: &[SiteCatalogEntry]) -> Message {
+    let mut sorted: Vec<&SiteCatalogEntry> = entries.iter().collect();
+    sorted.sort_unstable_by(|a, b| a.table.cmp(&b.table));
+    let mut enc = Encoder::new();
+    enc.put_u32(sorted.len() as u32);
+    for e in sorted {
+        enc.put_str(&e.table);
+        enc.put_schema(&e.schema);
+        put_domain_map(&mut enc, &e.domains);
+        enc.put_i64(e.rows as i64);
+    }
+    Message::new(TAG_CATALOG, enc.finish())
+}
+
+/// Decode a `CATALOG` payload.
+pub fn decode_catalog(payload: &[u8]) -> Result<Vec<SiteCatalogEntry>> {
+    let mut dec = Decoder::new(payload);
+    let n = dec.get_u32()? as usize;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let table = dec.get_str()?;
+        let schema = dec.get_schema()?;
+        let domains = get_domain_map(&mut dec)?;
+        let rows = dec.get_i64()? as u64;
+        entries.push(SiteCatalogEntry {
+            table,
+            schema,
+            domains,
+            rows,
+        });
+    }
+    if dec.remaining() != 0 {
+        return Err(Error::Codec("trailing bytes in CATALOG".into()));
+    }
+    Ok(entries)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +276,44 @@ mod tests {
         let m = error("something broke");
         assert_eq!(decode_error(&m.payload), "something broke");
         assert_eq!(decode_error(&[0xFF]), "malformed error message");
+    }
+
+    #[test]
+    fn catalog_round_trip_is_sorted_and_deterministic() {
+        use skalla_relation::Value;
+        let entries = vec![
+            SiteCatalogEntry {
+                table: "zeta".to_string(),
+                schema: Schema::of(&[("k", DataType::Int)]),
+                domains: DomainMap::new()
+                    .with("k", Domain::IntRange(0, 9))
+                    .with("tag", Domain::of([Value::Int(1), Value::Int(2)])),
+                rows: 42,
+            },
+            SiteCatalogEntry {
+                table: "alpha".to_string(),
+                schema: Schema::of(&[("x", DataType::Double)]),
+                domains: DomainMap::new(),
+                rows: 0,
+            },
+        ];
+        let m = catalog(&entries);
+        assert_eq!(m.tag, TAG_CATALOG);
+        let back = decode_catalog(&m.payload).unwrap();
+        // Sorted by table name regardless of input order.
+        assert_eq!(back[0].table, "alpha");
+        assert_eq!(back[1].table, "zeta");
+        assert_eq!(back[1].rows, 42);
+        assert_eq!(back[1].domains.get("k"), &Domain::IntRange(0, 9));
+        assert_eq!(
+            back[1].domains.get("tag"),
+            &Domain::of([Value::Int(1), Value::Int(2)])
+        );
+        assert_eq!(back[1].domains.get("other"), &Domain::Any);
+        // Deterministic payload: encoding twice yields identical bytes
+        // (DomainMap iteration order must not leak into the wire form).
+        assert_eq!(m.payload, catalog(&entries).payload);
+        assert!(decode_catalog(&m.payload[..m.payload.len() - 1]).is_err());
     }
 
     #[test]

@@ -1,0 +1,455 @@
+//! Multi-process execution over the TCP transport.
+//!
+//! [`RemoteCluster`] is the coordinator side: it dials a set of site
+//! processes (started with `skalla-cli site` or [`SiteServer`]), learns
+//! their schemas and partition domains through the catalog handshake, and
+//! then drives exactly the same coordinator algorithm as the in-process
+//! [`crate::Cluster`] — the protocol logic is shared (the crate-private
+//! `run_coordinator` in [`crate::cluster`]), so the two transports
+//! produce bit-identical results and identical logical traffic
+//! accounting by construction.
+//!
+//! Differences from the in-process runtime, by design:
+//!
+//! * **Per-site busy times are not reported** (`site_busy_s` stays 0 for
+//!   remote runs): shipping timing samples would add bytes to the
+//!   accounted messages and break byte-identity between the transports.
+//! * **The catalog handshake is charged to a pre-query round** and sliced
+//!   out of each query's [`crate::stats::ExecStats::net`], so the
+//!   per-query rounds line up one-to-one with an in-process run.
+//! * **One query per connection**: [`RemoteCluster::execute`] releases
+//!   the sites with a shutdown broadcast (exactly like the in-process
+//!   cluster releases its threads), which ends the TCP session. A
+//!   [`SiteServer`] loops back to accept the next coordinator unless
+//!   told to serve `--once`.
+
+use crate::cluster::{net_err, run_coordinator};
+use crate::distribution::DistributionInfo;
+use crate::plan::DistributedPlan;
+use crate::protocol::{self, SiteCatalogEntry};
+use crate::site::site_loop;
+use crate::stats::{ExecStats, QueryResult, StageTimes};
+use skalla_gmdj::eval::EvalOptions;
+use skalla_net::{CoordinatorTransport, SiteTransport, TcpConfig, TcpCoordinator, TcpSiteListener};
+use skalla_obs::{Obs, Track};
+use skalla_relation::{DomainMap, Error, Relation, Result, Schema};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long the coordinator waits for each site's catalog reply.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// The coordinator's handle to a running multi-process cluster.
+///
+/// Connect with [`RemoteCluster::connect`], plan against
+/// [`RemoteCluster::distribution`], then [`RemoteCluster::execute`] one
+/// query (the shutdown broadcast that releases the sites ends the
+/// session — reconnect for the next query).
+pub struct RemoteCluster {
+    coord: TcpCoordinator,
+    dist: DistributionInfo,
+    catalog: HashMap<String, Arc<Relation>>,
+    rows_per_site: Vec<u64>,
+    eval: EvalOptions,
+    timeout: Duration,
+    chunk_rows: Option<usize>,
+    obs: Obs,
+}
+
+impl std::fmt::Debug for RemoteCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteCluster")
+            .field("n_sites", &self.coord.n_sites())
+            .field("tables", &self.catalog.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl RemoteCluster {
+    /// Dial every site (with the config's retry/backoff), then run the
+    /// catalog handshake: each site describes its tables, schemas, and
+    /// partition domains, from which the coordinator assembles its
+    /// [`DistributionInfo`] and validation catalog. `addrs[i]` becomes
+    /// site `i`; all sites must advertise the same tables and schemas.
+    pub fn connect(addrs: &[String], cfg: &TcpConfig) -> Result<RemoteCluster> {
+        if addrs.is_empty() {
+            return Err(Error::Execution("a cluster needs at least one site".into()));
+        }
+        let coord = TcpCoordinator::connect(addrs, cfg).map_err(net_err)?;
+        let n = coord.n_sites();
+
+        // Handshake traffic lands in the accounting's initial "round 0",
+        // which execute() slices off the per-query stats.
+        coord
+            .broadcast(&protocol::catalog_request())
+            .map_err(net_err)?;
+        let mut per_site: Vec<Option<Vec<SiteCatalogEntry>>> = vec![None; n];
+        for _ in 0..n {
+            let (site, msg) = coord.recv(HANDSHAKE_TIMEOUT).map_err(net_err)?;
+            match msg.tag {
+                protocol::TAG_CATALOG => {
+                    per_site[site] = Some(protocol::decode_catalog(&msg.payload)?);
+                }
+                protocol::TAG_ERROR => {
+                    return Err(Error::Execution(format!(
+                        "site {site} rejected the catalog handshake: {}",
+                        protocol::decode_error(&msg.payload)
+                    )));
+                }
+                t => {
+                    return Err(Error::Execution(format!(
+                        "unexpected message tag {t} from site {site} during handshake"
+                    )));
+                }
+            }
+        }
+        let per_site: Vec<Vec<SiteCatalogEntry>> = per_site
+            .into_iter()
+            .map(|e| e.expect("filled above"))
+            .collect();
+
+        // Assemble distribution knowledge and the validation catalog,
+        // checking the sites agree on the warehouse shape.
+        let mut dist = DistributionInfo::new(n);
+        let mut catalog: HashMap<String, Arc<Relation>> = HashMap::new();
+        let mut rows_per_site = vec![0u64; n];
+        for entry in &per_site[0] {
+            let mut domains = Vec::with_capacity(n);
+            for (site, entries) in per_site.iter().enumerate() {
+                let here = entries
+                    .iter()
+                    .find(|e| e.table == entry.table)
+                    .ok_or_else(|| {
+                        Error::Execution(format!(
+                            "site {site} does not hold table {:?}",
+                            entry.table
+                        ))
+                    })?;
+                if here.schema != entry.schema {
+                    return Err(Error::Execution(format!(
+                        "site {site} disagrees on the schema of {:?}",
+                        entry.table
+                    )));
+                }
+                domains.push(here.domains.clone());
+                rows_per_site[site] += here.rows;
+            }
+            dist.set_table(entry.table.clone(), domains);
+            catalog.insert(
+                entry.table.clone(),
+                Arc::new(Relation::new(entry.schema.clone(), Vec::new())?),
+            );
+        }
+        for (site, entries) in per_site.iter().enumerate() {
+            if entries.len() != per_site[0].len() {
+                return Err(Error::Execution(format!(
+                    "site {site} advertises {} tables, site 0 advertises {}",
+                    entries.len(),
+                    per_site[0].len()
+                )));
+            }
+        }
+
+        Ok(RemoteCluster {
+            coord,
+            dist,
+            catalog,
+            rows_per_site,
+            eval: EvalOptions::default(),
+            timeout: Duration::from_secs(120),
+            chunk_rows: None,
+            obs: Obs::disabled(),
+        })
+    }
+
+    /// Number of connected sites.
+    pub fn n_sites(&self) -> usize {
+        self.coord.n_sites()
+    }
+
+    /// Total rows each site reported in the handshake (diagnostics).
+    pub fn rows_per_site(&self) -> &[u64] {
+        &self.rows_per_site
+    }
+
+    /// The coordinator's distribution knowledge, learned from the
+    /// handshake (feed this to [`crate::plan::Planner::new`]).
+    pub fn distribution(&self) -> DistributionInfo {
+        self.dist.clone()
+    }
+
+    /// Table schemas, as empty relations (plan-validation catalog).
+    pub fn catalog(&self) -> &HashMap<String, Arc<Relation>> {
+        &self.catalog
+    }
+
+    /// Local evaluation options shipped to every site with the plan.
+    pub fn set_eval_options(&mut self, eval: EvalOptions) -> &mut RemoteCluster {
+        self.eval = eval;
+        self
+    }
+
+    /// Per-round receive timeout.
+    pub fn set_timeout(&mut self, timeout: Duration) -> &mut RemoteCluster {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Enable row blocking, exactly as
+    /// [`crate::Cluster::set_chunk_rows`]; the chunk size travels to the
+    /// sites inside the plan message.
+    pub fn set_chunk_rows(&mut self, rows: Option<usize>) -> &mut RemoteCluster {
+        self.chunk_rows = rows.filter(|r| *r > 0);
+        self
+    }
+
+    /// Attach an observability handle (message events gain
+    /// `transport: "tcp"`).
+    pub fn set_obs(&mut self, obs: Obs) -> &mut RemoteCluster {
+        self.obs = obs;
+        self
+    }
+
+    /// Execute a distributed plan over the connected sites and return the
+    /// result with full statistics — the same shape, round labels, and
+    /// logical traffic accounting as [`crate::Cluster::execute`], except
+    /// that per-site busy times are zero (see the module docs). Ends the
+    /// session by releasing the sites.
+    pub fn execute(&self, plan: &DistributedPlan) -> Result<QueryResult> {
+        let n = self.n_sites();
+        let wall_start = Instant::now();
+        plan.check_structure(n)?;
+        let schemas = plan.expr.validate(&self.catalog)?;
+        let detail_schemas: HashMap<String, Schema> = self
+            .catalog
+            .iter()
+            .map(|(k, v)| (k.clone(), v.schema().clone()))
+            .collect();
+
+        self.coord.stats().set_obs(self.obs.clone());
+        let mut query_span = self
+            .obs
+            .span(Track::Coordinator, "query")
+            .with("sites", n)
+            .with("rounds", plan.n_rounds());
+
+        // Rounds before this mark belong to the handshake, not the query.
+        let mark = self.coord.stats().rounds().len();
+        self.coord.stats().begin_round("plan");
+        let plan_bytes =
+            crate::plan_codec::encode_plan_with_options(plan, &self.eval, self.chunk_rows);
+        let plan_msg = skalla_net::Message::new(protocol::TAG_PLAN, plan_bytes);
+        let dispatch = self.coord.broadcast(&plan_msg).map_err(net_err);
+
+        let run = dispatch.and_then(|()| {
+            run_coordinator(
+                &self.coord,
+                plan,
+                &schemas,
+                &detail_schemas,
+                &self.eval,
+                self.timeout,
+                &self.obs,
+            )
+        });
+
+        // Always release the sites, even on error.
+        let _ = self.coord.broadcast(&protocol::shutdown());
+
+        let (relation, mut stage_times) = run?;
+        stage_times.insert(
+            0,
+            StageTimes {
+                label: "plan".to_string(),
+                site_busy_s: vec![0.0; n],
+                ..StageTimes::default()
+            },
+        );
+        let net = self.coord.stats().rounds().split_off(mark);
+        query_span.arg("result_rows", relation.len());
+        query_span.finish();
+        Ok(QueryResult {
+            relation,
+            stats: ExecStats {
+                stages: stage_times,
+                net,
+                wall_s: wall_start.elapsed().as_secs_f64(),
+            },
+        })
+    }
+}
+
+/// A standalone warehouse site: a bound listener plus the site's local
+/// tables and partition-domain descriptions. Each accepted coordinator
+/// session is served to completion — catalog handshake, then the
+/// [`site_loop`] protocol driver until shutdown or disconnect.
+pub struct SiteServer {
+    listener: TcpSiteListener,
+    catalog: HashMap<String, Arc<Relation>>,
+    entries: Vec<SiteCatalogEntry>,
+    cfg: TcpConfig,
+    obs: Obs,
+}
+
+impl std::fmt::Debug for SiteServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SiteServer")
+            .field("tables", &self.catalog.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl SiteServer {
+    /// Bind `addr` (use port 0 for an ephemeral port, then
+    /// [`SiteServer::local_addr`]). `domains` gives this site's φ
+    /// description per table; tables without one advertise unconstrained
+    /// domains.
+    pub fn bind(
+        addr: &str,
+        catalog: HashMap<String, Arc<Relation>>,
+        domains: HashMap<String, DomainMap>,
+        cfg: TcpConfig,
+    ) -> Result<SiteServer> {
+        let listener = TcpSiteListener::bind(addr).map_err(net_err)?;
+        let entries: Vec<SiteCatalogEntry> = catalog
+            .iter()
+            .map(|(table, rel)| SiteCatalogEntry {
+                table: table.clone(),
+                schema: rel.schema().clone(),
+                domains: domains.get(table).cloned().unwrap_or_default(),
+                rows: rel.len() as u64,
+            })
+            .collect();
+        Ok(SiteServer {
+            listener,
+            catalog,
+            entries,
+            cfg,
+            obs: Obs::disabled(),
+        })
+    }
+
+    /// The actual bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        self.listener.local_addr().map_err(net_err)
+    }
+
+    /// Attach an observability handle for site task spans.
+    pub fn set_obs(&mut self, obs: Obs) -> &mut SiteServer {
+        self.obs = obs;
+        self
+    }
+
+    /// Accept one coordinator session and serve it to completion.
+    /// Returns after the coordinator's shutdown broadcast (normal end of
+    /// query) or when the link dies; either way the listener stays bound,
+    /// so the caller may loop.
+    pub fn serve_once(&self) -> Result<()> {
+        let site = self.listener.accept(&self.cfg).map_err(net_err)?;
+        // The handshake: a remote coordinator always asks for the catalog
+        // before planning.
+        let first = site.recv().map_err(net_err)?;
+        if first.tag != protocol::TAG_CATALOG_REQ {
+            let _ = site.send(protocol::error("expected a catalog request"));
+            return Err(Error::Execution(format!(
+                "expected catalog request, got message tag {}",
+                first.tag
+            )));
+        }
+        site.send(protocol::catalog(&self.entries))
+            .map_err(net_err)?;
+        site_loop(&self.catalog, &site, None, &self.obs);
+        Ok(())
+    }
+
+    /// Serve coordinator sessions forever (one at a time). A failed
+    /// session (handshake violation, link death) is logged to stderr and
+    /// the server returns to accepting.
+    pub fn serve_forever(&self) -> Result<()> {
+        loop {
+            if let Err(e) = self.serve_once() {
+                eprintln!("skalla site: session ended with error: {e}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{OptFlags, Planner};
+    use skalla_gmdj::prelude::*;
+    use skalla_relation::{row, DataType, Domain};
+
+    fn fragments() -> Vec<(Relation, DomainMap)> {
+        let schema = Schema::of(&[("g", DataType::Int), ("v", DataType::Int)]);
+        let p0 = Relation::new(
+            schema.clone(),
+            vec![row![1i64, 10i64], row![1i64, 30i64], row![2i64, 5i64]],
+        )
+        .unwrap();
+        let p1 = Relation::new(schema, vec![row![3i64, 7i64], row![3i64, 9i64]]).unwrap();
+        vec![
+            (p0, DomainMap::new().with("g", Domain::IntRange(1, 2))),
+            (p1, DomainMap::new().with("g", Domain::IntRange(3, 3))),
+        ]
+    }
+
+    fn expr() -> GmdjExpr {
+        GmdjExprBuilder::distinct_base("t", &["g"])
+            .gmdj(Gmdj::new("t").block(
+                ThetaBuilder::group_by(&["g"]).build(),
+                vec![AggSpec::count("cnt"), AggSpec::avg("v", "avg")],
+            ))
+            .build()
+    }
+
+    fn spawn_sites(parts: Vec<(Relation, DomainMap)>) -> Vec<String> {
+        let mut addrs = Vec::new();
+        for (rel, dom) in parts {
+            let catalog = HashMap::from([("t".to_string(), Arc::new(rel))]);
+            let domains = HashMap::from([("t".to_string(), dom)]);
+            let server =
+                SiteServer::bind("127.0.0.1:0", catalog, domains, TcpConfig::default()).unwrap();
+            addrs.push(server.local_addr().unwrap().to_string());
+            std::thread::spawn(move || {
+                let _ = server.serve_once();
+            });
+        }
+        addrs
+    }
+
+    #[test]
+    fn remote_cluster_learns_catalog_and_executes() {
+        let addrs = spawn_sites(fragments());
+        let rc = RemoteCluster::connect(&addrs, &TcpConfig::default()).unwrap();
+        assert_eq!(rc.n_sites(), 2);
+        assert_eq!(rc.rows_per_site(), &[3, 2]);
+        // Distribution knowledge crossed the wire.
+        assert!(rc.distribution().is_partition_attribute("t", "g"));
+        let plan = Planner::new(rc.distribution()).optimize(&expr(), OptFlags::all());
+        let out = rc.execute(&plan).unwrap();
+        let sorted = out.relation.sorted_by(&["g"]).unwrap();
+        assert_eq!(sorted.rows()[0], row![1i64, 2i64, 20.0]);
+        assert_eq!(sorted.rows()[1], row![2i64, 1i64, 5.0]);
+        assert_eq!(sorted.rows()[2], row![3i64, 2i64, 8.0]);
+        // Per-query rounds only: plan + stages, no handshake round.
+        assert_eq!(out.stats.stages[0].label, "plan");
+        assert_eq!(out.stats.net.len(), out.stats.stages.len());
+    }
+
+    #[test]
+    fn schema_disagreement_is_rejected() {
+        let schema_a = Schema::of(&[("g", DataType::Int)]);
+        let schema_b = Schema::of(&[("g", DataType::Str)]);
+        let parts = vec![
+            (Relation::new(schema_a, vec![]).unwrap(), DomainMap::new()),
+            (Relation::new(schema_b, vec![]).unwrap(), DomainMap::new()),
+        ];
+        let addrs = spawn_sites(parts);
+        let err = RemoteCluster::connect(&addrs, &TcpConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("schema"), "{err}");
+    }
+}

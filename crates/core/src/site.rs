@@ -1,17 +1,26 @@
-//! Site-side stage execution.
+//! Site-side stage execution and the site driver loop.
 //!
 //! Each Skalla site is a local warehouse fully capable of evaluating GMDJ
 //! expressions over its partition (paper Sect. 2.1). [`execute_stage`] is
-//! the pure function a site thread runs per round: given the shared plan,
-//! the stage index and the base-structure fragment received from the
-//! coordinator, it produces the relation to ship back.
+//! the pure function a site runs per round: given the shared plan, the
+//! stage index and the base-structure fragment received from the
+//! coordinator, it produces the relation to ship back. [`site_loop`]
+//! wraps it in the protocol driver — receive plan, execute stage tasks,
+//! reply, until shutdown — over any [`SiteTransport`], so the same loop
+//! serves both an in-process site thread and a standalone TCP site
+//! process (`skalla-cli site`).
 
 use crate::plan::{DistributedPlan, StageKind, Unit};
+use crate::protocol;
+use parking_lot::Mutex;
 use skalla_gmdj::eval::{eval_local_traced, finalize_physical, EvalOptions};
 use skalla_gmdj::{BaseQuery, Catalog};
-use skalla_obs::Obs;
+use skalla_net::SiteTransport;
+use skalla_obs::{Obs, Track};
 use skalla_relation::{Error, Relation, Result, Value};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Execute one stage at a site. `incoming` is the base fragment shipped by
 /// the coordinator (`None` for base stages and folded units).
@@ -43,9 +52,7 @@ pub fn execute_stage_traced(
         .ok_or_else(|| Error::Execution(format!("no stage {stage}")))?;
     match &st.kind {
         StageKind::Base => plan.base_fragment(catalog),
-        StageKind::Unit(unit) => {
-            execute_unit(catalog, plan, unit, incoming, eval, obs, site)
-        }
+        StageKind::Unit(unit) => execute_unit(catalog, plan, unit, incoming, eval, obs, site),
     }
 }
 
@@ -67,14 +74,12 @@ fn base_input(
         // Prop 2: derive the local groups from the local detail partition.
         match &plan.expr.base {
             BaseQuery::DistinctProject { .. } => plan.base_fragment(catalog),
-            BaseQuery::Literal(_) => Err(Error::Plan(
-                "fold_base with a literal base relation".into(),
-            )),
+            BaseQuery::Literal(_) => {
+                Err(Error::Plan("fold_base with a literal base relation".into()))
+            }
         }
     } else {
-        incoming.ok_or_else(|| {
-            Error::Execution("unit stage without a base fragment".into())
-        })
+        incoming.ok_or_else(|| Error::Execution("unit stage without a base fragment".into()))
     }
 }
 
@@ -111,12 +116,7 @@ fn execute_unit(
         let mut cur = owned;
         for op in &plan.expr.ops[unit.ops.clone()] {
             let local = eval_local_traced(&cur, detail, op, eval, obs, site)?;
-            cur = finalize_physical(
-                &local.physical,
-                cur.schema().len(),
-                op,
-                detail.schema(),
-            )?;
+            cur = finalize_physical(&local.physical, cur.schema().len(), op, detail.schema())?;
         }
         // Ship K + every logical aggregate the unit produced.
         let mut cols = key.clone();
@@ -144,6 +144,129 @@ fn execute_unit(
         let schema = shipped.schema().project(&idx)?;
         let rows = shipped.iter().map(|r| r.project(&idx)).collect();
         Relation::new(schema, rows)
+    }
+}
+
+/// Shared collector for `(site, stage, busy seconds)` samples reported by
+/// in-process site threads.
+pub type BusyTimes = Mutex<Vec<(usize, usize, f64)>>;
+
+/// The per-site worker loop: receive the plan (which carries the kernel's
+/// evaluation options and the row-blocking chunk size), then wait for
+/// stage tasks, execute, reply — until a shutdown message or the link
+/// dies. `times` (when given) collects `(site, stage, busy seconds)`
+/// samples; the in-process [`crate::Cluster`] feeds them into
+/// [`crate::stats::StageTimes`], while a standalone TCP site has nowhere
+/// to report them (shipping timings would change the payload bytes and
+/// break the transports' byte-identity), so it passes `None`.
+pub fn site_loop(
+    catalog: &HashMap<String, Arc<Relation>>,
+    net: &dyn SiteTransport,
+    times: Option<&BusyTimes>,
+    obs: &Obs,
+) {
+    let mut plan: Option<DistributedPlan> = None;
+    let mut eval = EvalOptions::default();
+    let mut chunk_rows: Option<usize> = None;
+    loop {
+        let Ok(msg) = net.recv() else {
+            return; // coordinator hung up (or the link timed out)
+        };
+        match msg.tag {
+            protocol::TAG_SHUTDOWN => return,
+            protocol::TAG_PLAN => match crate::plan_codec::decode_plan_with_options(&msg.payload) {
+                Ok((p, e, c)) => {
+                    plan = Some(p);
+                    eval = e;
+                    chunk_rows = c;
+                }
+                Err(e) => {
+                    let _ = net.send(protocol::error(&format!("bad plan: {e}")));
+                }
+            },
+            protocol::TAG_RUN_STAGE => {
+                let Some(plan) = &plan else {
+                    let _ = net.send(protocol::error("stage task before plan"));
+                    continue;
+                };
+                let replies = match protocol::decode_run_stage(&msg.payload) {
+                    Ok((stage, fragment)) => {
+                        let label = plan
+                            .stages
+                            .get(stage as usize)
+                            .map(|s| s.label.as_str())
+                            .unwrap_or("stage");
+                        let mut task_span = obs.span(Track::Site(net.site_id()), label);
+                        if let Some(f) = &fragment {
+                            task_span.arg("rows_in", f.len());
+                        }
+                        let t = Instant::now();
+                        let out = execute_stage_traced(
+                            catalog,
+                            plan,
+                            stage as usize,
+                            fragment,
+                            eval,
+                            obs,
+                            net.site_id(),
+                        );
+                        if let Some(times) = times {
+                            times.lock().push((
+                                net.site_id(),
+                                stage as usize,
+                                t.elapsed().as_secs_f64(),
+                            ));
+                        }
+                        match out {
+                            Ok(rel) => {
+                                task_span.arg("rows_out", rel.len());
+                                task_span.finish();
+                                chunked_results(stage, &rel, chunk_rows)
+                            }
+                            Err(e) => {
+                                task_span.arg("error", e.to_string());
+                                task_span.finish();
+                                vec![protocol::error(&e.to_string())]
+                            }
+                        }
+                    }
+                    Err(e) => vec![protocol::error(&e.to_string())],
+                };
+                for reply in replies {
+                    if net.send(reply).is_err() {
+                        return;
+                    }
+                }
+            }
+            _ => {
+                let _ = net.send(protocol::error("unexpected message tag"));
+            }
+        }
+    }
+}
+
+/// Split a stage result into row-blocked RESULT messages (one final
+/// message when chunking is off or the relation is small).
+fn chunked_results(
+    stage: u32,
+    rel: &Relation,
+    chunk_rows: Option<usize>,
+) -> Vec<skalla_net::Message> {
+    match chunk_rows {
+        Some(chunk) if rel.len() > chunk => {
+            let schema = rel.schema_ref();
+            let chunks: Vec<&[skalla_relation::Row]> = rel.rows().chunks(chunk).collect();
+            let n = chunks.len();
+            chunks
+                .into_iter()
+                .enumerate()
+                .map(|(i, rows)| {
+                    let part = Relation::from_shared(Arc::clone(&schema), rows.to_vec());
+                    protocol::result_chunk(stage, &part, i + 1 == n)
+                })
+                .collect()
+        }
+        _ => vec![protocol::result(stage, rel)],
     }
 }
 
@@ -199,12 +322,15 @@ mod tests {
         );
         assert_eq!(out.len(), 3);
         // Group 3 has no local tuples, but without site reduction it ships.
-        assert_eq!(out.rows()[2], Row::new(vec![
-            Value::Int(3),
-            Value::Int(0),
-            Value::Null,
-            Value::Int(0),
-        ]));
+        assert_eq!(
+            out.rows()[2],
+            Row::new(vec![
+                Value::Int(3),
+                Value::Int(0),
+                Value::Null,
+                Value::Int(0),
+            ])
+        );
     }
 
     #[test]

@@ -81,6 +81,7 @@ pub struct NetStats {
     rounds: Mutex<Vec<RoundStats>>,
     current: AtomicUsize,
     obs: Mutex<Obs>,
+    transport: Mutex<&'static str>,
 }
 
 impl NetStats {
@@ -95,8 +96,22 @@ impl NetStats {
             }]),
             current: AtomicUsize::new(0),
             obs: Mutex::new(Obs::disabled()),
+            transport: Mutex::new("channel"),
         };
         Arc::new(stats)
+    }
+
+    /// Label the transport carrying this traffic (`"channel"` by default,
+    /// `"tcp"` for the socket transport). The label is attached to every
+    /// `msg down` / `msg up` obs event as a `transport` attribute; it does
+    /// not affect the byte accounting, which is transport-invariant.
+    pub fn set_transport(&self, label: &'static str) {
+        *self.transport.lock() = label;
+    }
+
+    /// The transport label (see [`NetStats::set_transport`]).
+    pub fn transport(&self) -> &'static str {
+        *self.transport.lock()
     }
 
     /// Attach an observability handle: every recorded message also emits
@@ -153,6 +168,10 @@ impl NetStats {
             let mut args: Vec<(&'static str, skalla_obs::ArgValue)> = vec![
                 ("site", site.into()),
                 ("bytes", (payload_bytes + MESSAGE_OVERHEAD_BYTES).into()),
+                (
+                    "transport",
+                    skalla_obs::ArgValue::Str(self.transport().to_string()),
+                ),
             ];
             if let Some(t) = tag {
                 args.push(("tag", (t as u64).into()));

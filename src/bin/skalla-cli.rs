@@ -13,16 +13,20 @@
 //! statements (unqualified columns are detail-side; `b.name` refers to the
 //! base, including aggregates from earlier MD statements).
 
-use skalla::core::{Cluster, OptFlags, Planner};
+use skalla::core::{Cluster, OptFlags, Planner, RemoteCluster, SiteServer};
 use skalla::datagen::flow::{generate_flows, FlowConfig};
 use skalla::datagen::partition::observe_int_ranges;
 use skalla::datagen::tpcr::{generate_tpcr, TpcrConfig};
 use skalla::net::CostModel;
+use skalla::net::TcpConfig;
 use skalla::obs::chrome::{metrics_snapshot, write_chrome_trace};
 use skalla::obs::Obs;
 use skalla::query;
-use skalla::relation::{csv, DataType, Relation, Schema};
+use skalla::relation::{csv, DataType, DomainMap, Relation, Schema};
+use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +39,8 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest, true),
         "explain" => cmd_run(rest, false),
         "gen" => cmd_gen(rest),
+        "site" => cmd_site(rest),
+        "net-probe" => cmd_net_probe(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -55,8 +61,10 @@ skalla-cli — distributed OLAP with GMDJ operators
 
 USAGE:
   skalla-cli run     [data options] [--opt LEVEL] (-q QUERY | --query-file F) [--limit N]
+  skalla-cli run     --sites ADDR,ADDR,… [tcp options] [--opt LEVEL] (-q … | --query-file F)
   skalla-cli explain [data options] [--opt LEVEL] (-q QUERY | --query-file F)
   skalla-cli gen     --dataset flow|tpcr [--rows N] [--seed S] --out FILE.csv
+  skalla-cli site    --listen ADDR --site-index I [data options] [tcp options] [--once]
 
 DATA OPTIONS (choose one source):
   --dataset flow|tpcr        built-in generator (default: flow)
@@ -65,7 +73,22 @@ DATA OPTIONS (choose one source):
   --csv NAME=PATH            load a CSV file as table NAME
   --types t1,t2,…            column types for --csv (int|double|str)
   --partition-by COL         integer partition attribute (default: first column)
-  --sites N                  number of warehouse sites (default: 4)
+  --sites N                  number of warehouse sites (default: 4);
+                             for `run`, a comma-separated address list instead
+                             connects to standalone `skalla-cli site` processes
+
+SITE (standalone warehouse site process):
+  --listen ADDR              bind address, e.g. 127.0.0.1:7101 (port 0 = ephemeral;
+                             prints `listening on HOST:PORT` once bound)
+  --site-index I             which fragment of the partitioned data this site holds
+  --once                     serve one coordinator session, then exit
+
+TCP OPTIONS (run --sites / site):
+  --net-timeout SECS         per-round receive timeout, and the site's idle
+                             read timeout (default: 120)
+  --connect-attempts N       coordinator dial attempts per site (default: 10)
+  --connect-backoff-ms MS    initial retry backoff, doubling per attempt,
+                             capped at 2s (default: 50)
 
 QUERY OPTIONS:
   --opt all|none|coalesce|group-reduction|sync-reduction   (default: all)
@@ -128,10 +151,7 @@ fn build_cluster(args: &[String]) -> Result<Cluster, String> {
             })
             .collect::<Result<_, String>>()?;
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        let header = text
-            .lines()
-            .next()
-            .ok_or_else(|| "empty CSV".to_string())?;
+        let header = text.lines().next().ok_or_else(|| "empty CSV".to_string())?;
         let names: Vec<&str> = header.split(',').collect();
         if names.len() != types.len() {
             return Err(format!(
@@ -170,32 +190,142 @@ fn build_cluster(args: &[String]) -> Result<Cluster, String> {
         "flow" => {
             let flows = generate_flows(&FlowConfig::new(rows, seed));
             let pcol = opt(args, "--partition-by").unwrap_or_else(|| "source_as".into());
-            let parts = skalla::datagen::partition::try_partition_by_int_ranges(
-                &flows, &pcol, sites,
-            )
-            .map_err(|e| e.to_string())?;
-            println!(
-                "generated {rows} flows, partitioned on {pcol} across {sites} site(s)"
-            );
+            let parts =
+                skalla::datagen::partition::try_partition_by_int_ranges(&flows, &pcol, sites)
+                    .map_err(|e| e.to_string())?;
+            println!("generated {rows} flows, partitioned on {pcol} across {sites} site(s)");
             Ok(Cluster::from_partitions("flow", parts))
         }
         "tpcr" => {
             let tpcr = generate_tpcr(&TpcrConfig::new(rows, seed));
             let pcol = opt(args, "--partition-by").unwrap_or_else(|| "nation_key".into());
-            let mut parts = skalla::datagen::partition::try_partition_by_int_ranges(
-                &tpcr, &pcol, sites,
-            )
-            .map_err(|e| e.to_string())?;
+            let mut parts =
+                skalla::datagen::partition::try_partition_by_int_ranges(&tpcr, &pcol, sites)
+                    .map_err(|e| e.to_string())?;
             if pcol == "nation_key" {
                 observe_int_ranges(&mut parts, &["cust_key", "cust_group"]);
             }
-            println!(
-                "generated {rows} TPCR rows, partitioned on {pcol} across {sites} site(s)"
-            );
+            println!("generated {rows} TPCR rows, partitioned on {pcol} across {sites} site(s)");
             Ok(Cluster::from_partitions("tpcr", parts))
         }
         other => Err(format!("unknown --dataset {other:?}")),
     }
+}
+
+/// Build a [`TcpConfig`] from the `--net-timeout`, `--connect-attempts`,
+/// and `--connect-backoff-ms` flags (defaults otherwise).
+fn tcp_config(args: &[String]) -> Result<TcpConfig, String> {
+    let mut cfg = TcpConfig::default();
+    if let Some(s) = opt(args, "--net-timeout") {
+        let secs: u64 = s.parse().map_err(|e| format!("bad --net-timeout: {e}"))?;
+        cfg.read_timeout = Some(Duration::from_secs(secs));
+    }
+    if let Some(s) = opt(args, "--connect-attempts") {
+        cfg.connect_attempts = s
+            .parse()
+            .map_err(|e| format!("bad --connect-attempts: {e}"))?;
+        if cfg.connect_attempts == 0 {
+            return Err("--connect-attempts must be at least 1".to_string());
+        }
+    }
+    if let Some(s) = opt(args, "--connect-backoff-ms") {
+        let ms: u64 = s
+            .parse()
+            .map_err(|e| format!("bad --connect-backoff-ms: {e}"))?;
+        cfg.backoff_base = Duration::from_millis(ms);
+    }
+    Ok(cfg)
+}
+
+/// Either runtime behind `run`/`explain`: the in-process channel cluster,
+/// or a coordinator connected to standalone `skalla-cli site` processes.
+/// Both drive the same coordinator algorithm, so everything downstream of
+/// this enum (planning, execution, stats printing) is shared.
+enum Engine {
+    Local(Cluster),
+    Remote(RemoteCluster),
+}
+
+impl Engine {
+    fn distribution(&self) -> skalla::core::DistributionInfo {
+        match self {
+            Engine::Local(c) => c.distribution(),
+            Engine::Remote(r) => r.distribution(),
+        }
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        match self {
+            Engine::Local(c) => {
+                c.set_obs(obs);
+            }
+            Engine::Remote(r) => {
+                r.set_obs(obs);
+            }
+        }
+    }
+
+    fn set_chunk_rows(&mut self, rows: Option<usize>) {
+        match self {
+            Engine::Local(c) => {
+                c.set_chunk_rows(rows);
+            }
+            Engine::Remote(r) => {
+                r.set_chunk_rows(rows);
+            }
+        }
+    }
+
+    fn set_eval_options(&mut self, eval: skalla::gmdj::EvalOptions) {
+        match self {
+            Engine::Local(c) => {
+                c.set_eval_options(eval);
+            }
+            Engine::Remote(r) => {
+                r.set_eval_options(eval);
+            }
+        }
+    }
+
+    fn execute(
+        &self,
+        plan: &skalla::core::DistributedPlan,
+    ) -> Result<skalla::core::QueryResult, String> {
+        match self {
+            Engine::Local(c) => c.execute(plan).map_err(|e| e.to_string()),
+            Engine::Remote(r) => r.execute(plan).map_err(|e| e.to_string()),
+        }
+    }
+}
+
+/// Interpret `--sites`: a bare number means an in-process cluster of that
+/// many sites; anything else is a comma-separated `HOST:PORT` list of
+/// standalone site processes to connect to.
+fn build_engine(args: &[String]) -> Result<Engine, String> {
+    let Some(list) = opt(args, "--sites").filter(|s| s.parse::<usize>().is_err()) else {
+        return Ok(Engine::Local(build_cluster(args)?));
+    };
+    let addrs: Vec<String> = list
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .filter(|a| !a.is_empty())
+        .collect();
+    if addrs.is_empty() || addrs.iter().any(|a| !a.contains(':')) {
+        return Err(format!(
+            "--sites {list:?} is neither a site count nor a comma-separated HOST:PORT list"
+        ));
+    }
+    let cfg = tcp_config(args)?;
+    let mut rc = RemoteCluster::connect(&addrs, &cfg).map_err(|e| e.to_string())?;
+    if let Some(t) = cfg.read_timeout {
+        rc.set_timeout(t);
+    }
+    println!(
+        "connected to {} remote site(s); rows per site: {:?}",
+        rc.n_sites(),
+        rc.rows_per_site()
+    );
+    Ok(Engine::Remote(rc))
 }
 
 fn cmd_run(args: &[String], execute: bool) -> Result<(), String> {
@@ -208,7 +338,7 @@ fn cmd_run(args: &[String], execute: bool) -> Result<(), String> {
     } else {
         Obs::disabled()
     };
-    let mut cluster = build_cluster(args)?;
+    let mut cluster = build_engine(args)?;
     cluster.set_obs(obs.clone());
     if let Some(chunk) = opt(args, "--chunk") {
         let n: usize = chunk.parse().map_err(|e| format!("bad --chunk: {e}"))?;
@@ -250,7 +380,10 @@ fn cmd_run(args: &[String], execute: bool) -> Result<(), String> {
     );
     print!("{}", csv::to_csv(&shown));
     if out.relation.len() > limit {
-        println!("… ({} more rows; raise --limit)", out.relation.len() - limit);
+        println!(
+            "… ({} more rows; raise --limit)",
+            out.relation.len() - limit
+        );
     }
 
     let stats = &out.stats;
@@ -258,7 +391,11 @@ fn cmd_run(args: &[String], execute: bool) -> Result<(), String> {
     let sim = stats.simulated(&CostModel::lan());
     println!("\n=== execution ===");
     println!("rounds:          {}", stats.n_rounds());
-    println!("bytes:           {} down / {} up", stats.bytes_down(), stats.bytes_up());
+    println!(
+        "bytes:           {} down / {} up",
+        stats.bytes_down(),
+        stats.bytes_up()
+    );
     println!("group rows:      {down} down / {up} up (detail rows shipped: 0)");
     println!(
         "simulated (LAN): {:.4}s = site {:.4} + coordinator {:.4} + network {:.4}",
@@ -283,6 +420,64 @@ fn cmd_run(args: &[String], execute: bool) -> Result<(), String> {
             println!("wrote metrics snapshot to {path}");
         }
     }
+    Ok(())
+}
+
+/// `skalla-cli site`: run one warehouse site as a standalone process.
+///
+/// The site builds the *same* deterministic partitioned warehouse as an
+/// in-process run with identical data options (same generator, seed, and
+/// partitioner), then keeps only its own fragment (`--site-index`). Start
+/// one process per site with the same data options and pass their
+/// addresses to `skalla-cli run --sites`; results and recorded traffic
+/// match the in-process cluster exactly.
+fn cmd_site(args: &[String]) -> Result<(), String> {
+    let listen = opt(args, "--listen").ok_or_else(|| "missing --listen ADDR".to_string())?;
+    let index: usize = opt(args, "--site-index")
+        .map(|s| s.parse().map_err(|e| format!("bad --site-index: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let cluster = build_cluster(args)?;
+    if index >= cluster.n_sites() {
+        return Err(format!(
+            "--site-index {index} out of range for {} site(s)",
+            cluster.n_sites()
+        ));
+    }
+    let catalog: HashMap<String, Arc<Relation>> = cluster.site_catalog(index).clone();
+    let dist = cluster.distribution();
+    let domains: HashMap<String, DomainMap> = catalog
+        .keys()
+        .map(|table| (table.clone(), dist.domains(table, index)))
+        .collect();
+    let server = SiteServer::bind(&listen, catalog, domains, tcp_config(args)?)
+        .map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // Parsed by scripts (and ci.sh) to discover ephemeral ports — flush so
+    // it is visible even through a pipe.
+    println!("site {index} listening on {addr}");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    if args.iter().any(|a| a == "--once") {
+        server.serve_once().map_err(|e| e.to_string())
+    } else {
+        server.serve_forever().map_err(|e| e.to_string())
+    }
+}
+
+/// `skalla-cli net-probe`: verify loopback TCP sockets work in this
+/// environment (bind an ephemeral port, connect, accept). Exit status is
+/// the answer; CI uses it to skip the multi-process smoke test gracefully
+/// in sandboxes without network namespaces.
+fn cmd_net_probe() -> Result<(), String> {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    let _client = std::net::TcpStream::connect_timeout(&addr, Duration::from_secs(2))
+        .map_err(|e| format!("connect: {e}"))?;
+    let _server = listener.accept().map_err(|e| format!("accept: {e}"))?;
+    println!("loopback sockets ok");
     Ok(())
 }
 

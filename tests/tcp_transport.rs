@@ -1,0 +1,203 @@
+//! Transport equivalence: the TCP transport must be indistinguishable
+//! from the in-process channel transport at the logical layer.
+//!
+//! The coordinator algorithm is shared between [`Cluster`] and
+//! [`RemoteCluster`], and traffic is accounted in payload bytes at the
+//! protocol layer (never wire framing), so a loopback multi-process run
+//! of the paper's Fig. 2 workload must produce the same result relation
+//! AND byte-for-byte identical [`RoundStats`] — same rounds, same
+//! per-site byte/message counts — as the threaded in-process run. These
+//! tests pin that invariant, plus the failure mode: a site dying
+//! mid-round surfaces as a clean disconnect error, not a hang.
+
+use skalla::core::{protocol, Cluster, OptFlags, Planner, RemoteCluster, SiteServer};
+use skalla::datagen::partition::{observe_int_ranges, partition_by_int_ranges, Partition};
+use skalla::datagen::tpcr::{generate_tpcr, TpcrConfig};
+use skalla::gmdj::prelude::*;
+use skalla::net::{SiteTransport, TcpConfig, TcpSiteListener};
+use skalla::relation::Relation;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+const N_SITES: usize = 4;
+
+/// Nation-partitioned TPCR fragments with observed `cust_key` /
+/// `cust_group` domains — the Fig. 2 experimental setup at test scale.
+fn fig2_partitions() -> Vec<Partition> {
+    let tpcr = generate_tpcr(&TpcrConfig::new(8_000, 42));
+    let mut parts = partition_by_int_ranges(&tpcr, "nation_key", N_SITES);
+    observe_int_ranges(&mut parts, &["cust_key", "cust_group"]);
+    parts
+}
+
+/// The Fig. 2 group-reduction query: two correlated GMDJs grouped on the
+/// partition-aligned attribute, COUNT + AVG each; θ₂ references `avg1`,
+/// which prevents coalescing.
+fn fig2_query() -> GmdjExpr {
+    GmdjExprBuilder::distinct_base("tpcr", &["cust_group"])
+        .gmdj(Gmdj::new("tpcr").block(
+            ThetaBuilder::group_by(&["cust_group"]).build(),
+            vec![
+                AggSpec::count("cnt1"),
+                AggSpec::avg("extended_price", "avg1"),
+            ],
+        ))
+        .gmdj(
+            Gmdj::new("tpcr").block(
+                ThetaBuilder::group_by(&["cust_group"])
+                    .and(Expr::dcol("extended_price").ge(Expr::bcol("avg1")))
+                    .build(),
+                vec![AggSpec::count("cnt2"), AggSpec::avg("quantity", "avg2")],
+            ),
+        )
+        .build()
+}
+
+/// Spawn one `SiteServer` thread per fragment; returns their addresses.
+fn spawn_sites(parts: &[Partition]) -> Vec<String> {
+    let mut addrs = Vec::new();
+    for part in parts {
+        let catalog = HashMap::from([("tpcr".to_string(), Arc::new(part.relation.clone()))]);
+        let domains = HashMap::from([("tpcr".to_string(), part.domains.clone())]);
+        let server =
+            SiteServer::bind("127.0.0.1:0", catalog, domains, TcpConfig::default()).unwrap();
+        addrs.push(server.local_addr().unwrap().to_string());
+        std::thread::spawn(move || {
+            let _ = server.serve_once();
+        });
+    }
+    addrs
+}
+
+fn canonical(rel: &Relation) -> Relation {
+    rel.sorted_by(&["cust_group"]).unwrap()
+}
+
+#[test]
+fn loopback_tcp_matches_channel_transport_exactly() {
+    let parts = fig2_partitions();
+    let expr = fig2_query();
+
+    let local = Cluster::from_partitions("tpcr", parts.clone());
+    let plan = Planner::new(local.distribution()).optimize(&expr, OptFlags::all());
+    let local_out = local.execute(&plan).unwrap();
+
+    let addrs = spawn_sites(&parts);
+    let remote = RemoteCluster::connect(&addrs, &TcpConfig::default()).unwrap();
+    // The catalog handshake must reconstruct the coordinator's φ
+    // knowledge exactly: the remote plan is the same plan.
+    let remote_plan = Planner::new(remote.distribution()).optimize(&expr, OptFlags::all());
+    assert_eq!(remote_plan.explain(), plan.explain());
+    let remote_out = remote.execute(&remote_plan).unwrap();
+
+    // Same answer (row order is arrival-dependent on both transports, so
+    // compare in key order)…
+    assert_eq!(
+        canonical(&remote_out.relation),
+        canonical(&local_out.relation)
+    );
+    // …and identical logical traffic: same rounds, same per-site payload
+    // byte and message counts. RoundStats equality is exact — any wire
+    // framing leaking into the accounting would fail here.
+    assert_eq!(remote_out.stats.net, local_out.stats.net);
+    assert_eq!(
+        remote_out.stats.stages.len(),
+        local_out.stats.stages.len(),
+        "round structure must match"
+    );
+}
+
+#[test]
+fn loopback_tcp_matches_channel_transport_with_row_blocking() {
+    let parts = fig2_partitions();
+    let expr = fig2_query();
+
+    let mut local = Cluster::from_partitions("tpcr", parts.clone());
+    local.set_chunk_rows(Some(64));
+    let plan = Planner::new(local.distribution()).optimize(&expr, OptFlags::all());
+    let local_out = local.execute(&plan).unwrap();
+
+    let addrs = spawn_sites(&parts);
+    let mut remote = RemoteCluster::connect(&addrs, &TcpConfig::default()).unwrap();
+    remote.set_chunk_rows(Some(64));
+    let remote_out = remote.execute(&plan).unwrap();
+
+    assert_eq!(
+        canonical(&remote_out.relation),
+        canonical(&local_out.relation)
+    );
+    // The chunk size travels inside the plan message, so chunk counts —
+    // and hence message counts — agree too.
+    assert_eq!(remote_out.stats.net, local_out.stats.net);
+}
+
+/// A site that completes the handshake, accepts the plan and the first
+/// stage, then dies. The coordinator must abort the round with a clean
+/// per-site disconnect diagnostic — not hang waiting for the dead site.
+#[test]
+fn site_death_mid_round_aborts_with_disconnect_error() {
+    let parts = fig2_partitions();
+    let expr = fig2_query();
+
+    let mut addrs = spawn_sites(&parts[..N_SITES - 1]);
+
+    // The rogue last site: real listener, real handshake, then silence.
+    let rel = parts[N_SITES - 1].relation.clone();
+    let dom = parts[N_SITES - 1].domains.clone();
+    let listener = TcpSiteListener::bind("127.0.0.1:0").unwrap();
+    addrs.push(listener.local_addr().unwrap().to_string());
+    let rogue = std::thread::spawn(move || {
+        let site = listener.accept(&TcpConfig::default()).unwrap();
+        let req = site.recv().unwrap();
+        assert_eq!(req.tag, protocol::TAG_CATALOG_REQ);
+        site.send(protocol::catalog(&[protocol::SiteCatalogEntry {
+            table: "tpcr".to_string(),
+            schema: rel.schema().clone(),
+            domains: dom,
+            rows: rel.len() as u64,
+        }]))
+        .unwrap();
+        let plan_msg = site.recv().unwrap();
+        assert_eq!(plan_msg.tag, protocol::TAG_PLAN);
+        let stage = site.recv().unwrap();
+        assert_eq!(stage.tag, protocol::TAG_RUN_STAGE);
+        // Drop the connection mid-round without replying.
+        drop(site);
+    });
+
+    let cfg = TcpConfig {
+        read_timeout: Some(Duration::from_secs(30)),
+        ..TcpConfig::default()
+    };
+    let remote = RemoteCluster::connect(&addrs, &cfg).unwrap();
+    let plan = Planner::new(remote.distribution()).optimize(&expr, OptFlags::all());
+    let err = remote.execute(&plan).unwrap_err().to_string();
+    assert!(
+        err.contains("disconnected"),
+        "expected a clean disconnect diagnostic, got: {err}"
+    );
+    assert!(
+        err.contains(&format!("site {}", N_SITES - 1)),
+        "diagnostic should name the dead site, got: {err}"
+    );
+    rogue.join().unwrap();
+}
+
+/// `DomainMap` must survive the catalog round-trip exactly — losing the
+/// observed `cust_key`/`cust_group` ranges would silently disable group
+/// reduction on the remote path.
+#[test]
+fn handshake_preserves_distribution_knowledge() {
+    let parts = fig2_partitions();
+    let local = Cluster::from_partitions("tpcr", parts.clone());
+    let addrs = spawn_sites(&parts);
+    let remote = RemoteCluster::connect(&addrs, &TcpConfig::default()).unwrap();
+    for col in ["nation_key", "cust_key", "cust_group"] {
+        assert_eq!(
+            remote.distribution().is_partition_attribute("tpcr", col),
+            local.distribution().is_partition_attribute("tpcr", col),
+            "partition-attribute status of {col} must survive the handshake"
+        );
+    }
+}

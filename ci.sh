@@ -18,8 +18,12 @@ cargo clippy --all-targets -- -D warnings
 cargo test --workspace -q
 cargo clippy --all-targets --workspace -- -D warnings
 # Rustdoc must stay warning-clean (skalla-net additionally denies missing
-# docs at compile time). The vendored shims are API stand-ins, not our
-# documentation surface, so they are excluded.
+# docs at compile time). skalla-core is gated first and explicitly: it
+# carries the public engine surface (scheduler, warehouse builder) whose
+# docs are the migration path off the deprecated setters. The vendored
+# shims are API stand-ins, not our documentation surface, so they are
+# excluded from the workspace pass.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p skalla-core
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace \
   --exclude criterion --exclude crossbeam --exclude parking_lot \
   --exclude proptest --exclude rand
@@ -50,8 +54,31 @@ if "$CLI" net-probe >/dev/null 2>&1; then
   "$CLI" run --sites "$ADDRS" --query-file queries/example1.skl --limit 5
   wait
   echo "ci.sh: TCP smoke test passed (sites $ADDRS)"
+
+  # Concurrent multi-query smoke: 4 sites, 4 copies of the fig2-style
+  # query submitted at once over one persistent session per site. The CLI
+  # itself verifies the concurrent copies agree on the result.
+  for i in 0 1 2 3; do
+    "$CLI" site --listen 127.0.0.1:0 --site-index "$i" --sites 4 \
+      --dataset tpcr --rows 4000 --once >"$SMOKE_DIR/csite$i.log" &
+  done
+  for i in 0 1 2 3; do
+    for _ in $(seq 1 50); do
+      grep -q 'listening on' "$SMOKE_DIR/csite$i.log" && break
+      sleep 0.1
+    done
+    grep -q 'listening on' "$SMOKE_DIR/csite$i.log" \
+      || { echo "ci.sh: concurrent-smoke site $i never came up" >&2; cat "$SMOKE_DIR/csite$i.log" >&2; exit 1; }
+  done
+  CADDRS=$(for i in 0 1 2 3; do sed -n 's/.*listening on //p' "$SMOKE_DIR/csite$i.log"; done | paste -sd, -)
+  "$CLI" run --sites "$CADDRS" --concurrency 4 --limit 3 -q \
+    'BASE SELECT DISTINCT cust_group FROM tpcr;
+     MD cnt1 = COUNT(*), avg1 = AVG(extended_price) OVER tpcr WHERE cust_group = b.cust_group;
+     MD cnt2 = COUNT(*) OVER tpcr WHERE cust_group = b.cust_group AND extended_price >= b.avg1;'
+  wait
+  echo "ci.sh: concurrent TCP smoke test passed (4 queries over sites $CADDRS)"
 else
-  echo "ci.sh: loopback sockets unavailable, skipping TCP smoke test"
+  echo "ci.sh: loopback sockets unavailable, skipping TCP smoke tests"
 fi
 
 echo "ci.sh: all checks passed"

@@ -69,6 +69,7 @@ fn bench_query(c: &mut Criterion) {
     });
     g.bench_function("execute_traced", |b| {
         let mut traced = cluster.clone();
+        #[allow(deprecated)] // the serial figure harness drives a bare Cluster
         traced.set_obs(Obs::recording());
         b.iter(|| black_box(traced.execute(&plan).unwrap()))
     });

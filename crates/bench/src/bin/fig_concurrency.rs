@@ -1,0 +1,225 @@
+//! **Concurrent multi-query throughput over loopback TCP.**
+//!
+//! Not a paper figure: the paper's experiments are single-query, but its
+//! motivating deployment ("heavy traffic from millions of users") is
+//! concurrent, so this bench measures what PR 5 added — the multi-query
+//! scheduler multiplexing query rounds onto persistent per-site TCP
+//! sessions.
+//!
+//! Four copies of the Fig. 2 group-reduction workload run against 4
+//! loopback site processes twice: **back-to-back** (one at a time on the
+//! same engine) and **concurrent** (all submitted at once). Correctness
+//! is asserted unconditionally: every copy must be bit-identical to a
+//! serial in-process reference run and its per-query `RoundStats` must
+//! equal the serial run byte for byte — concurrency must not perturb
+//! results or accounting. Site-local evaluation is pinned to one worker
+//! thread so any speedup comes from cross-query overlap, not the morsel
+//! pool.
+//!
+//! Results are written to `BENCH_concurrency.json` (override with
+//! `--out`). `--check` additionally asserts concurrent wall-clock
+//! < 0.7× back-to-back — meaningful only on a multi-core runner, so on
+//! a single core the check reports and skips the timing assertion.
+
+use skalla_bench::harness::{arg_value, has_flag};
+use skalla_core::{Cluster, OptFlags, Planner, QueryResult, SiteServer, Skalla};
+use skalla_datagen::partition::{observe_int_ranges, partition_by_int_ranges, Partition};
+use skalla_datagen::tpcr::{generate_tpcr, TpcrConfig};
+use skalla_gmdj::prelude::*;
+use skalla_gmdj::EvalOptions;
+use skalla_net::TcpConfig;
+use skalla_obs::json::Json;
+use skalla_relation::{Relation, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+const N_SITES: usize = 4;
+const N_QUERIES: usize = 4;
+
+fn fig2_partitions(rows: usize) -> Vec<Partition> {
+    let tpcr = generate_tpcr(&TpcrConfig::new(rows, 42));
+    let mut parts = partition_by_int_ranges(&tpcr, "nation_key", N_SITES);
+    observe_int_ranges(&mut parts, &["cust_key", "cust_group"]);
+    parts
+}
+
+fn fig2_query() -> GmdjExpr {
+    GmdjExprBuilder::distinct_base("tpcr", &["cust_group"])
+        .gmdj(Gmdj::new("tpcr").block(
+            ThetaBuilder::group_by(&["cust_group"]).build(),
+            vec![
+                AggSpec::count("cnt1"),
+                AggSpec::avg("extended_price", "avg1"),
+            ],
+        ))
+        .gmdj(
+            Gmdj::new("tpcr").block(
+                ThetaBuilder::group_by(&["cust_group"])
+                    .and(Expr::dcol("extended_price").ge(Expr::bcol("avg1")))
+                    .build(),
+                vec![AggSpec::count("cnt2"), AggSpec::avg("quantity", "avg2")],
+            ),
+        )
+        .build()
+}
+
+fn canonical(rel: &Relation) -> Relation {
+    rel.sorted_by(&["cust_group"]).unwrap()
+}
+
+/// Exact f64 bit equality on already-canonicalized relations.
+fn bit_identical(a: &Relation, b: &Relation) -> bool {
+    a.len() == b.len()
+        && a.rows().iter().zip(b.rows()).all(|(ra, rb)| {
+            ra.values()
+                .iter()
+                .zip(rb.values())
+                .all(|(va, vb)| match (va, vb) {
+                    (Value::Double(x), Value::Double(y)) => x.to_bits() == y.to_bits(),
+                    _ => va == vb,
+                })
+        })
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn check_against_reference(out: &QueryResult, reference: &QueryResult, mode: &str) {
+    assert!(
+        bit_identical(&canonical(&out.relation), &canonical(&reference.relation)),
+        "{mode}: result differs from the serial in-process reference"
+    );
+    assert_eq!(
+        out.stats.net, reference.stats.net,
+        "{mode}: per-query traffic accounting differs from the serial reference"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rows: usize = if has_flag(&args, "--quick") { 2_000 } else { 8_000 };
+    let repeats: usize = arg_value(&args, "--repeats")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let out_path =
+        arg_value(&args, "--out").unwrap_or_else(|| "BENCH_concurrency.json".into());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("# Concurrent multi-query throughput: {N_QUERIES} fig2 queries, {N_SITES} TCP sites");
+    println!("# rows = {rows}, repeats = {repeats}, cores = {cores}");
+
+    let parts = fig2_partitions(rows);
+    let expr = fig2_query();
+
+    // Serial in-process reference: the correctness and accounting oracle.
+    let reference = {
+        let cluster = Cluster::from_partitions("tpcr", parts.clone());
+        let plan = Planner::new(cluster.distribution()).optimize(&expr, OptFlags::all());
+        cluster.execute(&plan).unwrap()
+    };
+
+    // One loopback site process per fragment, serving one persistent
+    // coordinator session.
+    let mut addrs = Vec::new();
+    for part in &parts {
+        let catalog = HashMap::from([("tpcr".to_string(), Arc::new(part.relation.clone()))]);
+        let domains = HashMap::from([("tpcr".to_string(), part.domains.clone())]);
+        let server =
+            SiteServer::bind("127.0.0.1:0", catalog, domains, TcpConfig::default()).unwrap();
+        addrs.push(server.local_addr().unwrap().to_string());
+        std::thread::spawn(move || {
+            let _ = server.serve_once();
+        });
+    }
+
+    // Site-local evaluation pinned to 1 worker: speedup must come from
+    // overlapping different queries' rounds, not intra-query parallelism.
+    let engine = Skalla::builder()
+        .remote(&addrs, TcpConfig::default())
+        .eval_options(EvalOptions::with_parallelism(1))
+        .max_concurrent(N_QUERIES)
+        .build()
+        .unwrap();
+    let plan = Planner::new(engine.distribution()).optimize(&expr, OptFlags::all());
+
+    // Back-to-back: the same engine, one query at a time.
+    let mut sequential_runs = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let t = Instant::now();
+        for _ in 0..N_QUERIES {
+            let out = engine.execute(&plan).unwrap();
+            check_against_reference(&out, &reference, "sequential");
+        }
+        sequential_runs.push(t.elapsed().as_secs_f64());
+    }
+    let sequential_s = median(sequential_runs.clone());
+    println!("back-to-back: median {sequential_s:.4}s for {N_QUERIES} queries");
+
+    // Concurrent: all copies submitted at once.
+    let mut concurrent_runs = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let t = Instant::now();
+        let outs: Vec<QueryResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..N_QUERIES)
+                .map(|_| scope.spawn(|| engine.execute(&plan).unwrap()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query thread panicked"))
+                .collect()
+        });
+        concurrent_runs.push(t.elapsed().as_secs_f64());
+        for out in &outs {
+            check_against_reference(out, &reference, "concurrent");
+        }
+    }
+    let concurrent_s = median(concurrent_runs.clone());
+    let ratio = concurrent_s / sequential_s;
+    println!("concurrent:   median {concurrent_s:.4}s for {N_QUERIES} queries");
+    println!("ratio concurrent/back-to-back: {ratio:.3}");
+    println!("all {} executions bit-identical to the serial reference ✓", repeats * N_QUERIES * 2);
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("fig_concurrency".into())),
+        ("rows", Json::UInt(rows as u64)),
+        ("sites", Json::UInt(N_SITES as u64)),
+        ("queries", Json::UInt(N_QUERIES as u64)),
+        ("repeats", Json::UInt(repeats as u64)),
+        ("cores", Json::UInt(cores as u64)),
+        ("sequential_median_s", Json::Float(sequential_s)),
+        (
+            "sequential_runs_s",
+            Json::Arr(sequential_runs.into_iter().map(Json::Float).collect()),
+        ),
+        ("concurrent_median_s", Json::Float(concurrent_s)),
+        (
+            "concurrent_runs_s",
+            Json::Arr(concurrent_runs.into_iter().map(Json::Float).collect()),
+        ),
+        ("ratio_concurrent_over_sequential", Json::Float(ratio)),
+        ("bit_identical_to_serial", Json::Bool(true)),
+        ("traffic_equal_to_serial", Json::Bool(true)),
+    ]);
+    std::fs::write(&out_path, report.to_json())
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    if has_flag(&args, "--check") {
+        if cores > 1 {
+            assert!(
+                ratio < 0.7,
+                "expected concurrent wall-clock < 0.7x back-to-back on a \
+                 multi-core runner ({cores} cores), got {ratio:.3}x"
+            );
+            println!("wall-clock check passed ✓ ({ratio:.3}x < 0.7x)");
+        } else {
+            println!("single-core runner: skipping the wall-clock ratio check");
+        }
+        println!("correctness checks passed ✓");
+    }
+}

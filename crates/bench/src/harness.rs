@@ -70,6 +70,7 @@ pub fn run_once(
 /// measurement plus a trace-derived JSON report: headline numbers,
 /// per-span-name duration roll-ups, and the flat metrics snapshot.
 /// Serialize with [`Json::to_json`].
+#[allow(deprecated)] // the serial figure harness drives a bare Cluster
 pub fn run_traced(
     cluster: &Cluster,
     expr: &GmdjExpr,

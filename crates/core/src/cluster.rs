@@ -52,6 +52,7 @@ impl Cluster {
     /// per-stage coordinator spans, ship/sync sub-spans, per-site task
     /// spans, and group-reduction events, and wire the same handle into
     /// the transport's [`NetStats`].
+    #[deprecated(note = "configure through Skalla::builder().obs(..) / EngineConfig instead")]
     pub fn set_obs(&mut self, obs: Obs) -> &mut Cluster {
         self.obs = obs;
         self
@@ -112,12 +113,16 @@ impl Cluster {
     }
 
     /// Local evaluation options used at every site (hash vs nested loop).
+    #[deprecated(
+        note = "configure through Skalla::builder().eval_options(..) / EngineConfig instead"
+    )]
     pub fn set_eval_options(&mut self, eval: EvalOptions) -> &mut Cluster {
         self.eval = eval;
         self
     }
 
     /// Per-round receive timeout.
+    #[deprecated(note = "configure through Skalla::builder().timeout(..) / EngineConfig instead")]
     pub fn set_timeout(&mut self, timeout: Duration) -> &mut Cluster {
         self.timeout = timeout;
         self
@@ -126,6 +131,9 @@ impl Cluster {
     /// Enable row blocking: sites ship their sub-results in chunks of
     /// `rows`, and the coordinator synchronizes chunks as they arrive
     /// (paper Sect. 3.2). `None` ships one message per stage.
+    #[deprecated(
+        note = "configure through Skalla::builder().chunk_rows(..) / EngineConfig instead"
+    )]
     pub fn set_chunk_rows(&mut self, rows: Option<usize>) -> &mut Cluster {
         self.chunk_rows = rows.filter(|r| *r > 0);
         self
@@ -208,6 +216,7 @@ impl Cluster {
                 &self.eval,
                 self.timeout,
                 &self.obs,
+                Track::Coordinator,
             )
         });
 
@@ -307,10 +316,18 @@ impl Cluster {
 
 /// Drive Alg. GMDJDistribEval over any coordinator transport: per stage,
 /// ship the base structure down, collect sub-results, synchronize. Shared
-/// by the in-process [`Cluster`] and the TCP
-/// [`crate::remote::RemoteCluster`], which is what makes the two
-/// transports byte-identical by construction — the protocol logic cannot
-/// diverge between them.
+/// by the in-process [`Cluster`], the TCP
+/// [`crate::remote::RemoteCluster`], and the concurrent
+/// [`crate::warehouse::Skalla`] engine, which is what makes every path
+/// byte-identical by construction — the protocol logic cannot diverge
+/// between them.
+///
+/// `track` is the obs timeline the coordinator-side spans land on:
+/// serial paths use [`Track::Coordinator`]; the concurrent engine gives
+/// each query its own [`Track::Query`] so span nesting (which is
+/// per-track) stays correct under interleaving. Spans carry a
+/// `query_id` attribute when the track names one.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_coordinator(
     coord: &dyn CoordinatorTransport,
     plan: &DistributedPlan,
@@ -319,7 +336,12 @@ pub(crate) fn run_coordinator(
     eval: &EvalOptions,
     timeout: Duration,
     obs: &Obs,
+    track: Track,
 ) -> Result<(Relation, Vec<StageTimes>)> {
+    let query_id = match track {
+        Track::Query(q) => q,
+        _ => 0,
+    };
     let n = coord.n_sites();
     let mut b_cur: Option<Relation> = match &plan.expr.base {
         BaseQuery::Literal(rel) => Some(rel.clone()),
@@ -329,7 +351,10 @@ pub(crate) fn run_coordinator(
 
     for (sidx, stage) in plan.stages.iter().enumerate() {
         coord.stats().begin_round(stage.label.clone());
-        let mut stage_span = obs.span(Track::Coordinator, stage.label.as_str());
+        let mut stage_span = obs.span(track, stage.label.as_str());
+        if query_id != 0 {
+            stage_span.arg("query_id", query_id as u64);
+        }
         let mut st = StageTimes {
             label: stage.label.clone(),
             site_busy_s: vec![0.0; n],
@@ -341,7 +366,7 @@ pub(crate) fn run_coordinator(
                 coord
                     .broadcast(&protocol::run_stage(sidx as u32, None))
                     .map_err(net_err)?;
-                let mut sync_span = obs.span(Track::Coordinator, "BaseSync");
+                let mut sync_span = obs.span(track, "BaseSync");
                 let mut sync = BaseSync::new();
                 st.coord_s += collect(coord, timeout, n, sidx as u32, |_, rel| {
                     st.rows_up += rel.len() as u64;
@@ -357,7 +382,7 @@ pub(crate) fn run_coordinator(
             StageKind::Unit(unit) => {
                 // 1. Ship base fragments to participating sites.
                 let t = Instant::now();
-                let mut ship_span = obs.span(Track::Coordinator, "ship base");
+                let mut ship_span = obs.span(track, "ship base");
                 let mut participants = 0usize;
                 let shared_fragment: Option<Relation> = if unit.fold_base {
                     None
@@ -375,7 +400,7 @@ pub(crate) fn run_coordinator(
                             if obs.is_recording() {
                                 let rows = b_cur.as_ref().map(|b| b.len()).unwrap_or(0);
                                 obs.event(
-                                    Track::Coordinator,
+                                    track,
                                     "group reduction skip",
                                     vec![("site", site.into()), ("rows_eliminated", rows.into())],
                                 );
@@ -390,7 +415,7 @@ pub(crate) fn run_coordinator(
                             // Thm 4: rows eliminated by the ¬ψ filter.
                             if obs.is_recording() {
                                 obs.event(
-                                    Track::Coordinator,
+                                    track,
                                     "group reduction filter",
                                     vec![
                                         ("site", site.into()),
@@ -422,7 +447,7 @@ pub(crate) fn run_coordinator(
                 let b_in_schema = &schemas[unit.ops.start];
                 let out_schema = schemas[unit.ops.end].clone();
                 if unit.local_chain {
-                    let mut sync_span = obs.span(Track::Coordinator, "ChainSync");
+                    let mut sync_span = obs.span(track, "ChainSync");
                     let mut sync = ChainSync::new(plan.key.len());
                     st.coord_s += collect(coord, timeout, participants, sidx as u32, |_, rel| {
                         st.rows_up += rel.len() as u64;
@@ -440,7 +465,7 @@ pub(crate) fn run_coordinator(
                     sync_span.arg("rows_up", st.rows_up);
                     sync_span.finish();
                 } else {
-                    let mut sync_span = obs.span(Track::Coordinator, "MergeSync");
+                    let mut sync_span = obs.span(track, "MergeSync");
                     let op = &ops[0];
                     let mut sync = MergeSync::new(
                         if unit.fold_base { None } else { b_cur.as_ref() },
@@ -548,7 +573,7 @@ pub(crate) fn net_err(e: skalla_net::NetError) -> Error {
 
 /// All traffic rounds, skipping the implicit empty round the accounting
 /// opens before the first stage.
-fn finished_rounds(stats: &NetStats) -> Vec<skalla_net::RoundStats> {
+pub(crate) fn finished_rounds(stats: &NetStats) -> Vec<skalla_net::RoundStats> {
     let rounds = stats.rounds();
     debug_assert!(
         rounds
@@ -739,6 +764,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the serial Cluster's legacy setter
     fn execution_records_full_span_tree() {
         let mut c = cluster();
         let obs = Obs::recording();
@@ -788,6 +814,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the serial Cluster's legacy setter
     fn group_reduction_emits_elimination_events() {
         let mut c = cluster();
         let obs = Obs::recording();

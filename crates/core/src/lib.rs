@@ -30,9 +30,11 @@ pub mod plan;
 pub mod plan_codec;
 pub mod protocol;
 pub mod remote;
+pub mod scheduler;
 pub mod site;
 pub mod stats;
 pub mod topology;
+pub mod warehouse;
 
 pub use cluster::Cluster;
 pub use distribution::DistributionInfo;
@@ -41,5 +43,7 @@ pub use plan::{
 };
 pub use plan_codec::{decode_plan, encode_plan};
 pub use remote::{RemoteCluster, SiteServer};
+pub use scheduler::{AdmissionError, QueryId, QueryScheduler, SchedulerConfig};
 pub use stats::{ExecStats, QueryResult, RoundSummary, SimBreakdown, StageTimes};
 pub use topology::{execute_tree, TreeQueryResult, TreeTopology};
+pub use warehouse::{EngineConfig, Skalla, SkallaBuilder, Warehouse};

@@ -13,6 +13,16 @@ use skalla_net::Message;
 use skalla_relation::codec::{Decoder, Encoder};
 use skalla_relation::{Domain, DomainMap, Error, Relation, Result, Schema};
 
+/// The protocol generation this build speaks, negotiated in the catalog
+/// handshake ([`catalog_request`] carries it, [`catalog`] echoes it).
+///
+/// * **v1** — `[tag u8][len u32 LE]` frames, one query per connection.
+/// * **v2** — `[tag u8][query_id u32 LE][len u32 LE]` frames: every
+///   message names the query it belongs to, so persistent per-site
+///   connections can interleave rounds of concurrent queries, released
+///   individually by [`TAG_QUERY_DONE`].
+pub const PROTOCOL_VERSION: u32 = 2;
+
 /// Coordinator → site: run a stage (optionally with a base fragment).
 pub const TAG_RUN_STAGE: u8 = 1;
 /// Site → coordinator: a stage's result relation.
@@ -35,6 +45,11 @@ pub const TAG_CATALOG_REQ: u8 = 6;
 /// Site → coordinator: the catalog reply — one [`SiteCatalogEntry`] per
 /// local table, sorted by table name so the payload is deterministic.
 pub const TAG_CATALOG: u8 = 7;
+/// Coordinator → site: one query (named by the frame's query id) is
+/// finished; the site retires its per-query state. Unlike
+/// [`TAG_SHUTDOWN`] — which ends the whole connection — the session and
+/// its other in-flight queries continue.
+pub const TAG_QUERY_DONE: u8 = 8;
 
 /// Encode a `RUN_STAGE` message.
 pub fn run_stage(stage: u32, fragment: Option<&Relation>) -> Message {
@@ -116,6 +131,15 @@ pub fn shutdown() -> Message {
     Message::new(TAG_SHUTDOWN, Vec::new())
 }
 
+/// Encode a `QUERY_DONE` message. The query it retires travels in the
+/// frame's query id (stamped by the per-query transport handle), so the
+/// payload is empty — the same zero-payload framing charge as
+/// [`shutdown`], keeping per-query traffic accounting identical to a
+/// serial session's shutdown broadcast.
+pub fn query_done() -> Message {
+    Message::new(TAG_QUERY_DONE, Vec::new())
+}
+
 /// What one site advertises about one of its tables in the catalog
 /// handshake: enough for a remote coordinator to validate plans (schema),
 /// optimize with distribution knowledge (the site's φ domains), and print
@@ -188,17 +212,38 @@ fn get_domain_map(dec: &mut Decoder<'_>) -> Result<DomainMap> {
     Ok(map)
 }
 
-/// Encode a `CATALOG_REQ` message.
+/// Encode a `CATALOG_REQ` message, carrying the coordinator's
+/// [`PROTOCOL_VERSION`] for negotiation.
 pub fn catalog_request() -> Message {
-    Message::new(TAG_CATALOG_REQ, Vec::new())
+    let mut enc = Encoder::new();
+    enc.put_u32(PROTOCOL_VERSION);
+    Message::new(TAG_CATALOG_REQ, enc.finish())
 }
 
-/// Encode a `CATALOG` reply. Entries are sorted by table name so every
-/// site produces a deterministic payload for the same warehouse.
+/// Decode a `CATALOG_REQ` payload into the coordinator's protocol
+/// version. v1 coordinators sent an empty request, so an empty payload
+/// decodes as version 1.
+pub fn decode_catalog_request(payload: &[u8]) -> Result<u32> {
+    if payload.is_empty() {
+        return Ok(1);
+    }
+    let mut dec = Decoder::new(payload);
+    let version = dec.get_u32()?;
+    if dec.remaining() != 0 {
+        return Err(Error::Codec("trailing bytes in CATALOG_REQ".into()));
+    }
+    Ok(version)
+}
+
+/// Encode a `CATALOG` reply. The payload leads with the site's
+/// [`PROTOCOL_VERSION`] (completing the handshake negotiation); entries
+/// are sorted by table name so every site produces a deterministic
+/// payload for the same warehouse.
 pub fn catalog(entries: &[SiteCatalogEntry]) -> Message {
     let mut sorted: Vec<&SiteCatalogEntry> = entries.iter().collect();
     sorted.sort_unstable_by(|a, b| a.table.cmp(&b.table));
     let mut enc = Encoder::new();
+    enc.put_u32(PROTOCOL_VERSION);
     enc.put_u32(sorted.len() as u32);
     for e in sorted {
         enc.put_str(&e.table);
@@ -209,9 +254,16 @@ pub fn catalog(entries: &[SiteCatalogEntry]) -> Message {
     Message::new(TAG_CATALOG, enc.finish())
 }
 
-/// Decode a `CATALOG` payload.
+/// Decode a `CATALOG` payload, verifying the site's protocol version
+/// matches this coordinator's [`PROTOCOL_VERSION`].
 pub fn decode_catalog(payload: &[u8]) -> Result<Vec<SiteCatalogEntry>> {
     let mut dec = Decoder::new(payload);
+    let version = dec.get_u32()?;
+    if version != PROTOCOL_VERSION {
+        return Err(Error::Codec(format!(
+            "protocol version mismatch: site speaks v{version}, this coordinator v{PROTOCOL_VERSION}"
+        )));
+    }
     let n = dec.get_u32()? as usize;
     let mut entries = Vec::with_capacity(n);
     for _ in 0..n {
@@ -314,6 +366,35 @@ mod tests {
         // (DomainMap iteration order must not leak into the wire form).
         assert_eq!(m.payload, catalog(&entries).payload);
         assert!(decode_catalog(&m.payload[..m.payload.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn handshake_negotiates_protocol_version() {
+        let req = catalog_request();
+        assert_eq!(req.tag, TAG_CATALOG_REQ);
+        assert_eq!(
+            decode_catalog_request(&req.payload).unwrap(),
+            PROTOCOL_VERSION
+        );
+        // A v1 coordinator sent an empty request.
+        assert_eq!(decode_catalog_request(&[]).unwrap(), 1);
+
+        // A reply from a site speaking a different version is rejected
+        // with a diagnostic naming both versions.
+        let m = catalog(&[]);
+        let mut tampered = m.payload.clone();
+        tampered[0] = 99;
+        let err = decode_catalog(&tampered).unwrap_err().to_string();
+        assert!(err.contains("version mismatch"), "got: {err}");
+        assert!(err.contains("v99"), "got: {err}");
+    }
+
+    #[test]
+    fn query_done_is_zero_payload() {
+        // QUERY_DONE must charge exactly what SHUTDOWN charges, so a
+        // concurrent query's final round equals a serial session's.
+        assert_eq!(query_done().payload.len(), shutdown().payload.len());
+        assert_eq!(query_done().tag, TAG_QUERY_DONE);
     }
 
     #[test]

@@ -17,17 +17,21 @@
 //! * **The catalog handshake is charged to a pre-query round** and sliced
 //!   out of each query's [`crate::stats::ExecStats::net`], so the
 //!   per-query rounds line up one-to-one with an in-process run.
-//! * **One query per connection**: [`RemoteCluster::execute`] releases
-//!   the sites with a shutdown broadcast (exactly like the in-process
-//!   cluster releases its threads), which ends the TCP session. A
-//!   [`SiteServer`] loops back to accept the next coordinator unless
-//!   told to serve `--once`.
+//! * **One query per connection — on this legacy entry point only**:
+//!   [`RemoteCluster::execute`] releases the sites with a shutdown
+//!   broadcast (exactly like the in-process cluster releases its
+//!   threads), which ends the TCP session; a [`SiteServer`] loops back
+//!   to accept the next coordinator unless told to serve `--once`. The
+//!   [`crate::Skalla`] engine instead holds one **persistent session**
+//!   per site for its whole lifetime and multiplexes any number of
+//!   (concurrent) queries over it by query id — new code should build a
+//!   `Skalla` via [`crate::SkallaBuilder::remote`].
 
 use crate::cluster::{net_err, run_coordinator};
 use crate::distribution::DistributionInfo;
 use crate::plan::DistributedPlan;
 use crate::protocol::{self, SiteCatalogEntry};
-use crate::site::site_loop;
+use crate::site::site_session_loop;
 use crate::stats::{ExecStats, QueryResult, StageTimes};
 use skalla_gmdj::eval::EvalOptions;
 use skalla_net::{CoordinatorTransport, SiteTransport, TcpConfig, TcpCoordinator, TcpSiteListener};
@@ -40,6 +44,93 @@ use std::time::{Duration, Instant};
 
 /// How long the coordinator waits for each site's catalog reply.
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// What the catalog handshake learns: distribution knowledge, the
+/// plan-validation catalog, and per-site row counts.
+pub(crate) type HandshakeInfo = (DistributionInfo, HashMap<String, Arc<Relation>>, Vec<u64>);
+
+/// Run the versioned catalog handshake over an established coordinator
+/// transport: broadcast the catalog request (carrying
+/// [`protocol::PROTOCOL_VERSION`]), collect every site's reply, and
+/// assemble the coordinator's distribution knowledge, plan-validation
+/// catalog, and per-site row counts — checking the sites agree on the
+/// warehouse shape. Shared by [`RemoteCluster::connect`] and the
+/// concurrent [`crate::warehouse::Skalla`] engine's remote backend.
+///
+/// Handshake traffic lands in the accounting's currently open round
+/// (the pre-query "round 0"), which the callers slice off per-query
+/// stats.
+pub(crate) fn catalog_handshake(coord: &dyn CoordinatorTransport) -> Result<HandshakeInfo> {
+    let n = coord.n_sites();
+    coord
+        .broadcast(&protocol::catalog_request())
+        .map_err(net_err)?;
+    let mut per_site: Vec<Option<Vec<SiteCatalogEntry>>> = vec![None; n];
+    for _ in 0..n {
+        let (site, msg) = coord.recv(HANDSHAKE_TIMEOUT).map_err(net_err)?;
+        match msg.tag {
+            protocol::TAG_CATALOG => {
+                per_site[site] = Some(protocol::decode_catalog(&msg.payload)?);
+            }
+            protocol::TAG_ERROR => {
+                return Err(Error::Execution(format!(
+                    "site {site} rejected the catalog handshake: {}",
+                    protocol::decode_error(&msg.payload)
+                )));
+            }
+            t => {
+                return Err(Error::Execution(format!(
+                    "unexpected message tag {t} from site {site} during handshake"
+                )));
+            }
+        }
+    }
+    let per_site: Vec<Vec<SiteCatalogEntry>> = per_site
+        .into_iter()
+        .map(|e| e.expect("filled above"))
+        .collect();
+
+    let mut dist = DistributionInfo::new(n);
+    let mut catalog: HashMap<String, Arc<Relation>> = HashMap::new();
+    let mut rows_per_site = vec![0u64; n];
+    for entry in &per_site[0] {
+        let mut domains = Vec::with_capacity(n);
+        for (site, entries) in per_site.iter().enumerate() {
+            let here = entries
+                .iter()
+                .find(|e| e.table == entry.table)
+                .ok_or_else(|| {
+                    Error::Execution(format!(
+                        "site {site} does not hold table {:?}",
+                        entry.table
+                    ))
+                })?;
+            if here.schema != entry.schema {
+                return Err(Error::Execution(format!(
+                    "site {site} disagrees on the schema of {:?}",
+                    entry.table
+                )));
+            }
+            domains.push(here.domains.clone());
+            rows_per_site[site] += here.rows;
+        }
+        dist.set_table(entry.table.clone(), domains);
+        catalog.insert(
+            entry.table.clone(),
+            Arc::new(Relation::new(entry.schema.clone(), Vec::new())?),
+        );
+    }
+    for (site, entries) in per_site.iter().enumerate() {
+        if entries.len() != per_site[0].len() {
+            return Err(Error::Execution(format!(
+                "site {site} advertises {} tables, site 0 advertises {}",
+                entries.len(),
+                per_site[0].len()
+            )));
+        }
+    }
+    Ok((dist, catalog, rows_per_site))
+}
 
 /// The coordinator's handle to a running multi-process cluster.
 ///
@@ -78,79 +169,7 @@ impl RemoteCluster {
             return Err(Error::Execution("a cluster needs at least one site".into()));
         }
         let coord = TcpCoordinator::connect(addrs, cfg).map_err(net_err)?;
-        let n = coord.n_sites();
-
-        // Handshake traffic lands in the accounting's initial "round 0",
-        // which execute() slices off the per-query stats.
-        coord
-            .broadcast(&protocol::catalog_request())
-            .map_err(net_err)?;
-        let mut per_site: Vec<Option<Vec<SiteCatalogEntry>>> = vec![None; n];
-        for _ in 0..n {
-            let (site, msg) = coord.recv(HANDSHAKE_TIMEOUT).map_err(net_err)?;
-            match msg.tag {
-                protocol::TAG_CATALOG => {
-                    per_site[site] = Some(protocol::decode_catalog(&msg.payload)?);
-                }
-                protocol::TAG_ERROR => {
-                    return Err(Error::Execution(format!(
-                        "site {site} rejected the catalog handshake: {}",
-                        protocol::decode_error(&msg.payload)
-                    )));
-                }
-                t => {
-                    return Err(Error::Execution(format!(
-                        "unexpected message tag {t} from site {site} during handshake"
-                    )));
-                }
-            }
-        }
-        let per_site: Vec<Vec<SiteCatalogEntry>> = per_site
-            .into_iter()
-            .map(|e| e.expect("filled above"))
-            .collect();
-
-        // Assemble distribution knowledge and the validation catalog,
-        // checking the sites agree on the warehouse shape.
-        let mut dist = DistributionInfo::new(n);
-        let mut catalog: HashMap<String, Arc<Relation>> = HashMap::new();
-        let mut rows_per_site = vec![0u64; n];
-        for entry in &per_site[0] {
-            let mut domains = Vec::with_capacity(n);
-            for (site, entries) in per_site.iter().enumerate() {
-                let here = entries
-                    .iter()
-                    .find(|e| e.table == entry.table)
-                    .ok_or_else(|| {
-                        Error::Execution(format!(
-                            "site {site} does not hold table {:?}",
-                            entry.table
-                        ))
-                    })?;
-                if here.schema != entry.schema {
-                    return Err(Error::Execution(format!(
-                        "site {site} disagrees on the schema of {:?}",
-                        entry.table
-                    )));
-                }
-                domains.push(here.domains.clone());
-                rows_per_site[site] += here.rows;
-            }
-            dist.set_table(entry.table.clone(), domains);
-            catalog.insert(
-                entry.table.clone(),
-                Arc::new(Relation::new(entry.schema.clone(), Vec::new())?),
-            );
-        }
-        for (site, entries) in per_site.iter().enumerate() {
-            if entries.len() != per_site[0].len() {
-                return Err(Error::Execution(format!(
-                    "site {site} advertises {} tables, site 0 advertises {}",
-                    entries.len(),
-                    per_site[0].len()
-                )));
-            }
-        }
+        let (dist, catalog, rows_per_site) = catalog_handshake(&coord)?;
 
         Ok(RemoteCluster {
             coord,
@@ -186,12 +205,16 @@ impl RemoteCluster {
     }
 
     /// Local evaluation options shipped to every site with the plan.
+    #[deprecated(
+        note = "configure through Skalla::builder().eval_options(..) / EngineConfig instead"
+    )]
     pub fn set_eval_options(&mut self, eval: EvalOptions) -> &mut RemoteCluster {
         self.eval = eval;
         self
     }
 
     /// Per-round receive timeout.
+    #[deprecated(note = "configure through Skalla::builder().timeout(..) / EngineConfig instead")]
     pub fn set_timeout(&mut self, timeout: Duration) -> &mut RemoteCluster {
         self.timeout = timeout;
         self
@@ -200,6 +223,9 @@ impl RemoteCluster {
     /// Enable row blocking, exactly as
     /// [`crate::Cluster::set_chunk_rows`]; the chunk size travels to the
     /// sites inside the plan message.
+    #[deprecated(
+        note = "configure through Skalla::builder().chunk_rows(..) / EngineConfig instead"
+    )]
     pub fn set_chunk_rows(&mut self, rows: Option<usize>) -> &mut RemoteCluster {
         self.chunk_rows = rows.filter(|r| *r > 0);
         self
@@ -207,6 +233,7 @@ impl RemoteCluster {
 
     /// Attach an observability handle (message events gain
     /// `transport: "tcp"`).
+    #[deprecated(note = "configure through Skalla::builder().obs(..) / EngineConfig instead")]
     pub fn set_obs(&mut self, obs: Obs) -> &mut RemoteCluster {
         self.obs = obs;
         self
@@ -252,6 +279,7 @@ impl RemoteCluster {
                 &self.eval,
                 self.timeout,
                 &self.obs,
+                Track::Coordinator,
             )
         });
 
@@ -283,8 +311,9 @@ impl RemoteCluster {
 
 /// A standalone warehouse site: a bound listener plus the site's local
 /// tables and partition-domain descriptions. Each accepted coordinator
-/// session is served to completion — catalog handshake, then the
-/// [`site_loop`] protocol driver until shutdown or disconnect.
+/// session is served to completion — catalog handshake (with protocol
+/// version negotiation), then the [`site_session_loop`] demultiplexer
+/// until shutdown or disconnect.
 pub struct SiteServer {
     listener: TcpSiteListener,
     catalog: HashMap<String, Arc<Relation>>,
@@ -344,13 +373,30 @@ impl SiteServer {
 
     /// Accept one coordinator session and serve it to completion.
     /// Returns after the coordinator's shutdown broadcast (normal end of
-    /// query) or when the link dies; either way the listener stays bound,
-    /// so the caller may loop.
+    /// session) or when the link dies; either way the listener stays
+    /// bound, so the caller may loop.
+    ///
+    /// The handshake read is **deadline-bounded** (the session's
+    /// configured read timeout, capped at 60 s): a coordinator that
+    /// connects and then disconnects — or goes silent — mid-handshake
+    /// surfaces as a clean error here instead of blocking the accept
+    /// loop forever on a half-open socket.
+    ///
+    /// After the handshake the session is served by
+    /// [`crate::site::site_session_loop`], which demultiplexes frames to
+    /// per-query workers by query id — so one persistent session carries
+    /// any number of concurrent queries (a serial coordinator's frames
+    /// all ride query id 0).
     pub fn serve_once(&self) -> Result<()> {
         let site = self.listener.accept(&self.cfg).map_err(net_err)?;
         // The handshake: a remote coordinator always asks for the catalog
         // before planning.
-        let first = site.recv().map_err(net_err)?;
+        let handshake_bound = self
+            .cfg
+            .read_timeout
+            .map(|t| t.min(HANDSHAKE_TIMEOUT))
+            .unwrap_or(HANDSHAKE_TIMEOUT);
+        let first = site.recv_deadline(handshake_bound).map_err(net_err)?;
         if first.tag != protocol::TAG_CATALOG_REQ {
             let _ = site.send(protocol::error("expected a catalog request"));
             return Err(Error::Execution(format!(
@@ -358,15 +404,25 @@ impl SiteServer {
                 first.tag
             )));
         }
+        let version = protocol::decode_catalog_request(&first.payload)?;
+        if version != protocol::PROTOCOL_VERSION {
+            let detail = format!(
+                "unsupported protocol version v{version} (this site speaks v{})",
+                protocol::PROTOCOL_VERSION
+            );
+            let _ = site.send(protocol::error(&detail));
+            return Err(Error::Execution(detail));
+        }
         site.send(protocol::catalog(&self.entries))
             .map_err(net_err)?;
-        site_loop(&self.catalog, &site, None, &self.obs);
+        site_session_loop(&self.catalog, Arc::new(site), None, &self.obs);
         Ok(())
     }
 
     /// Serve coordinator sessions forever (one at a time). A failed
-    /// session (handshake violation, link death) is logged to stderr and
-    /// the server returns to accepting.
+    /// session — handshake violation, a coordinator disconnecting
+    /// mid-handshake, link death — is logged to stderr and the server
+    /// returns to accepting the next session.
     pub fn serve_forever(&self) -> Result<()> {
         loop {
             if let Err(e) = self.serve_once() {

@@ -245,6 +245,166 @@ pub fn site_loop(
     }
 }
 
+/// Shared collector for `(query_id, site, stage, busy seconds)` samples
+/// reported by per-query site workers under the concurrent engine.
+pub type QueryBusyTimes = Mutex<Vec<(u32, usize, usize, f64)>>;
+
+/// The multi-query session loop: a demultiplexer that routes frames to
+/// per-query workers keyed by [`skalla_net::Message::query_id`].
+///
+/// Each worker owns one query's state — the decoded plan, its evaluation
+/// options, its row-blocking chunk size — exactly the state [`site_loop`]
+/// keeps for its single query, so concurrent queries interleave on the
+/// site without sharing mutable state. Worker replies are stamped with
+/// the worker's query id and serialized by the transport (one frame per
+/// `send`), so interleaved queries never corrupt each other's streams.
+///
+/// Control flow on the session (query id 0) stream:
+/// * [`protocol::TAG_QUERY_DONE`] retires the frame's query worker;
+/// * [`protocol::TAG_SHUTDOWN`] ends the session: all workers are joined
+///   and the loop returns;
+/// * a dead link also ends the session.
+///
+/// The legacy serial coordinator (every frame on query id 0) works
+/// unchanged: its frames all route to worker 0.
+pub fn site_session_loop(
+    catalog: &HashMap<String, Arc<Relation>>,
+    net: Arc<dyn SiteTransport + Sync>,
+    times: Option<Arc<QueryBusyTimes>>,
+    obs: &Obs,
+) {
+    use crossbeam::channel::{unbounded, Sender};
+    let mut workers: HashMap<u32, (Sender<skalla_net::Message>, std::thread::JoinHandle<()>)> =
+        HashMap::new();
+    // The loop ends when the coordinator hangs up (or the session idles
+    // out) — recv errors — or broadcasts a shutdown.
+    while let Ok(msg) = net.recv() {
+        match msg.tag {
+            protocol::TAG_SHUTDOWN => break,
+            protocol::TAG_QUERY_DONE => {
+                if let Some((tx, handle)) = workers.remove(&msg.query_id) {
+                    drop(tx); // worker drains its queue and exits
+                    let _ = handle.join();
+                }
+            }
+            _ => {
+                let query_id = msg.query_id;
+                let (tx, _) = workers.entry(query_id).or_insert_with(|| {
+                    let (tx, rx) = unbounded();
+                    let catalog = catalog.clone();
+                    let net = Arc::clone(&net);
+                    let times = times.clone();
+                    let obs = obs.clone();
+                    let handle = std::thread::Builder::new()
+                        .name(format!("site-{}-q{}", net.site_id(), query_id))
+                        .spawn(move || query_worker(&catalog, &*net, rx, query_id, times, &obs))
+                        .expect("spawning site query worker");
+                    (tx, handle)
+                });
+                let _ = tx.send(msg);
+            }
+        }
+    }
+    for (tx, handle) in workers.into_values() {
+        drop(tx);
+        let _ = handle.join();
+    }
+}
+
+/// One query's execution state and driver on a site: the per-query half
+/// of [`site_session_loop`], mirroring [`site_loop`]'s protocol arms.
+fn query_worker(
+    catalog: &HashMap<String, Arc<Relation>>,
+    net: &dyn SiteTransport,
+    rx: crossbeam::channel::Receiver<skalla_net::Message>,
+    query_id: u32,
+    times: Option<Arc<QueryBusyTimes>>,
+    obs: &Obs,
+) {
+    let site = net.site_id();
+    let track = if query_id == 0 {
+        Track::Site(site)
+    } else {
+        Track::SiteQuery(site, query_id)
+    };
+    let mut plan: Option<DistributedPlan> = None;
+    let mut eval = EvalOptions::default();
+    let mut chunk_rows: Option<usize> = None;
+    let reply = |msg: skalla_net::Message| net.send(msg.with_query_id(query_id));
+    while let Ok(msg) = rx.recv() {
+        match msg.tag {
+            protocol::TAG_PLAN => match crate::plan_codec::decode_plan_with_options(&msg.payload) {
+                Ok((p, e, c)) => {
+                    plan = Some(p);
+                    eval = e;
+                    chunk_rows = c;
+                }
+                Err(e) => {
+                    let _ = reply(protocol::error(&format!("bad plan: {e}")));
+                }
+            },
+            protocol::TAG_RUN_STAGE => {
+                let Some(plan) = &plan else {
+                    let _ = reply(protocol::error("stage task before plan"));
+                    continue;
+                };
+                let replies = match protocol::decode_run_stage(&msg.payload) {
+                    Ok((stage, fragment)) => {
+                        let label = plan
+                            .stages
+                            .get(stage as usize)
+                            .map(|s| s.label.as_str())
+                            .unwrap_or("stage");
+                        let mut task_span = obs.span(track, label);
+                        if query_id != 0 {
+                            task_span.arg("query_id", query_id as u64);
+                        }
+                        if let Some(f) = &fragment {
+                            task_span.arg("rows_in", f.len());
+                        }
+                        let t = Instant::now();
+                        let out = execute_stage_traced(
+                            catalog,
+                            plan,
+                            stage as usize,
+                            fragment,
+                            eval,
+                            obs,
+                            site,
+                        );
+                        if let Some(times) = &times {
+                            times
+                                .lock()
+                                .push((query_id, site, stage as usize, t.elapsed().as_secs_f64()));
+                        }
+                        match out {
+                            Ok(rel) => {
+                                task_span.arg("rows_out", rel.len());
+                                task_span.finish();
+                                chunked_results(stage, &rel, chunk_rows)
+                            }
+                            Err(e) => {
+                                task_span.arg("error", e.to_string());
+                                task_span.finish();
+                                vec![protocol::error(&e.to_string())]
+                            }
+                        }
+                    }
+                    Err(e) => vec![protocol::error(&e.to_string())],
+                };
+                for r in replies {
+                    if reply(r).is_err() {
+                        return;
+                    }
+                }
+            }
+            _ => {
+                let _ = reply(protocol::error("unexpected message tag"));
+            }
+        }
+    }
+}
+
 /// Split a stage result into row-blocked RESULT messages (one final
 /// message when chunking is off or the relation is small).
 fn chunked_results(

@@ -1,0 +1,774 @@
+//! The unified `Warehouse` API and the concurrent multi-query engine.
+//!
+//! Skalla grew three execution front-ends — the in-process
+//! [`Cluster`], the multi-process [`RemoteCluster`], and (here) the
+//! concurrent [`Skalla`] engine. The [`Warehouse`] trait is the one
+//! interface they all share: learn the distribution, validate against
+//! the catalog, execute a plan, get a [`QueryResult`] with identical
+//! statistics whichever runtime carried the bytes. Embedders hold a
+//! `Box<dyn Warehouse>` and stop caring which transport is underneath.
+//!
+//! [`Skalla`] is the tentpole: a multi-query engine over **persistent
+//! per-site connections**. Where the serial front-ends run one query
+//! per session (the releasing shutdown broadcast ends the session),
+//! the engine keeps the site links open and multiplexes concurrent
+//! queries onto them:
+//!
+//! * admission control ([`crate::scheduler::QueryScheduler`]) bounds
+//!   how many queries run and wait at once;
+//! * each admitted query gets a fresh [`skalla_net::Message::query_id`]
+//!   and a dedicated [`skalla_net::MuxHandle`] view of the shared
+//!   links, so frames of interleaved queries route to the right
+//!   per-query state on both ends (site side:
+//!   [`crate::site::site_session_loop`]);
+//! * per-query [`crate::stats::ExecStats`] — round labels, byte and
+//!   message counts, site busy times — are **exactly** what a serial
+//!   run of the same plan records, because the same crate-private
+//!   `run_coordinator` drives every path and each query's accounting
+//!   lives on its own [`skalla_net::NetStats`].
+//!
+//! Build one with [`Skalla::builder`]:
+//!
+//! ```
+//! use skalla_core::warehouse::{Skalla, Warehouse};
+//! use skalla_core::plan::{OptFlags, Planner};
+//! use skalla_gmdj::prelude::*;
+//! use skalla_relation::{row, DataType, Domain, DomainMap, Relation, Schema};
+//!
+//! let schema = Schema::of(&[("g", DataType::Int), ("v", DataType::Int)]);
+//! let p0 = Relation::new(schema.clone(), vec![row![1i64, 10i64]]).unwrap();
+//! let p1 = Relation::new(schema, vec![row![2i64, 5i64]]).unwrap();
+//! let engine = Skalla::builder()
+//!     .partitions("t", vec![
+//!         (p0, DomainMap::new().with("g", Domain::IntRange(1, 1))),
+//!         (p1, DomainMap::new().with("g", Domain::IntRange(2, 2))),
+//!     ])
+//!     .max_concurrent(2)
+//!     .build()
+//!     .unwrap();
+//! let expr = GmdjExprBuilder::distinct_base("t", &["g"])
+//!     .gmdj(Gmdj::new("t").block(
+//!         ThetaBuilder::group_by(&["g"]).build(),
+//!         vec![AggSpec::count("cnt")],
+//!     ))
+//!     .build();
+//! let plan = Planner::new(engine.distribution()).optimize(&expr, OptFlags::all());
+//! let out = engine.execute(&plan).unwrap();
+//! assert_eq!(out.relation.len(), 2);
+//! ```
+
+use crate::cluster::{finished_rounds, net_err, run_coordinator, Cluster};
+use crate::distribution::DistributionInfo;
+use crate::plan::DistributedPlan;
+use crate::protocol;
+use crate::remote::{catalog_handshake, RemoteCluster};
+use crate::scheduler::{QueryScheduler, SchedulerConfig};
+use crate::site::{site_session_loop, QueryBusyTimes};
+use crate::stats::{ExecStats, QueryResult, StageTimes};
+use skalla_gmdj::eval::EvalOptions;
+use skalla_net::{star, CoordinatorTransport, QueryMux, TcpConfig, TcpCoordinator};
+use skalla_obs::{Obs, Track};
+use skalla_relation::{DomainMap, Error, Relation, Result, Schema};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The one interface every Skalla runtime exposes: what an embedder
+/// needs to plan and execute distributed OLAP queries without caring
+/// whether the sites are threads, processes, or a shared persistent
+/// session. All three runtimes — [`Cluster`], [`RemoteCluster`], and
+/// the concurrent [`Skalla`] engine — implement it, and all three
+/// return byte-identical results and identical logical traffic
+/// accounting for the same plan, by construction (they share the
+/// crate-private coordinator driver).
+pub trait Warehouse: Send + Sync {
+    /// Number of warehouse sites.
+    fn n_sites(&self) -> usize;
+
+    /// The coordinator's distribution knowledge (feed this to
+    /// [`crate::plan::Planner::new`]).
+    fn distribution(&self) -> DistributionInfo;
+
+    /// The plan-validation catalog: every table's schema, as (possibly
+    /// empty) relations.
+    fn catalog(&self) -> HashMap<String, Arc<Relation>>;
+
+    /// Execute a distributed plan and return the result with full
+    /// per-round statistics.
+    fn execute(&self, plan: &DistributedPlan) -> Result<QueryResult>;
+}
+
+impl Warehouse for Cluster {
+    fn n_sites(&self) -> usize {
+        Cluster::n_sites(self)
+    }
+
+    fn distribution(&self) -> DistributionInfo {
+        Cluster::distribution(self)
+    }
+
+    fn catalog(&self) -> HashMap<String, Arc<Relation>> {
+        self.site_catalog(0).clone()
+    }
+
+    fn execute(&self, plan: &DistributedPlan) -> Result<QueryResult> {
+        Cluster::execute(self, plan)
+    }
+}
+
+impl Warehouse for RemoteCluster {
+    fn n_sites(&self) -> usize {
+        RemoteCluster::n_sites(self)
+    }
+
+    fn distribution(&self) -> DistributionInfo {
+        RemoteCluster::distribution(self)
+    }
+
+    fn catalog(&self) -> HashMap<String, Arc<Relation>> {
+        RemoteCluster::catalog(self).clone()
+    }
+
+    fn execute(&self, plan: &DistributedPlan) -> Result<QueryResult> {
+        RemoteCluster::execute(self, plan)
+    }
+}
+
+/// Everything an engine needs to know beyond where the data lives: the
+/// per-site kernel options, coordinator timeouts, row blocking,
+/// observability, and the admission-control discipline. One struct
+/// replaces the deprecated per-runtime setter chains
+/// ([`Cluster::set_eval_options`] and friends).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Local evaluation options shipped to every site with the plan.
+    pub eval: EvalOptions,
+    /// Per-round coordinator receive timeout.
+    pub timeout: Duration,
+    /// Row blocking: sites ship sub-results in chunks of this many rows
+    /// (`None` ships one message per stage). See
+    /// [`Cluster::set_chunk_rows`].
+    pub chunk_rows: Option<usize>,
+    /// Observability handle; disabled by default.
+    pub obs: Obs,
+    /// Multi-query admission control (concurrency, queue bound, queue
+    /// timeout).
+    pub scheduler: SchedulerConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            eval: EvalOptions::default(),
+            timeout: Duration::from_secs(120),
+            chunk_rows: None,
+            obs: Obs::disabled(),
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+}
+
+/// Where the engine's sites live.
+enum BackendSpec {
+    /// Not yet chosen — [`SkallaBuilder::build`] rejects this.
+    Unset,
+    /// In-process: one thread per site over the channel transport. The
+    /// `Cluster` is only the table-assembly vehicle; execution goes
+    /// through persistent [`site_session_loop`] threads.
+    Local(Cluster),
+    /// Multi-process: dial `skalla-cli site` processes over TCP.
+    Remote {
+        addrs: Vec<String>,
+        tcp: TcpConfig,
+    },
+}
+
+/// Builder for the concurrent [`Skalla`] engine: pick a backend
+/// ([`SkallaBuilder::partitions`] or [`SkallaBuilder::remote`]), tune
+/// the [`EngineConfig`], then [`SkallaBuilder::build`].
+pub struct SkallaBuilder {
+    cfg: EngineConfig,
+    backend: BackendSpec,
+}
+
+impl SkallaBuilder {
+    /// Register a partitioned fact relation for the in-process backend:
+    /// one `(fragment, φ-domains)` pair per site, in site order. The
+    /// first call fixes the site count; later calls add more tables
+    /// (see [`Cluster::add_table`] for the invariants).
+    ///
+    /// # Panics
+    /// Panics if called after [`SkallaBuilder::remote`], or if the
+    /// fragment count differs between tables.
+    pub fn partitions<P: Into<(Relation, DomainMap)>>(
+        mut self,
+        table: impl Into<String>,
+        parts: Vec<P>,
+    ) -> SkallaBuilder {
+        match &mut self.backend {
+            BackendSpec::Local(cluster) => {
+                cluster.add_table(table, parts);
+            }
+            BackendSpec::Unset => {
+                self.backend = BackendSpec::Local(Cluster::from_partitions(table, parts));
+            }
+            BackendSpec::Remote { .. } => {
+                panic!("SkallaBuilder: cannot mix partitions() with remote()");
+            }
+        }
+        self
+    }
+
+    /// Use the multi-process TCP backend: dial one site process per
+    /// address (with the config's retry/backoff) at build time and keep
+    /// the connections open for the engine's lifetime. Replaces any
+    /// previously configured backend.
+    pub fn remote(mut self, addrs: &[String], tcp: TcpConfig) -> SkallaBuilder {
+        self.backend = BackendSpec::Remote {
+            addrs: addrs.to_vec(),
+            tcp,
+        };
+        self
+    }
+
+    /// Replace the whole [`EngineConfig`] at once.
+    pub fn config(mut self, cfg: EngineConfig) -> SkallaBuilder {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Local evaluation options used at every site.
+    pub fn eval_options(mut self, eval: EvalOptions) -> SkallaBuilder {
+        self.cfg.eval = eval;
+        self
+    }
+
+    /// Per-round coordinator receive timeout.
+    pub fn timeout(mut self, timeout: Duration) -> SkallaBuilder {
+        self.cfg.timeout = timeout;
+        self
+    }
+
+    /// Row blocking chunk size (`None` ships one message per stage).
+    pub fn chunk_rows(mut self, rows: Option<usize>) -> SkallaBuilder {
+        self.cfg.chunk_rows = rows.filter(|r| *r > 0);
+        self
+    }
+
+    /// Attach an observability handle: per-query spans land on
+    /// [`Track::Query`] / [`Track::SiteQuery`] timelines with a
+    /// `query_id` attribute.
+    pub fn obs(mut self, obs: Obs) -> SkallaBuilder {
+        self.cfg.obs = obs;
+        self
+    }
+
+    /// How many queries may execute concurrently.
+    pub fn max_concurrent(mut self, n: usize) -> SkallaBuilder {
+        self.cfg.scheduler.max_concurrent = n;
+        self
+    }
+
+    /// How many queries may wait for an execution slot before new
+    /// arrivals are rejected.
+    pub fn queue_capacity(mut self, n: usize) -> SkallaBuilder {
+        self.cfg.scheduler.queue_capacity = n;
+        self
+    }
+
+    /// How long a queued query waits for a slot before giving up.
+    pub fn queue_timeout(mut self, timeout: Duration) -> SkallaBuilder {
+        self.cfg.scheduler.queue_timeout = timeout;
+        self
+    }
+
+    /// Stand the engine up: spawn the site threads (local) or dial the
+    /// sites and run the versioned catalog handshake (remote), start
+    /// the query multiplexer, and return the ready engine.
+    pub fn build(self) -> Result<Skalla> {
+        let scheduler = QueryScheduler::new(self.cfg.scheduler.clone());
+        match self.backend {
+            BackendSpec::Unset => Err(Error::Execution(
+                "SkallaBuilder: no warehouse backend configured \
+                 (call partitions() or remote())"
+                    .into(),
+            )),
+            BackendSpec::Local(cluster) => {
+                let n = cluster.n_sites();
+                let (coord, site_nets) = star(n);
+                let times: Arc<QueryBusyTimes> = Arc::new(QueryBusyTimes::new(Vec::new()));
+                let mut site_threads = Vec::with_capacity(n);
+                for site_net in site_nets {
+                    let catalog = cluster.site_catalog(site_net.site_id()).clone();
+                    let times = Arc::clone(&times);
+                    let obs = self.cfg.obs.clone();
+                    let handle = std::thread::Builder::new()
+                        .name(format!("skalla-site-{}", site_net.site_id()))
+                        .spawn(move || {
+                            site_session_loop(&catalog, Arc::new(site_net), Some(times), &obs)
+                        })
+                        .map_err(|e| Error::Execution(format!("spawning site thread: {e}")))?;
+                    site_threads.push(handle);
+                }
+                Ok(Skalla {
+                    dist: cluster.distribution(),
+                    catalog: cluster.site_catalog(0).clone(),
+                    mux: QueryMux::new(Arc::new(coord)),
+                    scheduler,
+                    cfg: self.cfg,
+                    backend: Backend::Local {
+                        site_threads,
+                        times,
+                    },
+                })
+            }
+            BackendSpec::Remote { addrs, tcp } => {
+                if addrs.is_empty() {
+                    return Err(Error::Execution("a cluster needs at least one site".into()));
+                }
+                let coord = TcpCoordinator::connect(&addrs, &tcp).map_err(net_err)?;
+                // The handshake rides the shared connection (query id 0)
+                // and is charged to the shared transport's pre-query
+                // round, never to any query's stats.
+                let (dist, catalog, _rows) = catalog_handshake(&coord)?;
+                Ok(Skalla {
+                    dist,
+                    catalog,
+                    mux: QueryMux::new(Arc::new(coord)),
+                    scheduler,
+                    cfg: self.cfg,
+                    backend: Backend::Remote,
+                })
+            }
+        }
+    }
+}
+
+/// Runtime state the engine keeps per backend.
+enum Backend {
+    Local {
+        site_threads: Vec<JoinHandle<()>>,
+        /// `(query_id, site, stage, busy seconds)` samples reported by
+        /// the in-process site workers, drained per query.
+        times: Arc<QueryBusyTimes>,
+    },
+    Remote,
+}
+
+/// The concurrent multi-query engine: persistent per-site connections,
+/// a query multiplexer, and admission control in front.
+///
+/// [`Skalla::execute`] is safe to call from many threads at once — that
+/// is the point. Each call is admitted by the scheduler (possibly
+/// waiting for a slot), assigned a query id, and driven by the same
+/// coordinator algorithm as the serial runtimes over its own
+/// multiplexed transport view. Dropping the engine releases the sites
+/// (shutdown broadcast on the shared connection) and joins the
+/// machinery.
+///
+/// Construct with [`Skalla::builder`]; see the module docs for an
+/// example.
+pub struct Skalla {
+    dist: DistributionInfo,
+    catalog: HashMap<String, Arc<Relation>>,
+    mux: QueryMux,
+    scheduler: QueryScheduler,
+    cfg: EngineConfig,
+    backend: Backend,
+}
+
+impl std::fmt::Debug for Skalla {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Skalla")
+            .field("n_sites", &self.mux.n_sites())
+            .field("tables", &self.catalog.keys().collect::<Vec<_>>())
+            .field("max_concurrent", &self.scheduler.config().max_concurrent)
+            .finish()
+    }
+}
+
+impl Skalla {
+    /// Start configuring an engine.
+    pub fn builder() -> SkallaBuilder {
+        SkallaBuilder {
+            cfg: EngineConfig::default(),
+            backend: BackendSpec::Unset,
+        }
+    }
+
+    /// Number of warehouse sites.
+    pub fn n_sites(&self) -> usize {
+        self.mux.n_sites()
+    }
+
+    /// The coordinator's distribution knowledge (feed this to
+    /// [`crate::plan::Planner::new`]).
+    pub fn distribution(&self) -> DistributionInfo {
+        self.dist.clone()
+    }
+
+    /// The plan-validation catalog.
+    pub fn catalog(&self) -> &HashMap<String, Arc<Relation>> {
+        &self.catalog
+    }
+
+    /// The admission controller (inspect running/waiting counts).
+    pub fn scheduler(&self) -> &QueryScheduler {
+        &self.scheduler
+    }
+
+    /// The engine configuration in force.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Execute a distributed plan as one admitted query. Blocks while
+    /// the admission queue holds it; fails fast with a clean error when
+    /// the queue is full or the queue timeout expires. Statistics are
+    /// per-query: round labels, byte/message counts, and (in-process
+    /// backend) site busy times are identical to a serial run of the
+    /// same plan.
+    pub fn execute(&self, plan: &DistributedPlan) -> Result<QueryResult> {
+        let _permit = self
+            .scheduler
+            .admit()
+            .map_err(|e| Error::Execution(format!("admission: {e}")))?;
+        let query_id = self.scheduler.next_query_id();
+        self.run_query(plan, query_id)
+    }
+
+    /// The admitted half of [`Skalla::execute`]: mirrors the serial
+    /// [`Cluster::execute`] round-for-round so per-query accounting is
+    /// equal by construction — round 0 stays empty (sliced off), the
+    /// "plan" round carries the plan broadcast, each stage gets its
+    /// round, and the query-done release (zero payload, one framing
+    /// charge per site) lands in the last round exactly where the
+    /// serial path's shutdown broadcast lands.
+    fn run_query(&self, plan: &DistributedPlan, query_id: u32) -> Result<QueryResult> {
+        let n = self.n_sites();
+        let wall_start = Instant::now();
+        plan.check_structure(n)?;
+        let schemas = plan.expr.validate(&self.catalog)?;
+        let detail_schemas: HashMap<String, Schema> = self
+            .catalog
+            .iter()
+            .map(|(k, v)| (k.clone(), v.schema().clone()))
+            .collect();
+
+        let handle = self.mux.register(query_id);
+        handle.stats().set_obs(self.cfg.obs.clone());
+        let track = Track::Query(query_id);
+        let mut query_span = self
+            .cfg
+            .obs
+            .span(track, "query")
+            .with("sites", n)
+            .with("rounds", plan.n_rounds())
+            .with("query_id", query_id as u64);
+
+        handle.stats().begin_round("plan");
+        let plan_bytes =
+            crate::plan_codec::encode_plan_with_options(plan, &self.cfg.eval, self.cfg.chunk_rows);
+        let plan_msg = skalla_net::Message::new(protocol::TAG_PLAN, plan_bytes);
+        let dispatch = handle.broadcast(&plan_msg).map_err(net_err);
+
+        let run = dispatch.and_then(|()| {
+            run_coordinator(
+                &handle,
+                plan,
+                &schemas,
+                &detail_schemas,
+                &self.cfg.eval,
+                self.cfg.timeout,
+                &self.cfg.obs,
+                track,
+            )
+        });
+
+        // Always retire this query's site workers, even on error.
+        let _ = handle.broadcast(&protocol::query_done());
+
+        let (relation, mut stage_times) = run?;
+        stage_times.insert(
+            0,
+            StageTimes {
+                label: "plan".to_string(),
+                site_busy_s: vec![0.0; n],
+                ..StageTimes::default()
+            },
+        );
+        if let Backend::Local { times, .. } = &self.backend {
+            // Drain this query's samples; other queries' stay queued.
+            let mut samples = times.lock();
+            samples.retain(|(qid, site, stage, secs)| {
+                if *qid != query_id {
+                    return true;
+                }
+                if let Some(st) = stage_times.get_mut(*stage + 1) {
+                    st.site_busy_s[*site] += *secs;
+                }
+                false
+            });
+        }
+        let net = finished_rounds(handle.stats());
+        query_span.arg("result_rows", relation.len());
+        query_span.finish();
+        Ok(QueryResult {
+            relation,
+            stats: ExecStats {
+                stages: stage_times,
+                net,
+                wall_s: wall_start.elapsed().as_secs_f64(),
+            },
+        })
+    }
+}
+
+impl Warehouse for Skalla {
+    fn n_sites(&self) -> usize {
+        Skalla::n_sites(self)
+    }
+
+    fn distribution(&self) -> DistributionInfo {
+        Skalla::distribution(self)
+    }
+
+    fn catalog(&self) -> HashMap<String, Arc<Relation>> {
+        self.catalog.clone()
+    }
+
+    fn execute(&self, plan: &DistributedPlan) -> Result<QueryResult> {
+        Skalla::execute(self, plan)
+    }
+}
+
+impl Drop for Skalla {
+    fn drop(&mut self) {
+        // Release the sites on the shared control stream (query id 0),
+        // then stop the dispatcher and join the local site threads.
+        let _ = self.mux.shared_transport().broadcast(&protocol::shutdown());
+        self.mux.shutdown();
+        if let Backend::Local { site_threads, .. } = &mut self.backend {
+            for h in site_threads.drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{OptFlags, Planner};
+    use skalla_gmdj::prelude::*;
+    use skalla_relation::{row, DataType, Domain};
+
+    fn parts() -> Vec<(Relation, DomainMap)> {
+        let schema = Schema::of(&[("g", DataType::Int), ("v", DataType::Int)]);
+        let p0 = Relation::new(
+            schema.clone(),
+            vec![row![1i64, 10i64], row![1i64, 30i64], row![2i64, 5i64]],
+        )
+        .unwrap();
+        let p1 = Relation::new(schema, vec![row![3i64, 7i64], row![3i64, 9i64]]).unwrap();
+        vec![
+            (p0, DomainMap::new().with("g", Domain::IntRange(1, 2))),
+            (p1, DomainMap::new().with("g", Domain::IntRange(3, 3))),
+        ]
+    }
+
+    fn expr() -> GmdjExpr {
+        GmdjExprBuilder::distinct_base("t", &["g"])
+            .gmdj(Gmdj::new("t").block(
+                ThetaBuilder::group_by(&["g"]).build(),
+                vec![AggSpec::count("cnt"), AggSpec::avg("v", "avg")],
+            ))
+            .gmdj(
+                Gmdj::new("t").block(
+                    ThetaBuilder::group_by(&["g"])
+                        .and(Expr::dcol("v").ge(Expr::bcol("avg")))
+                        .build(),
+                    vec![AggSpec::count("above")],
+                ),
+            )
+            .build()
+    }
+
+    fn engine() -> Skalla {
+        Skalla::builder().partitions("t", parts()).build().unwrap()
+    }
+
+    /// Canonical row order: site replies arrive in nondeterministic
+    /// order (serial paths included), so bit-identity is asserted on
+    /// the key-sorted relation.
+    fn canonical(rel: &Relation) -> Relation {
+        rel.sorted_by(&["g"]).unwrap()
+    }
+
+    /// The serial oracle: a plain `Cluster` run of the same plan.
+    fn serial(plan: &DistributedPlan) -> QueryResult {
+        Cluster::from_partitions("t", parts()).execute(plan).unwrap()
+    }
+
+    #[test]
+    fn engine_matches_serial_cluster_exactly() {
+        let e = engine();
+        let plan = Planner::new(e.distribution()).optimize(&expr(), OptFlags::none());
+        let serial_out = serial(&plan);
+        let out = e.execute(&plan).unwrap();
+        assert_eq!(
+            canonical(&out.relation),
+            canonical(&serial_out.relation),
+            "bit-identical result"
+        );
+        assert_eq!(out.stats.net, serial_out.stats.net, "identical traffic");
+        assert_eq!(out.stats.stages.len(), serial_out.stats.stages.len());
+        for (a, b) in out.stats.stages.iter().zip(&serial_out.stats.stages) {
+            assert_eq!(a.label, b.label);
+            assert_eq!((a.rows_down, a.rows_up), (b.rows_down, b.rows_up));
+        }
+    }
+
+    #[test]
+    fn sequential_queries_reuse_the_session() {
+        let e = engine();
+        let planner = Planner::new(e.distribution());
+        let p1 = planner.optimize(&expr(), OptFlags::none());
+        let p2 = planner.optimize(&expr(), OptFlags::all());
+        let r1 = e.execute(&p1).unwrap();
+        let r2 = e.execute(&p2).unwrap();
+        let r3 = e.execute(&p1).unwrap();
+        assert!(r1.relation.same_bag(&r2.relation));
+        assert_eq!(canonical(&r1.relation), canonical(&r3.relation));
+        assert_eq!(r1.stats.net, r3.stats.net, "repeat runs account equally");
+    }
+
+    #[test]
+    fn concurrent_queries_each_match_serial() {
+        let e = Arc::new(
+            Skalla::builder()
+                .partitions("t", parts())
+                .max_concurrent(4)
+                .build()
+                .unwrap(),
+        );
+        let planner = Planner::new(e.distribution());
+        let plans: Vec<DistributedPlan> = vec![
+            planner.optimize(&expr(), OptFlags::none()),
+            planner.optimize(&expr(), OptFlags::all()),
+            planner.optimize(&expr(), OptFlags::group_reduction_only()),
+            planner.optimize(&expr(), OptFlags::none()),
+        ];
+        let serial_outs: Vec<QueryResult> = plans.iter().map(serial).collect();
+        let handles: Vec<_> = plans
+            .into_iter()
+            .map(|p| {
+                let e = Arc::clone(&e);
+                std::thread::spawn(move || e.execute(&p).unwrap())
+            })
+            .collect();
+        for (h, want) in handles.into_iter().zip(serial_outs) {
+            let got = h.join().unwrap();
+            assert_eq!(
+                canonical(&got.relation),
+                canonical(&want.relation),
+                "bit-identical result"
+            );
+            assert_eq!(got.stats.net, want.stats.net, "per-query traffic");
+        }
+    }
+
+    #[test]
+    fn admission_queue_full_is_a_clean_error() {
+        // One slot, no waiting room: while a query holds the slot, the
+        // next is rejected. We hold the slot via the scheduler directly
+        // (execute() would release it too quickly to race against).
+        let e = Skalla::builder()
+            .partitions("t", parts())
+            .max_concurrent(1)
+            .queue_capacity(0)
+            .build()
+            .unwrap();
+        let _slot = e.scheduler().admit().unwrap();
+        let plan = Planner::new(e.distribution()).optimize(&expr(), OptFlags::none());
+        let err = e.execute(&plan).unwrap_err();
+        assert!(err.to_string().contains("queue full"), "{err}");
+    }
+
+    #[test]
+    fn admission_queue_timeout_is_a_clean_error() {
+        let e = Skalla::builder()
+            .partitions("t", parts())
+            .max_concurrent(1)
+            .queue_capacity(4)
+            .queue_timeout(Duration::from_millis(50))
+            .build()
+            .unwrap();
+        let _slot = e.scheduler().admit().unwrap();
+        let plan = Planner::new(e.distribution()).optimize(&expr(), OptFlags::none());
+        let err = e.execute(&plan).unwrap_err();
+        assert!(err.to_string().contains("timed out"), "{err}");
+    }
+
+    #[test]
+    fn builder_without_backend_is_rejected() {
+        let err = Skalla::builder().build().unwrap_err();
+        assert!(err.to_string().contains("no warehouse backend"), "{err}");
+    }
+
+    #[test]
+    fn warehouse_trait_dispatches_over_all_runtimes() {
+        let plan_of = |w: &dyn Warehouse| {
+            Planner::new(w.distribution()).optimize(&expr(), OptFlags::all())
+        };
+        let cluster: Box<dyn Warehouse> = Box::new(Cluster::from_partitions("t", parts()));
+        let engine: Box<dyn Warehouse> = Box::new(engine());
+        let a = cluster.execute(&plan_of(cluster.as_ref())).unwrap();
+        let b = engine.execute(&plan_of(engine.as_ref())).unwrap();
+        assert_eq!(canonical(&a.relation), canonical(&b.relation));
+        assert_eq!(a.stats.net, b.stats.net);
+        assert_eq!(cluster.n_sites(), 2);
+        assert!(cluster.catalog().contains_key("t"));
+    }
+
+    #[test]
+    fn per_query_obs_spans_carry_query_ids() {
+        let obs = Obs::recording();
+        let e = Skalla::builder()
+            .partitions("t", parts())
+            .obs(obs.clone())
+            .build()
+            .unwrap();
+        let plan = Planner::new(e.distribution()).optimize(&expr(), OptFlags::none());
+        e.execute(&plan).unwrap();
+        drop(e);
+        let rec = obs.recorder().unwrap();
+        let spans = rec.spans();
+        assert!(spans.iter().all(|s| s.dur_us.is_some()), "all spans closed");
+        let query = spans
+            .iter()
+            .find(|s| s.name == "query")
+            .expect("query span");
+        assert_eq!(query.track, Track::Query(1));
+        // Stage spans nest under the query on its own track.
+        for label in ["base", "gmdj 1", "gmdj 2"] {
+            let st = spans
+                .iter()
+                .find(|s| s.name == label && s.track == Track::Query(1))
+                .unwrap_or_else(|| panic!("missing stage span {label}"));
+            assert_eq!(st.parent, Some(query.id));
+        }
+        // Site-side task spans land on per-query site tracks.
+        for site in 0..2 {
+            assert_eq!(
+                spans
+                    .iter()
+                    .filter(|s| s.track == Track::SiteQuery(site, 1))
+                    .count(),
+                3,
+                "site {site} task spans"
+            );
+        }
+    }
+}

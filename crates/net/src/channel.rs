@@ -10,14 +10,19 @@
 use crate::stats::{Direction, NetStats};
 use crate::transport::{CoordinatorTransport, Message, NetError, SiteTransport};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
 
 /// The coordinator's handle to all site links (channel transport).
+///
+/// The receive side is mutex-guarded so the handle is `Sync` and can be
+/// shared behind an `Arc` by a multiplexer; with a single dispatcher
+/// thread draining it, the lock is uncontended.
 #[derive(Debug)]
 pub struct CoordinatorNet {
     to_sites: Vec<Sender<Message>>,
-    from_sites: Receiver<(usize, Message)>,
+    from_sites: Mutex<Receiver<(usize, Message)>>,
     stats: Arc<NetStats>,
 }
 
@@ -34,11 +39,12 @@ impl CoordinatorNet {
 
     /// Send a message to one site.
     pub fn send(&self, site: usize, msg: Message) -> Result<(), NetError> {
-        self.stats.record_msg(
+        self.stats.record_msg_for(
             site,
             Direction::Down,
             msg.payload.len() as u64,
             Some(msg.tag),
+            msg.query_id,
         );
         self.to_sites[site]
             .send(msg)
@@ -55,7 +61,7 @@ impl CoordinatorNet {
 
     /// Receive the next message from any site (blocking, with timeout).
     pub fn recv(&self, timeout: Duration) -> Result<(usize, Message), NetError> {
-        match self.from_sites.recv_timeout(timeout) {
+        match self.from_sites.lock().recv_timeout(timeout) {
             Ok(m) => Ok(m),
             Err(RecvTimeoutError::Timeout) => Err(NetError::Timeout),
             Err(RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
@@ -85,7 +91,7 @@ impl CoordinatorTransport for CoordinatorNet {
 #[derive(Debug)]
 pub struct SiteNet {
     site_id: usize,
-    rx: Receiver<Message>,
+    rx: Mutex<Receiver<Message>>,
     tx: Sender<(usize, Message)>,
     stats: Arc<NetStats>,
 }
@@ -98,11 +104,12 @@ impl SiteNet {
 
     /// Send a message to the coordinator.
     pub fn send(&self, msg: Message) -> Result<(), NetError> {
-        self.stats.record_msg(
+        self.stats.record_msg_for(
             self.site_id,
             Direction::Up,
             msg.payload.len() as u64,
             Some(msg.tag),
+            msg.query_id,
         );
         self.tx
             .send((self.site_id, msg))
@@ -111,7 +118,7 @@ impl SiteNet {
 
     /// Receive the next message from the coordinator (blocking).
     pub fn recv(&self) -> Result<Message, NetError> {
-        self.rx.recv().map_err(|_| NetError::Disconnected)
+        self.rx.lock().recv().map_err(|_| NetError::Disconnected)
     }
 }
 
@@ -142,7 +149,7 @@ pub fn star(n: usize) -> (CoordinatorNet, Vec<SiteNet>) {
         to_sites.push(down_tx);
         sites.push(SiteNet {
             site_id,
-            rx: down_rx,
+            rx: Mutex::new(down_rx),
             tx: up_tx.clone(),
             stats: Arc::clone(&stats),
         });
@@ -150,7 +157,7 @@ pub fn star(n: usize) -> (CoordinatorNet, Vec<SiteNet>) {
     (
         CoordinatorNet {
             to_sites,
-            from_sites: up_rx,
+            from_sites: Mutex::new(up_rx),
             stats,
         },
         sites,

@@ -19,12 +19,14 @@
 
 pub mod channel;
 pub mod cost;
+pub mod mux;
 pub mod stats;
 pub mod tcp;
 pub mod transport;
 
 pub use channel::{star, CoordinatorNet, SiteNet};
 pub use cost::CostModel;
+pub use mux::{MuxHandle, QueryMux};
 pub use stats::{Direction, LinkStats, NetStats, RoundStats, MESSAGE_OVERHEAD_BYTES};
 pub use tcp::{connect_with_backoff, TcpConfig, TcpCoordinator, TcpSite, TcpSiteListener};
 pub use transport::{CoordinatorTransport, Message, NetError, SiteTransport};

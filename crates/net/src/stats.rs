@@ -145,6 +145,21 @@ impl NetStats {
     /// plan, task, result, error, shutdown — goes through here, so the
     /// [`MESSAGE_OVERHEAD_BYTES`] framing is counted uniformly.
     pub fn record_msg(&self, site: usize, dir: Direction, payload_bytes: u64, tag: Option<u8>) {
+        self.record_msg_for(site, dir, payload_bytes, tag, 0);
+    }
+
+    /// [`NetStats::record_msg`] with the query the frame belongs to.
+    /// Query id 0 (the control/legacy stream) is omitted from the obs
+    /// event; concurrent engines stamp ids ≥ 1 so traces can be filtered
+    /// per query. The byte accounting itself is query-agnostic.
+    pub fn record_msg_for(
+        &self,
+        site: usize,
+        dir: Direction,
+        payload_bytes: u64,
+        tag: Option<u8>,
+        query_id: u32,
+    ) {
         let cur = self.current.load(Ordering::SeqCst);
         let mut rounds = self.rounds.lock();
         let link = &mut rounds[cur].per_site[site];
@@ -175,6 +190,9 @@ impl NetStats {
             ];
             if let Some(t) = tag {
                 args.push(("tag", (t as u64).into()));
+            }
+            if query_id != 0 {
+                args.push(("query_id", (query_id as u64).into()));
             }
             obs.event(Track::Net, name, args);
             let counter = match dir {

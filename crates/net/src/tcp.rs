@@ -1,7 +1,11 @@
 //! The TCP transport: real sockets for multi-process clusters.
 //!
-//! Frames on the wire are `tag: u8`, `len: u32` (little-endian), then
-//! `len` payload bytes. Reads tolerate partial delivery (`read` loops
+//! Frames on the wire are `tag: u8`, `query_id: u32` (little-endian),
+//! `len: u32` (little-endian), then `len` payload bytes — the protocol
+//! v2 frame format. The query id lets one persistent connection carry
+//! interleaved rounds of several concurrent queries; id 0 is the
+//! control/legacy stream (handshake, connection shutdown, and serial
+//! single-query sessions). Reads tolerate partial delivery (`read` loops
 //! until the frame is complete) and surface a clean
 //! [`NetError::SiteDisconnected`] / [`NetError::Disconnected`] when the
 //! peer closes or resets mid-frame, so a site dying mid-round aborts the
@@ -11,7 +15,7 @@
 //!
 //! **Accounting invariant**: [`NetStats`] records the *logical* payload
 //! bytes plus [`crate::stats::MESSAGE_OVERHEAD_BYTES`] per message —
-//! never the 5-byte wire header or the transport-internal hello frame —
+//! never the 9-byte wire header or the transport-internal hello frame —
 //! so the recorded traffic is bit-identical to the in-process channel
 //! transport for the same protocol exchange. The coordinator records
 //! downlink messages when it sends and uplink messages when it receives
@@ -126,12 +130,13 @@ fn read_full(
     Ok(())
 }
 
-/// Read one `tag | len | payload` frame.
+/// Read one `tag | query_id | len | payload` (v2) frame.
 fn read_frame(stream: &mut TcpStream, deadline: Option<Instant>) -> Result<Message, NetError> {
-    let mut header = [0u8; 5];
+    let mut header = [0u8; 9];
     read_full(stream, &mut header, deadline)?;
     let tag = header[0];
-    let len = u32::from_le_bytes(header[1..5].try_into().expect("4 bytes")) as usize;
+    let query_id = u32::from_le_bytes(header[1..5].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes(header[5..9].try_into().expect("4 bytes")) as usize;
     if len > MAX_FRAME_LEN {
         return Err(NetError::Io(format!(
             "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit"
@@ -139,14 +144,19 @@ fn read_frame(stream: &mut TcpStream, deadline: Option<Instant>) -> Result<Messa
     }
     let mut payload = vec![0u8; len];
     read_full(stream, &mut payload, deadline)?;
-    Ok(Message { tag, payload })
+    Ok(Message {
+        tag,
+        query_id,
+        payload,
+    })
 }
 
 /// Write one frame as a single buffer (one `write_all`, so a frame is
-/// never interleaved even if a writer is later added per link).
+/// never interleaved when several query workers share the link).
 fn write_frame(stream: &mut TcpStream, msg: &Message) -> Result<(), NetError> {
-    let mut buf = Vec::with_capacity(5 + msg.payload.len());
+    let mut buf = Vec::with_capacity(9 + msg.payload.len());
     buf.push(msg.tag);
+    buf.extend_from_slice(&msg.query_id.to_le_bytes());
     buf.extend_from_slice(&(msg.payload.len() as u32).to_le_bytes());
     buf.extend_from_slice(&msg.payload);
     stream.write_all(&buf).map_err(io_err)
@@ -190,9 +200,13 @@ enum Inbound {
 
 /// The coordinator's end of a TCP star: one connection per site, one
 /// reader thread per connection multiplexing into a single receive queue.
+///
+/// The receive queue is mutex-guarded so the handle is `Sync` and can be
+/// shared behind an `Arc` by a multiplexer; with a single dispatcher
+/// thread draining it, the lock is uncontended.
 pub struct TcpCoordinator {
     links: Vec<Mutex<TcpStream>>,
-    inbound: Receiver<Inbound>,
+    inbound: Mutex<Receiver<Inbound>>,
     stats: Arc<NetStats>,
 }
 
@@ -223,13 +237,7 @@ impl TcpCoordinator {
             let mut hello = Vec::with_capacity(8);
             hello.extend_from_slice(&(site as u32).to_le_bytes());
             hello.extend_from_slice(&(n as u32).to_le_bytes());
-            write_frame(
-                &mut stream,
-                &Message {
-                    tag: HELLO_TAG,
-                    payload: hello,
-                },
-            )?;
+            write_frame(&mut stream, &Message::new(HELLO_TAG, hello))?;
             let mut reader = stream.try_clone().map_err(io_err)?;
             let tx = tx.clone();
             std::thread::Builder::new()
@@ -252,7 +260,7 @@ impl TcpCoordinator {
         }
         Ok(TcpCoordinator {
             links,
-            inbound: rx,
+            inbound: Mutex::new(rx),
             stats,
         })
     }
@@ -268,11 +276,12 @@ impl CoordinatorTransport for TcpCoordinator {
     }
 
     fn send(&self, site: usize, msg: Message) -> Result<(), NetError> {
-        self.stats.record_msg(
+        self.stats.record_msg_for(
             site,
             Direction::Down,
             msg.payload.len() as u64,
             Some(msg.tag),
+            msg.query_id,
         );
         write_frame(&mut self.links[site].lock(), &msg).map_err(|e| match e {
             NetError::Disconnected => NetError::SiteDisconnected {
@@ -284,10 +293,15 @@ impl CoordinatorTransport for TcpCoordinator {
     }
 
     fn recv(&self, timeout: Duration) -> Result<(usize, Message), NetError> {
-        match self.inbound.recv_timeout(timeout) {
+        match self.inbound.lock().recv_timeout(timeout) {
             Ok(Inbound::Msg(site, msg)) => {
-                self.stats
-                    .record_msg(site, Direction::Up, msg.payload.len() as u64, Some(msg.tag));
+                self.stats.record_msg_for(
+                    site,
+                    Direction::Up,
+                    msg.payload.len() as u64,
+                    Some(msg.tag),
+                    msg.query_id,
+                );
                 Ok((site, msg))
             }
             Ok(Inbound::Gone(site, detail)) => Err(NetError::SiteDisconnected { site, detail }),
@@ -394,6 +408,25 @@ impl TcpSite {
     pub fn stats(&self) -> &Arc<NetStats> {
         &self.stats
     }
+
+    /// Receive with an explicit deadline, overriding the configured idle
+    /// timeout. Used to bound the protocol handshake: a client that
+    /// connects and then goes silent gets [`NetError::Timeout`] instead
+    /// of wedging the server's accept loop.
+    pub fn recv_deadline(&self, timeout: Duration) -> Result<Message, NetError> {
+        let msg = read_frame(
+            &mut self.read_half.lock(),
+            Some(Instant::now() + timeout),
+        )?;
+        self.stats.record_msg_for(
+            self.site_id,
+            Direction::Down,
+            msg.payload.len() as u64,
+            Some(msg.tag),
+            msg.query_id,
+        );
+        Ok(msg)
+    }
 }
 
 impl SiteTransport for TcpSite {
@@ -402,11 +435,12 @@ impl SiteTransport for TcpSite {
     }
 
     fn send(&self, msg: Message) -> Result<(), NetError> {
-        self.stats.record_msg(
+        self.stats.record_msg_for(
             self.site_id,
             Direction::Up,
             msg.payload.len() as u64,
             Some(msg.tag),
+            msg.query_id,
         );
         write_frame(&mut self.write_half.lock(), &msg)
     }
@@ -414,11 +448,12 @@ impl SiteTransport for TcpSite {
     fn recv(&self) -> Result<Message, NetError> {
         let deadline = self.read_timeout.map(|t| Instant::now() + t);
         let msg = read_frame(&mut self.read_half.lock(), deadline)?;
-        self.stats.record_msg(
+        self.stats.record_msg_for(
             self.site_id,
             Direction::Down,
             msg.payload.len() as u64,
             Some(msg.tag),
+            msg.query_id,
         );
         Ok(msg)
     }
@@ -472,14 +507,17 @@ mod tests {
         let writer = std::thread::spawn(move || {
             let mut s = TcpStream::connect(addr).unwrap();
             s.set_nodelay(true).unwrap();
-            // Hello frame, then a dribbled 3-byte message.
+            // Hello frame, then a dribbled 3-byte message (v2 framing:
+            // tag, query_id, len, payload).
             let mut hello = vec![HELLO_TAG];
-            hello.extend_from_slice(&8u32.to_le_bytes());
-            hello.extend_from_slice(&0u32.to_le_bytes());
-            hello.extend_from_slice(&1u32.to_le_bytes());
+            hello.extend_from_slice(&0u32.to_le_bytes()); // query_id
+            hello.extend_from_slice(&8u32.to_le_bytes()); // len
+            hello.extend_from_slice(&0u32.to_le_bytes()); // site_id
+            hello.extend_from_slice(&1u32.to_le_bytes()); // n_sites
             s.write_all(&hello).unwrap();
             let mut frame = vec![9u8];
-            frame.extend_from_slice(&3u32.to_le_bytes());
+            frame.extend_from_slice(&42u32.to_le_bytes()); // query_id
+            frame.extend_from_slice(&3u32.to_le_bytes()); // len
             frame.extend_from_slice(b"xyz");
             for b in frame {
                 s.write_all(&[b]).unwrap();
@@ -491,6 +529,7 @@ mod tests {
         let site = listener.accept(&TcpConfig::default()).unwrap();
         let m = site.recv().unwrap();
         assert_eq!((m.tag, m.payload.as_slice()), (9, b"xyz".as_slice()));
+        assert_eq!(m.query_id, 42, "query id survives the wire round-trip");
         drop(writer.join().unwrap());
     }
 
@@ -556,13 +595,15 @@ mod tests {
         let writer = std::thread::spawn(move || {
             let mut s = TcpStream::connect(addr).unwrap();
             let mut hello = vec![HELLO_TAG];
-            hello.extend_from_slice(&8u32.to_le_bytes());
-            hello.extend_from_slice(&0u32.to_le_bytes());
-            hello.extend_from_slice(&1u32.to_le_bytes());
+            hello.extend_from_slice(&0u32.to_le_bytes()); // query_id
+            hello.extend_from_slice(&8u32.to_le_bytes()); // len
+            hello.extend_from_slice(&0u32.to_le_bytes()); // site_id
+            hello.extend_from_slice(&1u32.to_le_bytes()); // n_sites
             s.write_all(&hello).unwrap();
             // A header claiming a frame over the limit.
             let mut bad = vec![1u8];
-            bad.extend_from_slice(&u32::MAX.to_le_bytes());
+            bad.extend_from_slice(&0u32.to_le_bytes()); // query_id
+            bad.extend_from_slice(&u32::MAX.to_le_bytes()); // len
             s.write_all(&bad).unwrap();
             s
         });

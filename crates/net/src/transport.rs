@@ -26,19 +26,46 @@ use crate::stats::NetStats;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// A framed message: an application-defined tag plus payload bytes.
+/// A framed message: an application-defined tag, the query it belongs
+/// to, and payload bytes.
+///
+/// `query_id` 0 is the control/legacy stream (catalog handshake,
+/// connection shutdown, and every message of a serial one-query
+/// session); concurrent engines stamp ids ≥ 1 so a demultiplexer can
+/// route frames to per-query state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
     /// Application-defined message type tag.
     pub tag: u8,
+    /// The query this frame belongs to (0 = control/legacy stream).
+    pub query_id: u32,
     /// Serialized payload.
     pub payload: Vec<u8>,
 }
 
 impl Message {
-    /// Construct a message.
+    /// Construct a message on the control/legacy stream (`query_id` 0).
     pub fn new(tag: u8, payload: Vec<u8>) -> Message {
-        Message { tag, payload }
+        Message {
+            tag,
+            query_id: 0,
+            payload,
+        }
+    }
+
+    /// Construct a message stamped with a query id.
+    pub fn for_query(tag: u8, query_id: u32, payload: Vec<u8>) -> Message {
+        Message {
+            tag,
+            query_id,
+            payload,
+        }
+    }
+
+    /// This message re-stamped onto another query stream.
+    pub fn with_query_id(mut self, query_id: u32) -> Message {
+        self.query_id = query_id;
+        self
     }
 }
 

@@ -47,11 +47,22 @@ pub enum Track {
     /// dedicated track per worker keeps span nesting (which is
     /// per-track) correct when workers run concurrently.
     Worker(usize, usize),
+    /// One query's coordinator-side control flow in a concurrent
+    /// multi-query engine. Span nesting is per-track, so concurrent
+    /// queries must not share [`Track::Coordinator`]; each gets its own
+    /// timeline keyed by query id.
+    Query(u32),
+    /// One query's execution on one site (`(site, query_id)`) under the
+    /// concurrent engine's demultiplexing loop, where several query
+    /// workers run on the same site at once.
+    SiteQuery(usize, u32),
 }
 
 impl Track {
     /// Stable thread id for trace export (sites start at 16, kernel
-    /// workers at 4096 in blocks of 64 per site).
+    /// workers at 4096 in blocks of 64 per site, per-query coordinator
+    /// tracks at 1024, per-site query tracks at 65536 in blocks of 256
+    /// per site).
     pub fn tid(self) -> u64 {
         match self {
             Track::Coordinator => 1,
@@ -59,6 +70,8 @@ impl Track {
             Track::Net => 3,
             Track::Site(i) => 16 + i as u64,
             Track::Worker(site, w) => 4096 + (site as u64) * 64 + (w as u64).min(63),
+            Track::Query(q) => 1024 + (q as u64).min(3071),
+            Track::SiteQuery(site, q) => 65536 + (site as u64) * 256 + (q as u64).min(255),
         }
     }
 
@@ -70,6 +83,8 @@ impl Track {
             Track::Net => "net".to_string(),
             Track::Site(i) => format!("site {i}"),
             Track::Worker(site, w) => format!("site {site} worker {w}"),
+            Track::Query(q) => format!("query {q}"),
+            Track::SiteQuery(site, q) => format!("site {site} query {q}"),
         }
     }
 
@@ -81,6 +96,8 @@ impl Track {
             Track::Net => "net",
             Track::Site(_) => "site",
             Track::Worker(_, _) => "worker",
+            Track::Query(_) => "query",
+            Track::SiteQuery(_, _) => "site-query",
         }
     }
 }

@@ -4,7 +4,7 @@
 
 use crate::ast::Query;
 use crate::parser::parse_query;
-use skalla_core::{Cluster, OptFlags, Planner, QueryResult};
+use skalla_core::{OptFlags, Planner, QueryResult, Warehouse};
 use skalla_gmdj::{AggSpec, Gmdj, GmdjExpr, GmdjExprBuilder};
 use skalla_relation::Result;
 
@@ -42,23 +42,35 @@ pub fn compile_text(text: &str) -> Result<GmdjExpr> {
     Ok(compile(&parse_query(text)?))
 }
 
-/// Parse, plan and execute query text against a cluster.
-pub fn run(text: &str, cluster: &Cluster, flags: OptFlags) -> Result<QueryResult> {
+/// Parse, plan and execute query text against any [`Warehouse`] — an
+/// in-process [`Cluster`](skalla_core::Cluster), a
+/// [`RemoteCluster`](skalla_core::RemoteCluster), or the concurrent
+/// [`Skalla`](skalla_core::Skalla) engine.
+pub fn run(
+    text: &str,
+    warehouse: &(impl Warehouse + ?Sized),
+    flags: OptFlags,
+) -> Result<QueryResult> {
     let expr = compile_text(text)?;
-    let plan = Planner::new(cluster.distribution()).optimize(&expr, flags);
-    cluster.execute(&plan)
+    let plan = Planner::new(warehouse.distribution()).optimize(&expr, flags);
+    warehouse.execute(&plan)
 }
 
 /// Parse, plan, and render the distributed plan (the `EXPLAIN` verb).
-pub fn explain(text: &str, cluster: &Cluster, flags: OptFlags) -> Result<String> {
+pub fn explain(
+    text: &str,
+    warehouse: &(impl Warehouse + ?Sized),
+    flags: OptFlags,
+) -> Result<String> {
     let expr = compile_text(text)?;
-    let plan = Planner::new(cluster.distribution()).optimize(&expr, flags);
+    let plan = Planner::new(warehouse.distribution()).optimize(&expr, flags);
     Ok(plan.explain())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use skalla_core::Cluster;
     use skalla_relation::{row, DataType, Domain, DomainMap, Relation, Schema};
 
     const QUERY: &str = "

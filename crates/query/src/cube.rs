@@ -9,7 +9,7 @@
 //! rounds — and in exactly 2^k single synchronizations when the finest
 //! grouping is partition-aligned.
 
-use skalla_core::{Cluster, ExecStats, OptFlags, Planner};
+use skalla_core::{ExecStats, OptFlags, Planner, Warehouse};
 use skalla_gmdj::patterns::group_by;
 use skalla_gmdj::AggSpec;
 use skalla_relation::{Error, Field, Relation, Result, Row, Schema, Value};
@@ -62,7 +62,7 @@ fn grouping_sets(dims: &[&str]) -> Vec<Vec<String>> {
 /// one-row literal base; all others derive their base from the fact
 /// relation and run as ordinary distributed GMDJ plans under `flags`.
 pub fn cube(
-    cluster: &Cluster,
+    warehouse: &(impl Warehouse + ?Sized),
     table: &str,
     dims: &[&str],
     aggs: &[AggSpec],
@@ -74,11 +74,11 @@ pub fn cube(
     if aggs.is_empty() {
         return Err(Error::Plan("cube needs at least one aggregate".into()));
     }
-    let planner = Planner::new(cluster.distribution());
+    let planner = Planner::new(warehouse.distribution());
 
     // Output schema: dims (typed from the fact schema) ⊕ aggregates.
     let fact_schema = {
-        let cat = cluster.site_catalog(0);
+        let cat = warehouse.catalog();
         cat.get(table)
             .ok_or_else(|| Error::Plan(format!("unknown table {table:?}")))?
             .schema()
@@ -115,7 +115,7 @@ pub fn cube(
             group_by(table, &set_refs, aggs.to_vec())
         };
         let plan = planner.optimize(&expr, flags);
-        let out = cluster.execute(&plan)?;
+        let out = warehouse.execute(&plan)?;
 
         // Reshape into the cube schema with NULL (ALL) markers.
         let res_schema = out.relation.schema().clone();
@@ -148,6 +148,7 @@ pub fn cube(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use skalla_core::Cluster;
     use skalla_relation::{row, DataType, Domain, DomainMap};
 
     fn cluster() -> Cluster {

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example data_cube`
 
-use skalla::core::{Cluster, OptFlags};
+use skalla::core::{OptFlags, Skalla};
 use skalla::datagen::partition::partition_by_int_ranges;
 use skalla::datagen::tpcr::{generate_tpcr, TpcrConfig};
 use skalla::gmdj::AggSpec;
@@ -26,7 +26,10 @@ fn main() {
         skew: 0.2,
         seed: 99,
     });
-    let cluster = Cluster::from_partitions("tpcr", partition_by_int_ranges(&tpcr, "nation_key", 8));
+    let engine = Skalla::builder()
+        .partitions("tpcr", partition_by_int_ranges(&tpcr, "nation_key", 8))
+        .build()
+        .expect("engine builds");
 
     let dims = ["nation_key", "return_flag", "order_priority"];
     let aggs = [
@@ -34,7 +37,7 @@ fn main() {
         AggSpec::sum("extended_price", "revenue"),
     ];
     println!("computing CUBE BY ({}) over {} rows on 8 sites…", dims.join(", "), tpcr.len());
-    let result = cube(&cluster, "tpcr", &dims, &aggs, OptFlags::all()).expect("cube runs");
+    let result = cube(&engine, "tpcr", &dims, &aggs, OptFlags::all()).expect("cube runs");
 
     println!(
         "cube has {} rows across {} grouping sets ({} total rounds, {} bytes moved)\n",

@@ -14,7 +14,7 @@
 //!
 //! Run with: `cargo run --release --example explain_plans`
 
-use skalla::core::{plan::Planner, Cluster, OptFlags};
+use skalla::core::{plan::Planner, OptFlags, Skalla};
 use skalla::datagen::flow::{generate_flows, FlowConfig};
 use skalla::datagen::partition::{
     partition_by_hash, partition_by_int_ranges, partition_round_robin,
@@ -38,34 +38,40 @@ fn query() -> GmdjExpr {
 
 fn main() {
     let flows = generate_flows(&FlowConfig::small(3));
-    let scenarios: Vec<(&str, Cluster)> = vec![
+    let engine = |parts| {
+        Skalla::builder()
+            .partitions("flow", parts)
+            .build()
+            .expect("engine builds")
+    };
+    let scenarios: Vec<(&str, Skalla)> = vec![
         (
             "range-partitioned on source_as (declared φ ranges)",
-            Cluster::from_partitions("flow", partition_by_int_ranges(&flows, "source_as", 4)),
+            engine(partition_by_int_ranges(&flows, "source_as", 4)),
         ),
         (
             "hash-partitioned on source_as (no declared knowledge)",
-            Cluster::from_partitions("flow", partition_by_hash(&flows, "source_as", 4)),
+            engine(partition_by_hash(&flows, "source_as", 4)),
         ),
         (
             "round-robin scattered (no partition attribute exists)",
-            Cluster::from_partitions("flow", partition_round_robin(&flows, 4)),
+            engine(partition_round_robin(&flows, 4)),
         ),
     ];
 
     let expr = query();
-    for (name, cluster) in &scenarios {
+    for (name, engine) in &scenarios {
         println!("==================================================================");
         println!("physical design: {name}");
         println!("==================================================================");
-        let planner = Planner::new(cluster.distribution());
+        let planner = Planner::new(engine.distribution());
         for (label, flags) in [
             ("OptFlags::none()", OptFlags::none()),
             ("OptFlags::all()", OptFlags::all()),
         ] {
             let plan = planner.optimize(&expr, flags);
             println!("--- {label} ---\n{}", plan.explain());
-            let out = cluster.execute(&plan).expect("plan executes");
+            let out = engine.execute(&plan).expect("plan executes");
             println!(
                 "executed: {} rounds, {} bytes, {} result groups\n",
                 out.stats.n_rounds(),

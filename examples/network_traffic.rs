@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo run --release --example network_traffic`
 
-use skalla::core::{Cluster, OptFlags};
+use skalla::core::{OptFlags, Skalla};
 use skalla::datagen::flow::{generate_flows, FlowConfig};
 use skalla::datagen::partition::partition_by_int_ranges;
 use skalla::query;
@@ -72,13 +72,15 @@ fn main() {
         Relation::new(schema, rows).unwrap()
     };
 
-    let mut cluster = Cluster::new(6);
-    cluster.add_table("flow", partition_by_int_ranges(&flows, "source_as", 6));
-    cluster.add_table("hourly", partition_by_int_ranges(&hourly, "source_as", 6));
+    let engine = Skalla::builder()
+        .partitions("flow", partition_by_int_ranges(&flows, "source_as", 6))
+        .partitions("hourly", partition_by_int_ranges(&hourly, "source_as", 6))
+        .build()
+        .expect("engine builds");
 
     // --- Analysis 1: hourly web-traffic fraction -------------------------
     println!("=== hourly web-traffic fraction ===");
-    let out = query::run(HOURLY_WEB, &cluster, OptFlags::all()).expect("hourly query runs");
+    let out = query::run(HOURLY_WEB, &engine, OptFlags::all()).expect("hourly query runs");
     let rel = out.relation.sorted_by(&["hour"]).unwrap();
     println!("{:>4} {:>8} {:>9} {:>9}", "hour", "flows", "web", "fraction");
     for row in rel.rows().iter().take(24) {
@@ -102,10 +104,10 @@ fn main() {
     println!("=== source ASes with flows ≥ 2× their own average ===");
     println!(
         "{}",
-        query::explain(ELEPHANT_FLOWS, &cluster, OptFlags::all()).unwrap()
+        query::explain(ELEPHANT_FLOWS, &engine, OptFlags::all()).unwrap()
     );
     let out =
-        query::run(ELEPHANT_FLOWS, &cluster, OptFlags::all()).expect("elephant query runs");
+        query::run(ELEPHANT_FLOWS, &engine, OptFlags::all()).expect("elephant query runs");
     let rel = out.relation.sorted_by(&["source_as"]).unwrap();
     println!(
         "{:>9} {:>7} {:>12} {:>10} {:>10} {:>9}",
@@ -131,7 +133,7 @@ fn main() {
     }
 
     // Sanity: optimizations do not change answers.
-    let unopt = query::run(ELEPHANT_FLOWS, &cluster, OptFlags::none()).expect("runs");
+    let unopt = query::run(ELEPHANT_FLOWS, &engine, OptFlags::none()).expect("runs");
     assert!(unopt.relation.same_bag(&out.relation));
     println!(
         "\noptimizations: {} rounds → {} rounds, {} → {} bytes",

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use skalla::core::{plan::Planner, Cluster, OptFlags};
+use skalla::core::{plan::Planner, Cluster, OptFlags, Skalla};
 use skalla::datagen::flow::{generate_flows, FlowConfig};
 use skalla::datagen::partition::partition_by_int_ranges;
 use skalla::gmdj::prelude::*;
@@ -35,7 +35,10 @@ fn main() {
             .collect::<Vec<_>>()
             .join("/")
     );
-    let cluster = Cluster::from_partitions("flow", parts);
+    let engine = Skalla::builder()
+        .partitions("flow", parts.clone())
+        .build()
+        .expect("engine builds");
 
     // 2. Query (paper Example 1).
     let expr = GmdjExprBuilder::distinct_base("flow", &["source_as", "dest_as"])
@@ -52,11 +55,11 @@ fn main() {
         .build();
 
     // 3. Plan with all optimizations and execute.
-    let planner = Planner::new(cluster.distribution());
+    let planner = Planner::new(engine.distribution());
     let plan = planner.optimize(&expr, OptFlags::all());
     println!("\n=== plan ===\n{}", plan.explain());
 
-    let result = cluster.execute(&plan).expect("query executes");
+    let result = engine.execute(&plan).expect("query executes");
     let top = result
         .relation
         .sorted_by(&["source_as", "dest_as"])
@@ -91,8 +94,13 @@ fn main() {
         sim.comm_s
     );
 
-    // 5. Contrast with the ship-everything baseline the paper argues against.
-    let baseline = cluster.execute_centralized(&expr).expect("baseline runs");
+    // 5. Contrast with the ship-everything baseline the paper argues
+    //    against. The centralized evaluator is a measurement harness, not
+    //    part of the engine API, so it stays on the bare `Cluster`.
+    let baseline_cluster = Cluster::from_partitions("flow", parts);
+    let baseline = baseline_cluster
+        .execute_centralized(&expr)
+        .expect("baseline runs");
     assert!(baseline.relation.same_bag(&result.relation));
     println!(
         "\nship-everything baseline moves {} bytes ({}x more)",

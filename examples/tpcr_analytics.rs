@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example tpcr_analytics`
 
-use skalla::core::{plan::Planner, Cluster, OptFlags};
+use skalla::core::{plan::Planner, OptFlags, Skalla};
 use skalla::datagen::partition::partition_by_int_ranges;
 use skalla::datagen::tpcr::{generate_tpcr, TpcrConfig};
 use skalla::gmdj::prelude::*;
@@ -62,8 +62,11 @@ fn main() {
     );
     let tpcr = generate_tpcr(&cfg);
     // The paper's setup: partition on NationKey across eight sites.
-    let cluster = Cluster::from_partitions("tpcr", partition_by_int_ranges(&tpcr, "nation_key", 8));
-    let planner = Planner::new(cluster.distribution());
+    let engine = Skalla::builder()
+        .partitions("tpcr", partition_by_int_ranges(&tpcr, "nation_key", 8))
+        .build()
+        .expect("engine builds");
+    let planner = Planner::new(engine.distribution());
     let lan = CostModel::lan();
 
     for (name, expr) in [
@@ -77,7 +80,7 @@ fn main() {
             ("all optimizations", OptFlags::all()),
         ] {
             let plan = planner.optimize(&expr, flags);
-            let out = cluster.execute(&plan).expect("query runs");
+            let out = engine.execute(&plan).expect("query runs");
             let sim = out.stats.simulated(&lan);
             let (down, up) = out.stats.total_rows();
             println!(
@@ -98,7 +101,7 @@ fn main() {
 
     // Show a slice of the high-cardinality answer.
     let plan = planner.optimize(&high_cardinality_query(), OptFlags::all());
-    let out = cluster.execute(&plan).expect("query runs");
+    let out = engine.execute(&plan).expect("query runs");
     let rel = out.relation.sorted_by(&["cust_name"]).unwrap();
     println!("\n=== sample rows (per-customer) ===");
     println!(

@@ -13,9 +13,9 @@
 //! statements (unqualified columns are detail-side; `b.name` refers to the
 //! base, including aggregates from earlier MD statements).
 
-use skalla::core::{Cluster, OptFlags, Planner, RemoteCluster, SiteServer};
+use skalla::core::{Cluster, OptFlags, Planner, SiteServer, Skalla, Warehouse};
 use skalla::datagen::flow::{generate_flows, FlowConfig};
-use skalla::datagen::partition::observe_int_ranges;
+use skalla::datagen::partition::{observe_int_ranges, Partition};
 use skalla::datagen::tpcr::{generate_tpcr, TpcrConfig};
 use skalla::net::CostModel;
 use skalla::net::TcpConfig;
@@ -97,6 +97,10 @@ QUERY OPTIONS:
   --chunk N                   row blocking: ship results in chunks of N rows
   --threads N                 worker threads per site for the morsel-parallel
                               GMDJ kernel (default: available cores; 1 = serial)
+  --concurrency N             submit the query N times at once through the
+                              multi-query scheduler; the copies share the
+                              persistent site sessions and must agree
+                              (default: 1)
 
 OBSERVABILITY (run only):
   --trace FILE.json           record spans/events and write a Chrome trace
@@ -131,7 +135,12 @@ fn load_query(args: &[String]) -> Result<String, String> {
     Err("missing query: pass -q '…' or --query-file FILE".to_string())
 }
 
-fn build_cluster(args: &[String]) -> Result<Cluster, String> {
+/// Build the partitioned warehouse data from the data options: the fact
+/// table's name and its per-site `(fragment, φ-domains)` pairs. Shared by
+/// the in-process engine (`run`/`explain`) and the standalone `site`
+/// command, so both construct byte-identical fragments from the same
+/// flags.
+fn build_partitions(args: &[String]) -> Result<(String, Vec<Partition>), String> {
     let sites: usize = opt(args, "--sites")
         .map(|s| s.parse().map_err(|e| format!("bad --sites: {e}")))
         .transpose()?
@@ -175,7 +184,7 @@ fn build_cluster(args: &[String]) -> Result<Cluster, String> {
             "loaded {} rows into table {name:?}, partitioned on {pcol} across {sites} site(s)",
             rel.len()
         );
-        return Ok(Cluster::from_partitions(name, parts));
+        return Ok((name.to_string(), parts));
     }
 
     let rows: usize = opt(args, "--rows")
@@ -194,7 +203,7 @@ fn build_cluster(args: &[String]) -> Result<Cluster, String> {
                 skalla::datagen::partition::try_partition_by_int_ranges(&flows, &pcol, sites)
                     .map_err(|e| e.to_string())?;
             println!("generated {rows} flows, partitioned on {pcol} across {sites} site(s)");
-            Ok(Cluster::from_partitions("flow", parts))
+            Ok(("flow".to_string(), parts))
         }
         "tpcr" => {
             let tpcr = generate_tpcr(&TpcrConfig::new(rows, seed));
@@ -206,10 +215,17 @@ fn build_cluster(args: &[String]) -> Result<Cluster, String> {
                 observe_int_ranges(&mut parts, &["cust_key", "cust_group"]);
             }
             println!("generated {rows} TPCR rows, partitioned on {pcol} across {sites} site(s)");
-            Ok(Cluster::from_partitions("tpcr", parts))
+            Ok(("tpcr".to_string(), parts))
         }
         other => Err(format!("unknown --dataset {other:?}")),
     }
+}
+
+/// The `site` command needs a concrete [`Cluster`] to slice one
+/// fragment's catalog and φ-domains out of.
+fn build_cluster(args: &[String]) -> Result<Cluster, String> {
+    let (table, parts) = build_partitions(args)?;
+    Ok(Cluster::from_partitions(table, parts))
 }
 
 /// Build a [`TcpConfig`] from the `--net-timeout`, `--connect-attempts`,
@@ -237,95 +253,60 @@ fn tcp_config(args: &[String]) -> Result<TcpConfig, String> {
     Ok(cfg)
 }
 
-/// Either runtime behind `run`/`explain`: the in-process channel cluster,
-/// or a coordinator connected to standalone `skalla-cli site` processes.
-/// Both drive the same coordinator algorithm, so everything downstream of
-/// this enum (planning, execution, stats printing) is shared.
-enum Engine {
-    Local(Cluster),
-    Remote(RemoteCluster),
-}
-
-impl Engine {
-    fn distribution(&self) -> skalla::core::DistributionInfo {
-        match self {
-            Engine::Local(c) => c.distribution(),
-            Engine::Remote(r) => r.distribution(),
+/// Build the engine behind `run`/`explain` through [`Skalla::builder`],
+/// interpreting `--sites`: a bare number means an in-process warehouse of
+/// that many sites; anything else is a comma-separated `HOST:PORT` list
+/// of standalone `skalla-cli site` processes to connect to. Everything
+/// downstream (planning, execution, stats printing) dispatches through
+/// the [`Warehouse`] trait, so the two runtimes share one code path.
+fn build_engine(args: &[String], obs: Obs) -> Result<Box<dyn Warehouse>, String> {
+    let mut builder = Skalla::builder().obs(obs);
+    if let Some(chunk) = opt(args, "--chunk") {
+        let n: usize = chunk.parse().map_err(|e| format!("bad --chunk: {e}"))?;
+        builder = builder.chunk_rows(Some(n));
+    }
+    if let Some(threads) = opt(args, "--threads") {
+        let n: usize = threads.parse().map_err(|e| format!("bad --threads: {e}"))?;
+        if n == 0 {
+            return Err("--threads must be at least 1 (omit for auto)".to_string());
         }
+        builder = builder.eval_options(skalla::gmdj::EvalOptions::with_parallelism(n));
     }
-
-    fn set_obs(&mut self, obs: Obs) {
-        match self {
-            Engine::Local(c) => {
-                c.set_obs(obs);
-            }
-            Engine::Remote(r) => {
-                r.set_obs(obs);
-            }
+    if let Some(c) = opt(args, "--concurrency") {
+        let n: usize = c.parse().map_err(|e| format!("bad --concurrency: {e}"))?;
+        if n == 0 {
+            return Err("--concurrency must be at least 1".to_string());
         }
+        builder = builder.max_concurrent(n);
     }
 
-    fn set_chunk_rows(&mut self, rows: Option<usize>) {
-        match self {
-            Engine::Local(c) => {
-                c.set_chunk_rows(rows);
-            }
-            Engine::Remote(r) => {
-                r.set_chunk_rows(rows);
-            }
+    let remote_list = opt(args, "--sites").filter(|s| s.parse::<usize>().is_err());
+    if let Some(list) = remote_list {
+        let addrs: Vec<String> = list
+            .split(',')
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty())
+            .collect();
+        if addrs.is_empty() || addrs.iter().any(|a| !a.contains(':')) {
+            return Err(format!(
+                "--sites {list:?} is neither a site count nor a comma-separated HOST:PORT list"
+            ));
         }
-    }
-
-    fn set_eval_options(&mut self, eval: skalla::gmdj::EvalOptions) {
-        match self {
-            Engine::Local(c) => {
-                c.set_eval_options(eval);
-            }
-            Engine::Remote(r) => {
-                r.set_eval_options(eval);
-            }
+        let cfg = tcp_config(args)?;
+        if let Some(t) = cfg.read_timeout {
+            builder = builder.timeout(t);
         }
+        let engine = builder.remote(&addrs, cfg).build().map_err(|e| e.to_string())?;
+        println!("connected to {} remote site(s)", engine.n_sites());
+        Ok(Box::new(engine))
+    } else {
+        let (table, parts) = build_partitions(args)?;
+        let engine = builder
+            .partitions(table, parts)
+            .build()
+            .map_err(|e| e.to_string())?;
+        Ok(Box::new(engine))
     }
-
-    fn execute(
-        &self,
-        plan: &skalla::core::DistributedPlan,
-    ) -> Result<skalla::core::QueryResult, String> {
-        match self {
-            Engine::Local(c) => c.execute(plan).map_err(|e| e.to_string()),
-            Engine::Remote(r) => r.execute(plan).map_err(|e| e.to_string()),
-        }
-    }
-}
-
-/// Interpret `--sites`: a bare number means an in-process cluster of that
-/// many sites; anything else is a comma-separated `HOST:PORT` list of
-/// standalone site processes to connect to.
-fn build_engine(args: &[String]) -> Result<Engine, String> {
-    let Some(list) = opt(args, "--sites").filter(|s| s.parse::<usize>().is_err()) else {
-        return Ok(Engine::Local(build_cluster(args)?));
-    };
-    let addrs: Vec<String> = list
-        .split(',')
-        .map(|a| a.trim().to_string())
-        .filter(|a| !a.is_empty())
-        .collect();
-    if addrs.is_empty() || addrs.iter().any(|a| !a.contains(':')) {
-        return Err(format!(
-            "--sites {list:?} is neither a site count nor a comma-separated HOST:PORT list"
-        ));
-    }
-    let cfg = tcp_config(args)?;
-    let mut rc = RemoteCluster::connect(&addrs, &cfg).map_err(|e| e.to_string())?;
-    if let Some(t) = cfg.read_timeout {
-        rc.set_timeout(t);
-    }
-    println!(
-        "connected to {} remote site(s); rows per site: {:?}",
-        rc.n_sites(),
-        rc.rows_per_site()
-    );
-    Ok(Engine::Remote(rc))
 }
 
 fn cmd_run(args: &[String], execute: bool) -> Result<(), String> {
@@ -333,27 +314,19 @@ fn cmd_run(args: &[String], execute: bool) -> Result<(), String> {
     let text = load_query(args)?;
     let trace_path = opt(args, "--trace");
     let metrics_path = opt(args, "--metrics");
+    let concurrency: usize = opt(args, "--concurrency")
+        .map(|s| s.parse().map_err(|e| format!("bad --concurrency: {e}")))
+        .transpose()?
+        .unwrap_or(1);
     let obs = if execute && (trace_path.is_some() || metrics_path.is_some()) {
         Obs::recording()
     } else {
         Obs::disabled()
     };
-    let mut cluster = build_engine(args)?;
-    cluster.set_obs(obs.clone());
-    if let Some(chunk) = opt(args, "--chunk") {
-        let n: usize = chunk.parse().map_err(|e| format!("bad --chunk: {e}"))?;
-        cluster.set_chunk_rows(Some(n));
-    }
-    if let Some(threads) = opt(args, "--threads") {
-        let n: usize = threads.parse().map_err(|e| format!("bad --threads: {e}"))?;
-        if n == 0 {
-            return Err("--threads must be at least 1 (omit for auto)".to_string());
-        }
-        cluster.set_eval_options(skalla::gmdj::EvalOptions::with_parallelism(n));
-    }
+    let engine = build_engine(args, obs.clone())?;
 
     let expr = query::compile_text(&text).map_err(|e| e.to_string())?;
-    let planner = Planner::new(cluster.distribution()).with_obs(obs.clone());
+    let planner = Planner::new(engine.distribution()).with_obs(obs.clone());
     let (plan, decisions) = planner.optimize_with_decisions(&expr, flags);
     println!("\n{}", plan.explain());
     if !decisions.is_empty() {
@@ -367,7 +340,34 @@ fn cmd_run(args: &[String], execute: bool) -> Result<(), String> {
         return Ok(());
     }
 
-    let out = cluster.execute(&plan).map_err(|e| e.to_string())?;
+    // With --concurrency N > 1, submit the same query N times at once:
+    // the scheduler admits them concurrently and multiplexes their rounds
+    // over the shared per-site sessions. All copies must agree.
+    let started = std::time::Instant::now();
+    let mut results = Vec::new();
+    if concurrency > 1 {
+        let outs = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..concurrency)
+                .map(|_| scope.spawn(|| engine.execute(&plan)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query thread panicked"))
+                .collect::<Vec<_>>()
+        });
+        for out in outs {
+            results.push(out.map_err(|e| e.to_string())?);
+        }
+    } else {
+        results.push(engine.execute(&plan).map_err(|e| e.to_string())?);
+    }
+    let concurrent_wall = started.elapsed().as_secs_f64();
+    for other in &results[1..] {
+        if !other.relation.same_bag(&results[0].relation) {
+            return Err("concurrent copies of the query disagree on the result".to_string());
+        }
+    }
+    let out = &results[0];
     let limit: usize = opt(args, "--limit")
         .map(|s| s.parse().map_err(|e| format!("bad --limit: {e}")))
         .transpose()?
@@ -405,6 +405,21 @@ fn cmd_run(args: &[String], execute: bool) -> Result<(), String> {
         sim.comm_s
     );
     println!("wall clock:      {:.4}s", stats.wall_s);
+    if concurrency > 1 {
+        let serial_sum: f64 = results.iter().map(|r| r.stats.wall_s).sum();
+        println!("\n=== concurrency ===");
+        println!("queries:         {concurrency} (identical results)");
+        println!("combined wall:   {concurrent_wall:.4}s (sum of per-query walls: {serial_sum:.4}s)");
+        for (i, r) in results.iter().enumerate() {
+            println!(
+                "  query {i}: {} rounds, {} B down / {} B up, {:.4}s",
+                r.stats.n_rounds(),
+                r.stats.bytes_down(),
+                r.stats.bytes_up(),
+                r.stats.wall_s
+            );
+        }
+    }
     println!("\n=== per-round timeline ===");
     print!("{}", stats.round_table());
 

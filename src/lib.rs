@@ -29,7 +29,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use skalla::core::{Cluster, OptFlags, plan::Planner};
+//! use skalla::core::{OptFlags, Skalla, plan::Planner};
 //! use skalla::datagen::flow::{FlowConfig, generate_flows};
 //! use skalla::datagen::partition::partition_by_int_ranges;
 //! use skalla::gmdj::prelude::*;
@@ -58,9 +58,15 @@
 //!     )
 //!     .build();
 //!
-//! let cluster = Cluster::from_partitions("flow", parts);
-//! let plan = Planner::new(cluster.distribution()).optimize(&expr, OptFlags::all());
-//! let out = cluster.execute(&plan).expect("query runs");
+//! // One engine for every runtime: `partitions()` selects the in-process
+//! // backend; `remote()` would dial standalone TCP site processes instead.
+//! // The engine accepts concurrent `execute` calls from multiple threads.
+//! let engine = Skalla::builder()
+//!     .partitions("flow", parts)
+//!     .build()
+//!     .expect("engine builds");
+//! let plan = Planner::new(engine.distribution()).optimize(&expr, OptFlags::all());
+//! let out = engine.execute(&plan).expect("query runs");
 //! assert_eq!(out.relation.schema().column_names(),
 //!            ["source_as", "dest_as", "cnt1", "sum1", "cnt2"]);
 //! ```

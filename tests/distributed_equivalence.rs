@@ -227,6 +227,7 @@ fn single_site_cluster_equals_centralized() {
 }
 
 #[test]
+#[allow(deprecated)] // pins the serial Cluster's legacy setter path
 fn nested_loop_and_hash_paths_agree_distributed() {
     let flows = generate_flows(&FlowConfig::small(33));
     let expr = example1_flows();

@@ -12,6 +12,7 @@ use skalla::query;
 
 const EXAMPLE1: &str = include_str!("../queries/example1.skl");
 
+#[allow(deprecated)] // pins the serial Cluster's legacy setter path
 fn traced_run(flags: OptFlags) -> (Obs, skalla::core::QueryResult) {
     let flows = generate_flows(&FlowConfig::new(1500, 11));
     let parts = partition_by_int_ranges(&flows, "source_as", 3);
@@ -135,6 +136,7 @@ fn metrics_snapshot_is_valid_json_with_counters() {
 }
 
 #[test]
+#[allow(deprecated)] // pins the serial Cluster's legacy setter path
 fn disabled_obs_records_nothing_and_execution_matches() {
     // Same query with and without a recorder: identical results, and the
     // disabled handle never allocates a recorder.

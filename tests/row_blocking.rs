@@ -22,6 +22,7 @@ fn expr() -> GmdjExpr {
         .build()
 }
 
+#[allow(deprecated)] // pins the serial Cluster's legacy setter path
 fn make_cluster(chunk: Option<usize>) -> Cluster {
     let flows = generate_flows(&FlowConfig {
         flows: 4000,
@@ -83,6 +84,7 @@ fn chunking_increases_messages_not_rows() {
 }
 
 #[test]
+#[allow(deprecated)] // pins the serial Cluster's legacy setter path
 fn chunk_size_zero_means_off() {
     let mut c = make_cluster(None);
     c.set_chunk_rows(Some(0));

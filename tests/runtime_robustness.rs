@@ -151,6 +151,7 @@ fn multi_table_chain_executes() {
 }
 
 #[test]
+#[allow(deprecated)] // pins the serial Cluster's legacy setter path
 fn worker_panic_mid_morsel_is_a_clean_execution_error() {
     use skalla::gmdj::EvalOptions;
     let mut c = cluster();

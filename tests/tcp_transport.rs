@@ -109,6 +109,7 @@ fn loopback_tcp_matches_channel_transport_exactly() {
 }
 
 #[test]
+#[allow(deprecated)] // pins the legacy serial setter path on both runtimes
 fn loopback_tcp_matches_channel_transport_with_row_blocking() {
     let parts = fig2_partitions();
     let expr = fig2_query();
@@ -182,6 +183,48 @@ fn site_death_mid_round_aborts_with_disconnect_error() {
         "diagnostic should name the dead site, got: {err}"
     );
     rogue.join().unwrap();
+}
+
+/// Regression: a client that connects and drops mid-handshake (or sends
+/// a truncated frame) must not wedge `serve_forever` — the handshake
+/// read is deadline-bounded and a failed session returns the server to
+/// its accept loop, so the next genuine coordinator still gets served.
+#[test]
+fn mid_handshake_disconnect_does_not_wedge_serve_forever() {
+    let parts = fig2_partitions();
+    let part = &parts[0];
+    let catalog = HashMap::from([("tpcr".to_string(), Arc::new(part.relation.clone()))]);
+    let domains = HashMap::from([("tpcr".to_string(), part.domains.clone())]);
+    let cfg = TcpConfig {
+        read_timeout: Some(Duration::from_secs(5)),
+        ..TcpConfig::default()
+    };
+    let server = SiteServer::bind("127.0.0.1:0", catalog, domains, cfg.clone()).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        let _ = server.serve_forever();
+    });
+
+    // Rude client 1: connect, say nothing, hang up.
+    drop(std::net::TcpStream::connect(&addr).unwrap());
+    // Rude client 2: connect, send a truncated frame header, hang up.
+    {
+        use std::io::Write as _;
+        let mut s = std::net::TcpStream::connect(&addr).unwrap();
+        s.write_all(&[protocol::TAG_CATALOG_REQ, 0x01]).unwrap();
+        drop(s);
+    }
+
+    // A genuine coordinator session must still be served to completion.
+    let remote = RemoteCluster::connect(std::slice::from_ref(&addr), &cfg).unwrap();
+    let expr = fig2_query();
+    let plan = Planner::new(remote.distribution()).optimize(&expr, OptFlags::all());
+    let out = remote.execute(&plan).unwrap();
+
+    let local = Cluster::from_partitions("tpcr", vec![part.clone()]);
+    let local_plan = Planner::new(local.distribution()).optimize(&expr, OptFlags::all());
+    let want = local.execute(&local_plan).unwrap();
+    assert_eq!(canonical(&out.relation), canonical(&want.relation));
 }
 
 /// `DomainMap` must survive the catalog round-trip exactly — losing the

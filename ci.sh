@@ -50,10 +50,35 @@ if "$CLI" net-probe >/dev/null 2>&1; then
     grep -q 'listening on' "$SMOKE_DIR/site$i.log" \
       || { echo "ci.sh: site $i never came up" >&2; cat "$SMOKE_DIR/site$i.log" >&2; exit 1; }
   done
-  ADDRS=$(for i in 0 1; do sed -n 's/.*listening on //p' "$SMOKE_DIR/site$i.log"; done | paste -sd, -)
-  "$CLI" run --sites "$ADDRS" --query-file queries/example1.skl --limit 5
+  # Anchored: with --metrics-listen a process also prints
+  # "metrics listening on …", which a bare 'listening on' sed would catch.
+  ADDRS=$(for i in 0 1; do sed -n "s/^site $i listening on //p" "$SMOKE_DIR/site$i.log"; done | paste -sd, -)
+  # Telemetry smoke: trace the distributed run (sites always record and
+  # ship their deltas back), expose live metrics, and linger so we can
+  # probe the endpoint after the query completes.
+  "$CLI" run --sites "$ADDRS" --query-file queries/example1.skl --limit 5 \
+    --trace "$SMOKE_DIR/trace.json" --metrics-listen 127.0.0.1:0 --metrics-linger 10 \
+    >"$SMOKE_DIR/run.log" 2>&1 &
+  RUN_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q 'lingering' "$SMOKE_DIR/run.log" && break
+    sleep 0.1
+  done
+  grep -q 'lingering' "$SMOKE_DIR/run.log" \
+    || { echo "ci.sh: traced run never reached the linger window" >&2; cat "$SMOKE_DIR/run.log" >&2; exit 1; }
+  cat "$SMOKE_DIR/run.log"
+  METRICS=$(sed -n 's|^metrics listening on http://||p' "$SMOKE_DIR/run.log")
+  "$CLI" http-get "http://$METRICS/metrics" >"$SMOKE_DIR/metrics.txt"
+  # The scheduler gauges and the query-latency histogram must be exposed.
+  grep -q '^skalla_scheduler_admitted_total 1' "$SMOKE_DIR/metrics.txt"
+  grep -q '^skalla_scheduler_running' "$SMOKE_DIR/metrics.txt"
+  grep -q '^skalla_query_wall_s_count' "$SMOKE_DIR/metrics.txt"
+  wait "$RUN_PID"
   wait
-  echo "ci.sh: TCP smoke test passed (sites $ADDRS)"
+  # The merged trace must contain real site-side spans (exported by the
+  # site processes over TAG_TELEMETRY), not just coordinator lanes.
+  "$CLI" trace-check "$SMOKE_DIR/trace.json"
+  echo "ci.sh: TCP smoke test passed (sites $ADDRS, metrics at $METRICS)"
 
   # Concurrent multi-query smoke: 4 sites, 4 copies of the fig2-style
   # query submitted at once over one persistent session per site. The CLI
@@ -70,7 +95,7 @@ if "$CLI" net-probe >/dev/null 2>&1; then
     grep -q 'listening on' "$SMOKE_DIR/csite$i.log" \
       || { echo "ci.sh: concurrent-smoke site $i never came up" >&2; cat "$SMOKE_DIR/csite$i.log" >&2; exit 1; }
   done
-  CADDRS=$(for i in 0 1 2 3; do sed -n 's/.*listening on //p' "$SMOKE_DIR/csite$i.log"; done | paste -sd, -)
+  CADDRS=$(for i in 0 1 2 3; do sed -n "s/^site $i listening on //p" "$SMOKE_DIR/csite$i.log"; done | paste -sd, -)
   "$CLI" run --sites "$CADDRS" --concurrency 4 --limit 3 -q \
     'BASE SELECT DISTINCT cust_group FROM tpcr;
      MD cnt1 = COUNT(*), avg1 = AVG(extended_price) OVER tpcr WHERE cust_group = b.cust_group;

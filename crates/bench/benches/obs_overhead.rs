@@ -51,6 +51,36 @@ fn bench_primitives(c: &mut Criterion) {
     g.finish();
 }
 
+/// The per-query telemetry cycle a distributed run pays after every
+/// `QUERY_DONE`: the site drains its delta, serializes it for the wire,
+/// and the coordinator parses and merges it into its own recorder. Keeps
+/// the export path honest — it runs once per query, so it must stay far
+/// below query cost.
+fn bench_telemetry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_telemetry");
+    g.sample_size(20);
+    g.bench_function("export_ship_import_100spans", |b| {
+        b.iter(|| {
+            let site = Obs::recording();
+            let rec = site.recorder().unwrap();
+            rec.set_process(2, "site-0");
+            for i in 0..100u32 {
+                site.span(Track::SiteQuery(0, 1), "task md1").finish();
+                site.counter_add("net.msgs", 1.0);
+                site.hist("task.busy_s", f64::from(i) * 1e-4);
+            }
+            let mut cursor = skalla_obs::ExportCursor::default();
+            let wire = rec.take_delta(&mut cursor).to_string();
+            let parsed = skalla_obs::TelemetryDelta::parse(black_box(&wire)).unwrap();
+            let coord = Obs::recording();
+            let coord_rec = coord.recorder().unwrap();
+            coord_rec.import_remote(parsed, 125);
+            black_box(coord_rec.remote_parts().len())
+        })
+    });
+    g.finish();
+}
+
 fn bench_query(c: &mut Criterion) {
     let flows = generate_flows(&FlowConfig::new(5_000, 7));
     let parts = partition_by_int_ranges(&flows, "source_as", 4);
@@ -76,5 +106,5 @@ fn bench_query(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_primitives, bench_query);
+criterion_group!(benches, bench_primitives, bench_telemetry, bench_query);
 criterion_main!(benches);

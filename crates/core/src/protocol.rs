@@ -10,6 +10,8 @@
 //! carries it, so the recorded traffic is transport-invariant.
 
 use skalla_net::Message;
+use skalla_obs::json::{self, Json};
+use skalla_obs::TelemetryDelta;
 use skalla_relation::codec::{Decoder, Encoder};
 use skalla_relation::{Domain, DomainMap, Error, Relation, Result, Schema};
 
@@ -138,6 +140,107 @@ pub fn shutdown() -> Message {
 /// serial session's shutdown broadcast.
 pub fn query_done() -> Message {
     Message::new(TAG_QUERY_DONE, Vec::new())
+}
+
+/// Bidirectional telemetry frames (alias of
+/// [`skalla_net::TELEMETRY_TAG`], which the transports exempt from byte
+/// accounting in both directions):
+///
+/// * **Site → coordinator**, stamped with a query id: the site's
+///   [`SiteTelemetry`] for that query, sent in reply to
+///   [`TAG_QUERY_DONE`].
+/// * **Coordinator → site**: a pull request ([`telemetry_request`]);
+///   the site replies with its current telemetry snapshot, echoing the
+///   request's query id so a multiplexed reply routes to the puller.
+pub const TAG_TELEMETRY: u8 = skalla_net::TELEMETRY_TAG;
+
+/// What a site ships back in a telemetry frame: the busy-time samples
+/// its per-query workers measured, plus (for standalone site processes
+/// with their own recorder) the site's observability delta since the
+/// last export. The payload is UTF-8 JSON —
+/// `{"busy": [[query_id, stage, secs], ...], "obs": <delta or null>}` —
+/// so operators can read captured frames directly; it never enters the
+/// paper's traffic accounting (see [`TAG_TELEMETRY`]), so the encoding
+/// optimizes for debuggability, not size.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SiteTelemetry {
+    /// `(query_id, stage index, busy seconds)` samples, one per stage
+    /// task the site executed for the queries this frame covers.
+    pub busy: Vec<(u32, u32, f64)>,
+    /// The site recorder's spans/events/counters/histograms since the
+    /// last export; `None` when the site shares the coordinator's
+    /// recorder (in-process backend) or runs without observability.
+    pub obs: Option<TelemetryDelta>,
+}
+
+impl SiteTelemetry {
+    /// The JSON form (see the struct docs for the shape).
+    pub fn to_json(&self) -> Json {
+        let busy = Json::Arr(
+            self.busy
+                .iter()
+                .map(|(qid, stage, secs)| {
+                    Json::Arr(vec![
+                        Json::UInt(*qid as u64),
+                        Json::UInt(*stage as u64),
+                        Json::Float(*secs),
+                    ])
+                })
+                .collect(),
+        );
+        let obs = match &self.obs {
+            Some(delta) => delta.to_json(),
+            None => Json::Null,
+        };
+        Json::obj(vec![("busy", busy), ("obs", obs)])
+    }
+
+    /// Decode the JSON form.
+    pub fn from_json(j: &Json) -> Result<SiteTelemetry> {
+        let bad = |what: &str| Error::Codec(format!("telemetry: {what}"));
+        let mut busy = Vec::new();
+        for entry in j
+            .get("busy")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing busy array"))?
+        {
+            let triple = entry.as_arr().ok_or_else(|| bad("busy entry"))?;
+            match triple {
+                [qid, stage, secs] => busy.push((
+                    qid.as_u64().ok_or_else(|| bad("busy query id"))? as u32,
+                    stage.as_u64().ok_or_else(|| bad("busy stage"))? as u32,
+                    secs.as_f64().ok_or_else(|| bad("busy seconds"))?,
+                )),
+                _ => return Err(bad("busy entry arity")),
+            }
+        }
+        let obs = match j.get("obs") {
+            None | Some(Json::Null) => None,
+            Some(delta) => Some(TelemetryDelta::from_json(delta).map_err(Error::Codec)?),
+        };
+        Ok(SiteTelemetry { busy, obs })
+    }
+}
+
+/// Encode a coordinator → site telemetry pull request (control stream,
+/// empty payload).
+pub fn telemetry_request() -> Message {
+    Message::new(TAG_TELEMETRY, Vec::new())
+}
+
+/// Encode a site → coordinator telemetry frame. The caller stamps the
+/// query id it answers for (or leaves 0 for a pull reply).
+pub fn telemetry(t: &SiteTelemetry) -> Message {
+    Message::new(TAG_TELEMETRY, t.to_json().to_json().into_bytes())
+}
+
+/// Decode a telemetry payload. An empty payload is the coordinator's
+/// pull request, not a site report, and is rejected here.
+pub fn decode_telemetry(payload: &[u8]) -> Result<SiteTelemetry> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| Error::Codec(format!("telemetry payload is not UTF-8: {e}")))?;
+    let j = json::parse(text).map_err(|e| Error::Codec(format!("telemetry JSON: {e}")))?;
+    SiteTelemetry::from_json(&j)
 }
 
 /// What one site advertises about one of its tables in the catalog
@@ -404,5 +507,23 @@ mod tests {
         let mut m = run_stage(1, None).payload;
         m.push(0);
         assert!(decode_run_stage(&m).is_err());
+    }
+
+    #[test]
+    fn telemetry_round_trip() {
+        let t = SiteTelemetry {
+            busy: vec![(1, 0, 0.25), (1, 1, 0.5), (7, 2, 0.125)],
+            obs: None,
+        };
+        let m = telemetry(&t);
+        assert_eq!(m.tag, TAG_TELEMETRY);
+        assert_eq!(m.tag, skalla_net::TELEMETRY_TAG, "accounting exemption tag");
+        let back = decode_telemetry(&m.payload).unwrap();
+        assert_eq!(back, t);
+        // The pull request is empty and not decodable as a report.
+        assert!(telemetry_request().payload.is_empty());
+        assert!(decode_telemetry(&[]).is_err());
+        assert!(decode_telemetry(b"{\"obs\":null}").is_err(), "missing busy");
+        assert!(decode_telemetry(&[0xFF]).is_err(), "not UTF-8");
     }
 }

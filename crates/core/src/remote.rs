@@ -11,9 +11,13 @@
 //!
 //! Differences from the in-process runtime, by design:
 //!
-//! * **Per-site busy times are not reported** (`site_busy_s` stays 0 for
-//!   remote runs): shipping timing samples would add bytes to the
-//!   accounted messages and break byte-identity between the transports.
+//! * **Per-site busy times are not reported on this legacy entry point**
+//!   (`site_busy_s` stays 0 for [`RemoteCluster::execute`]): a serial
+//!   session never sends the `QUERY_DONE` that triggers a site's
+//!   accounting-exempt telemetry reply. The concurrent [`crate::Skalla`]
+//!   engine *does* receive site-reported busy times over the remote
+//!   backend, via [`crate::protocol::TAG_TELEMETRY`] frames that the
+//!   transports exempt from byte accounting.
 //! * **The catalog handshake is charged to a pre-query round** and sliced
 //!   out of each query's [`crate::stats::ExecStats::net`], so the
 //!   per-query rounds line up one-to-one with an in-process run.
@@ -415,7 +419,10 @@ impl SiteServer {
         }
         site.send(protocol::catalog(&self.entries))
             .map_err(net_err)?;
-        site_session_loop(&self.catalog, Arc::new(site), None, &self.obs);
+        // A standalone site owns its recorder, so it exports obs deltas
+        // in its telemetry replies (the coordinator merges them into one
+        // cross-process trace).
+        site_session_loop(&self.catalog, Arc::new(site), true, &self.obs);
         Ok(())
     }
 

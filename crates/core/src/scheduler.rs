@@ -19,7 +19,7 @@
 //! hands out the monotonically increasing [`QueryId`]s that frames
 //! carry on the wire (id 0 is reserved for the control/legacy stream).
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -113,6 +113,9 @@ pub struct QueryScheduler {
     cfg: SchedulerConfig,
     sem: Arc<Sem>,
     next_id: AtomicU32,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    timed_out: AtomicU64,
 }
 
 impl QueryScheduler {
@@ -132,6 +135,9 @@ impl QueryScheduler {
                 available: Condvar::new(),
             }),
             next_id: AtomicU32::new(1),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
         }
     }
 
@@ -150,6 +156,23 @@ impl QueryScheduler {
         self.sem.state.lock().expect("scheduler lock").waiting
     }
 
+    /// Queries admitted over this scheduler's lifetime (monotonic).
+    pub fn admitted_total(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Queries rejected outright because the waiting room was full
+    /// (monotonic).
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Queries that gave up after waiting out the queue timeout
+    /// (monotonic).
+    pub fn timed_out_total(&self) -> u64 {
+        self.timed_out.load(Ordering::Relaxed)
+    }
+
     /// The next query id (monotonic, starting at 1; skips 0 on wrap —
     /// id 0 is the control/legacy stream).
     pub fn next_query_id(&self) -> QueryId {
@@ -166,6 +189,17 @@ impl QueryScheduler {
     /// space, and rejects with [`AdmissionError::QueueFull`] otherwise.
     /// Dropping the permit releases the slot.
     pub fn admit(&self) -> Result<Permit, AdmissionError> {
+        let result = self.admit_inner();
+        let counter = match &result {
+            Ok(_) => &self.admitted,
+            Err(AdmissionError::QueueFull { .. }) => &self.rejected,
+            Err(AdmissionError::QueueTimeout { .. }) => &self.timed_out,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    fn admit_inner(&self) -> Result<Permit, AdmissionError> {
         let mut state = self.sem.state.lock().expect("scheduler lock");
         if state.running < self.cfg.max_concurrent {
             state.running += 1;
@@ -295,6 +329,25 @@ mod tests {
         assert_eq!(s.next_query_id(), 1);
         assert_eq!(s.next_query_id(), 2);
         assert_eq!(s.next_query_id(), 3);
+    }
+
+    #[test]
+    fn lifetime_totals_tally_every_outcome() {
+        let s = sched(1, 0, 10);
+        let p = s.admit().unwrap();
+        assert!(s.admit().is_err()); // queue capacity 0 → rejected
+        drop(p);
+        let s2 = sched(1, 4, 20);
+        let _p = s2.admit().unwrap();
+        assert!(s2.admit().is_err()); // waits, then times out
+        assert_eq!(
+            (s.admitted_total(), s.rejected_total(), s.timed_out_total()),
+            (1, 1, 0)
+        );
+        assert_eq!(
+            (s2.admitted_total(), s2.rejected_total(), s2.timed_out_total()),
+            (1, 0, 1)
+        );
     }
 
     #[test]

@@ -156,9 +156,10 @@ pub type BusyTimes = Mutex<Vec<(usize, usize, f64)>>;
 /// stage tasks, execute, reply — until a shutdown message or the link
 /// dies. `times` (when given) collects `(site, stage, busy seconds)`
 /// samples; the in-process [`crate::Cluster`] feeds them into
-/// [`crate::stats::StageTimes`], while a standalone TCP site has nowhere
-/// to report them (shipping timings would change the payload bytes and
-/// break the transports' byte-identity), so it passes `None`.
+/// [`crate::stats::StageTimes`], while a serial remote session has no
+/// accounting-exempt way to report them (a serial coordinator never
+/// sends the `QUERY_DONE` that triggers a telemetry reply in
+/// [`site_session_loop`]), so a standalone site passes `None`.
 pub fn site_loop(
     catalog: &HashMap<String, Arc<Relation>>,
     net: &dyn SiteTransport,
@@ -260,22 +261,50 @@ pub type QueryBusyTimes = Mutex<Vec<(u32, usize, usize, f64)>>;
 /// `send`), so interleaved queries never corrupt each other's streams.
 ///
 /// Control flow on the session (query id 0) stream:
-/// * [`protocol::TAG_QUERY_DONE`] retires the frame's query worker;
+/// * [`protocol::TAG_QUERY_DONE`] retires the frame's query worker and
+///   answers with a [`protocol::TAG_TELEMETRY`] frame carrying that
+///   query's busy-time samples (and, when `export_obs` is set, the site
+///   recorder's delta since the last export);
+/// * [`protocol::TAG_TELEMETRY`] is a pull: the site replies — echoing
+///   the request's query id, so a multiplexing coordinator can route the
+///   answer — with a snapshot of all pending busy samples plus the obs
+///   delta, without retiring anything;
 /// * [`protocol::TAG_SHUTDOWN`] ends the session: all workers are joined
 ///   and the loop returns;
 /// * a dead link also ends the session.
 ///
+/// Telemetry frames ride [`skalla_net::TELEMETRY_TAG`] and are exempt
+/// from the byte accounting on every transport, so shipping timings no
+/// longer breaks the channel/TCP byte-identity invariant (the reason the
+/// serial [`site_loop`] cannot report remote busy times).
+///
+/// `export_obs` should be `true` only when this site owns its recorder
+/// (a standalone `skalla-cli site` process): an in-process site thread
+/// shares the coordinator's recorder, and exporting from it would
+/// duplicate every span on import.
+///
 /// The legacy serial coordinator (every frame on query id 0) works
-/// unchanged: its frames all route to worker 0.
+/// unchanged: its frames all route to worker 0, and it never sends
+/// `QUERY_DONE`, so no telemetry is emitted.
 pub fn site_session_loop(
     catalog: &HashMap<String, Arc<Relation>>,
     net: Arc<dyn SiteTransport + Sync>,
-    times: Option<Arc<QueryBusyTimes>>,
+    export_obs: bool,
     obs: &Obs,
 ) {
     use crossbeam::channel::{unbounded, Sender};
     let mut workers: HashMap<u32, (Sender<skalla_net::Message>, std::thread::JoinHandle<()>)> =
         HashMap::new();
+    let site = net.site_id();
+    let busy: Arc<QueryBusyTimes> = Arc::new(QueryBusyTimes::new(Vec::new()));
+    let mut cursor = skalla_obs::ExportCursor::default();
+    let obs_delta = |cursor: &mut skalla_obs::ExportCursor| {
+        if export_obs {
+            obs.recorder().map(|rec| rec.take_delta(cursor))
+        } else {
+            None
+        }
+    };
     // The loop ends when the coordinator hangs up (or the session idles
     // out) — recv errors — or broadcasts a shutdown.
     while let Ok(msg) = net.recv() {
@@ -286,6 +315,47 @@ pub fn site_session_loop(
                     drop(tx); // worker drains its queue and exits
                     let _ = handle.join();
                 }
+                // Answer with this query's telemetry: its busy samples
+                // (drained) and, for standalone sites, the obs delta.
+                let mut drained = Vec::new();
+                busy.lock().retain(|(qid, _site, stage, secs)| {
+                    if *qid == msg.query_id {
+                        drained.push((*qid, *stage as u32, *secs));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                let report = protocol::SiteTelemetry {
+                    busy: drained,
+                    obs: obs_delta(&mut cursor),
+                };
+                if net
+                    .send(protocol::telemetry(&report).with_query_id(msg.query_id))
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            protocol::TAG_TELEMETRY => {
+                // A pull: snapshot without draining, echoing the
+                // request's query id so a multiplexing coordinator can
+                // route the reply to the puller.
+                let snapshot = busy
+                    .lock()
+                    .iter()
+                    .map(|(qid, _site, stage, secs)| (*qid, *stage as u32, *secs))
+                    .collect();
+                let report = protocol::SiteTelemetry {
+                    busy: snapshot,
+                    obs: obs_delta(&mut cursor),
+                };
+                if net
+                    .send(protocol::telemetry(&report).with_query_id(msg.query_id))
+                    .is_err()
+                {
+                    break;
+                }
             }
             _ => {
                 let query_id = msg.query_id;
@@ -293,11 +363,11 @@ pub fn site_session_loop(
                     let (tx, rx) = unbounded();
                     let catalog = catalog.clone();
                     let net = Arc::clone(&net);
-                    let times = times.clone();
+                    let busy = Arc::clone(&busy);
                     let obs = obs.clone();
                     let handle = std::thread::Builder::new()
-                        .name(format!("site-{}-q{}", net.site_id(), query_id))
-                        .spawn(move || query_worker(&catalog, &*net, rx, query_id, times, &obs))
+                        .name(format!("site-{site}-q{query_id}"))
+                        .spawn(move || query_worker(&catalog, &*net, rx, query_id, busy, &obs))
                         .expect("spawning site query worker");
                     (tx, handle)
                 });
@@ -318,7 +388,7 @@ fn query_worker(
     net: &dyn SiteTransport,
     rx: crossbeam::channel::Receiver<skalla_net::Message>,
     query_id: u32,
-    times: Option<Arc<QueryBusyTimes>>,
+    times: Arc<QueryBusyTimes>,
     obs: &Obs,
 ) {
     let site = net.site_id();
@@ -372,11 +442,9 @@ fn query_worker(
                             obs,
                             site,
                         );
-                        if let Some(times) = &times {
-                            times
-                                .lock()
-                                .push((query_id, site, stage as usize, t.elapsed().as_secs_f64()));
-                        }
+                        times
+                            .lock()
+                            .push((query_id, site, stage as usize, t.elapsed().as_secs_f64()));
                         match out {
                             Ok(rel) => {
                                 task_span.arg("rows_out", rel.len());

@@ -181,6 +181,43 @@ impl ExecStats {
             .collect()
     }
 
+    /// The machine-readable form of these statistics: per-round
+    /// breakdown plus totals, as one JSON object. This is the body of a
+    /// slow-query log line and of the telemetry a CLI run exposes.
+    pub fn to_json(&self) -> skalla_obs::json::Json {
+        use skalla_obs::json::Json;
+        let rounds = Json::Arr(
+            self.round_summaries()
+                .iter()
+                .map(|r| {
+                    Json::obj(vec![
+                        ("label", Json::Str(r.label.clone())),
+                        ("busy_max_s", Json::Float(r.slowest_site_s)),
+                        ("busy_mean_s", Json::Float(r.mean_site_s)),
+                        ("skew", Json::Float(r.skew)),
+                        ("coord_s", Json::Float(r.coord_s)),
+                        ("rows_down", Json::UInt(r.rows_down)),
+                        ("rows_up", Json::UInt(r.rows_up)),
+                        ("bytes_down", Json::UInt(r.bytes_down)),
+                        ("bytes_up", Json::UInt(r.bytes_up)),
+                        ("msgs", Json::UInt(r.msgs)),
+                    ])
+                })
+                .collect(),
+        );
+        let (rows_down, rows_up) = self.total_rows();
+        Json::obj(vec![
+            ("wall_s", Json::Float(self.wall_s)),
+            ("n_rounds", Json::UInt(self.n_rounds() as u64)),
+            ("bytes_down", Json::UInt(self.bytes_down())),
+            ("bytes_up", Json::UInt(self.bytes_up())),
+            ("messages", Json::UInt(self.total_messages())),
+            ("rows_down", Json::UInt(rows_down)),
+            ("rows_up", Json::UInt(rows_up)),
+            ("rounds", rounds),
+        ])
+    }
+
     /// Render the per-round timeline as a fixed-width text table (the
     /// `EXPLAIN ANALYZE` output).
     pub fn round_table(&self) -> String {
@@ -320,6 +357,27 @@ mod tests {
         assert!(lines[0].contains("busy max"));
         assert!(lines[1].contains("base"));
         assert!(lines[2].contains("gmdj 1"));
+    }
+
+    #[test]
+    fn to_json_round_trips_through_the_obs_parser() {
+        let s = stats();
+        let text = s.to_json().to_json();
+        let back = skalla_obs::json::parse(&text).unwrap();
+        assert_eq!(back.get("n_rounds").and_then(|j| j.as_u64()), Some(2));
+        assert_eq!(back.get("bytes_down").and_then(|j| j.as_u64()), Some(2000));
+        assert_eq!(back.get("messages").and_then(|j| j.as_u64()), Some(3));
+        let rounds = back.get("rounds").and_then(|j| j.as_arr()).unwrap();
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(
+            rounds[0].get("label").and_then(|j| j.as_str()),
+            Some("base")
+        );
+        assert_eq!(
+            rounds[0].get("busy_max_s").and_then(|j| j.as_f64()),
+            Some(0.3)
+        );
+        assert_eq!(rounds[1].get("rows_down").and_then(|j| j.as_u64()), Some(200));
     }
 
     #[test]

@@ -63,11 +63,11 @@ use crate::plan::DistributedPlan;
 use crate::protocol;
 use crate::remote::{catalog_handshake, RemoteCluster};
 use crate::scheduler::{QueryScheduler, SchedulerConfig};
-use crate::site::{site_session_loop, QueryBusyTimes};
+use crate::site::site_session_loop;
 use crate::stats::{ExecStats, QueryResult, StageTimes};
 use skalla_gmdj::eval::EvalOptions;
-use skalla_net::{star, CoordinatorTransport, QueryMux, TcpConfig, TcpCoordinator};
-use skalla_obs::{Obs, Track};
+use skalla_net::{star, CoordinatorTransport, MuxHandle, QueryMux, TcpConfig, TcpCoordinator};
+use skalla_obs::{estimate_offset_us, Obs, Track};
 use skalla_relation::{DomainMap, Error, Relation, Result, Schema};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -297,16 +297,19 @@ impl SkallaBuilder {
             BackendSpec::Local(cluster) => {
                 let n = cluster.n_sites();
                 let (coord, site_nets) = star(n);
-                let times: Arc<QueryBusyTimes> = Arc::new(QueryBusyTimes::new(Vec::new()));
                 let mut site_threads = Vec::with_capacity(n);
                 for site_net in site_nets {
                     let catalog = cluster.site_catalog(site_net.site_id()).clone();
-                    let times = Arc::clone(&times);
                     let obs = self.cfg.obs.clone();
                     let handle = std::thread::Builder::new()
                         .name(format!("skalla-site-{}", site_net.site_id()))
                         .spawn(move || {
-                            site_session_loop(&catalog, Arc::new(site_net), Some(times), &obs)
+                            // In-process sites share the coordinator's
+                            // recorder, so they must not export obs
+                            // deltas (importing them would duplicate
+                            // every span); busy samples still travel in
+                            // the telemetry replies.
+                            site_session_loop(&catalog, Arc::new(site_net), false, &obs)
                         })
                         .map_err(|e| Error::Execution(format!("spawning site thread: {e}")))?;
                     site_threads.push(handle);
@@ -317,10 +320,7 @@ impl SkallaBuilder {
                     mux: QueryMux::new(Arc::new(coord)),
                     scheduler,
                     cfg: self.cfg,
-                    backend: Backend::Local {
-                        site_threads,
-                        times,
-                    },
+                    backend: Backend::Local { site_threads },
                 })
             }
             BackendSpec::Remote { addrs, tcp } => {
@@ -349,12 +349,16 @@ impl SkallaBuilder {
 enum Backend {
     Local {
         site_threads: Vec<JoinHandle<()>>,
-        /// `(query_id, site, stage, busy seconds)` samples reported by
-        /// the in-process site workers, drained per query.
-        times: Arc<QueryBusyTimes>,
     },
     Remote,
 }
+
+/// How long the coordinator waits for the sites' telemetry replies
+/// after releasing a query (capped further by the engine timeout). The
+/// replies are sent as soon as each site joins the query's worker, so
+/// on the success path this wait is microseconds; the cap only matters
+/// when a query aborted while a site was mid-stage.
+const TELEMETRY_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// The concurrent multi-query engine: persistent per-site connections,
 /// a query multiplexer, and admission control in front.
@@ -426,16 +430,130 @@ impl Skalla {
     /// Execute a distributed plan as one admitted query. Blocks while
     /// the admission queue holds it; fails fast with a clean error when
     /// the queue is full or the queue timeout expires. Statistics are
-    /// per-query: round labels, byte/message counts, and (in-process
-    /// backend) site busy times are identical to a serial run of the
-    /// same plan.
+    /// per-query: round labels and byte/message counts are identical to
+    /// a serial run of the same plan, and site busy times are reported
+    /// by the sites themselves on both backends (shipped in
+    /// accounting-exempt telemetry frames, so the byte counts still
+    /// match a serial run).
     pub fn execute(&self, plan: &DistributedPlan) -> Result<QueryResult> {
-        let _permit = self
-            .scheduler
-            .admit()
-            .map_err(|e| Error::Execution(format!("admission: {e}")))?;
+        let admitted = self.scheduler.admit();
+        self.publish_scheduler_gauges();
+        let permit = admitted.map_err(|e| Error::Execution(format!("admission: {e}")))?;
         let query_id = self.scheduler.next_query_id();
-        self.run_query(plan, query_id)
+        let result = self.run_query(plan, query_id);
+        drop(permit);
+        self.publish_scheduler_gauges();
+        if let Ok(out) = &result {
+            self.cfg.obs.hist("query.wall_s", out.stats.wall_s);
+        }
+        result
+    }
+
+    /// Mirror the scheduler's state into obs counters, so the live
+    /// metrics endpoint can expose queue depth, in-flight count, and
+    /// lifetime admission totals.
+    fn publish_scheduler_gauges(&self) {
+        let obs = &self.cfg.obs;
+        if !obs.is_recording() {
+            return;
+        }
+        obs.counter("scheduler.running", self.scheduler.running() as f64);
+        obs.counter("scheduler.waiting", self.scheduler.waiting() as f64);
+        obs.counter(
+            "scheduler.admitted_total",
+            self.scheduler.admitted_total() as f64,
+        );
+        obs.counter(
+            "scheduler.rejected_total",
+            self.scheduler.rejected_total() as f64,
+        );
+        obs.counter(
+            "scheduler.timed_out_total",
+            self.scheduler.timed_out_total() as f64,
+        );
+    }
+
+    /// Collect the sites' telemetry replies on a query handle: up to one
+    /// [`protocol::TAG_TELEMETRY`] frame per site, each stamped with the
+    /// coordinator-side receive timestamp (for clock alignment). Partial
+    /// collection is fine — a site that died or is stuck mid-stage just
+    /// goes unreported. Stray non-telemetry frames are drained and
+    /// dropped (telemetry frames are accounting-exempt, so nothing here
+    /// perturbs the per-query byte accounting).
+    fn collect_telemetry(
+        &self,
+        handle: &MuxHandle,
+    ) -> Vec<(usize, protocol::SiteTelemetry, u64)> {
+        let n = self.n_sites();
+        let mut out = Vec::with_capacity(n);
+        let deadline = Instant::now() + TELEMETRY_TIMEOUT.min(self.cfg.timeout);
+        let mut missing = n;
+        while missing > 0 {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match handle.recv(remaining) {
+                Ok((site, msg)) if msg.tag == protocol::TAG_TELEMETRY => {
+                    missing -= 1;
+                    let resp_us = self.cfg.obs.recorder().map(|r| r.now_us()).unwrap_or(0);
+                    if let Ok(report) = protocol::decode_telemetry(&msg.payload) {
+                        out.push((site, report, resp_us));
+                    }
+                }
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    /// Merge the sites' exported obs deltas into the engine recorder,
+    /// aligning each site's monotonic clock with the coordinator's.
+    /// `req_us` is the coordinator-clock send time of the request that
+    /// solicited the replies; paired with each reply's receive time it
+    /// bounds the per-site clock offset (the wall-clock anchor gives the
+    /// initial estimate). The link index is authoritative for identity:
+    /// whatever the site called itself, its spans land in the
+    /// `site-N` process lane of the merged trace.
+    fn import_site_obs(&self, telemetry: &[(usize, protocol::SiteTelemetry, u64)], req_us: u64) {
+        let Some(rec) = self.cfg.obs.recorder() else {
+            return;
+        };
+        for (site, report, resp_us) in telemetry {
+            let Some(delta) = &report.obs else { continue };
+            let mut delta = delta.clone();
+            delta.process_id = *site as u32 + 2;
+            delta.process_name = format!("site-{site}");
+            let offset = estimate_offset_us(
+                rec.wall_start_unix_us(),
+                &delta,
+                Some((req_us, *resp_us)),
+            );
+            rec.import_remote(delta, offset);
+        }
+    }
+
+    /// Pull every site's current telemetry snapshot — pending busy
+    /// samples, plus (standalone sites) the recorder delta since the
+    /// last export — without retiring any query. Exported obs deltas
+    /// are merged into the engine recorder; the raw per-site reports
+    /// are returned. The pull rides an accounting-exempt telemetry
+    /// frame on a throwaway query stream, so concurrent queries and
+    /// their byte accounting are unaffected.
+    pub fn pull_telemetry(&self) -> Vec<(usize, protocol::SiteTelemetry)> {
+        let query_id = self.scheduler.next_query_id();
+        let handle = self.mux.register(query_id);
+        let req_us = self.cfg.obs.recorder().map(|r| r.now_us()).unwrap_or(0);
+        if handle.broadcast(&protocol::telemetry_request()).is_err() {
+            return Vec::new();
+        }
+        let telemetry = self.collect_telemetry(&handle);
+        self.import_site_obs(&telemetry, req_us);
+        telemetry
+            .into_iter()
+            .map(|(site, report, _)| (site, report))
+            .collect()
     }
 
     /// The admitted half of [`Skalla::execute`]: mirrors the serial
@@ -486,8 +604,17 @@ impl Skalla {
             )
         });
 
-        // Always retire this query's site workers, even on error.
+        // Always retire this query's site workers, even on error. Each
+        // site answers the release with an accounting-exempt telemetry
+        // frame carrying its busy samples (and, for standalone sites,
+        // its obs delta); the request/reply timestamps bound the clock
+        // alignment for the merged trace.
+        let req_us = self.cfg.obs.recorder().map(|r| r.now_us()).unwrap_or(0);
         let _ = handle.broadcast(&protocol::query_done());
+        let telemetry = self.collect_telemetry(&handle);
+        // Merge obs deltas before the error check so a failed query's
+        // site spans still land in the trace.
+        self.import_site_obs(&telemetry, req_us);
 
         let (relation, mut stage_times) = run?;
         stage_times.insert(
@@ -498,18 +625,21 @@ impl Skalla {
                 ..StageTimes::default()
             },
         );
-        if let Backend::Local { times, .. } = &self.backend {
-            // Drain this query's samples; other queries' stay queued.
-            let mut samples = times.lock();
-            samples.retain(|(qid, site, stage, secs)| {
+        // Site-reported busy times, identically for both backends: the
+        // sites measured these around their own stage execution, so the
+        // round table's busy/skew columns reflect true site-side work
+        // even across process boundaries.
+        for (site, report, _) in &telemetry {
+            for (qid, stage, secs) in &report.busy {
                 if *qid != query_id {
-                    return true;
+                    continue;
                 }
-                if let Some(st) = stage_times.get_mut(*stage + 1) {
-                    st.site_busy_s[*site] += *secs;
+                if let Some(st) = stage_times.get_mut(*stage as usize + 1) {
+                    if let Some(busy) = st.site_busy_s.get_mut(*site) {
+                        *busy += *secs;
+                    }
                 }
-                false
-            });
+            }
         }
         let net = finished_rounds(handle.stats());
         query_span.arg("result_rows", relation.len());

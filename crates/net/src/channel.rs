@@ -37,15 +37,18 @@ impl CoordinatorNet {
         &self.stats
     }
 
-    /// Send a message to one site.
+    /// Send a message to one site. Telemetry frames bypass the byte
+    /// accounting (see [`crate::transport::TELEMETRY_TAG`]).
     pub fn send(&self, site: usize, msg: Message) -> Result<(), NetError> {
-        self.stats.record_msg_for(
-            site,
-            Direction::Down,
-            msg.payload.len() as u64,
-            Some(msg.tag),
-            msg.query_id,
-        );
+        if msg.tag != crate::transport::TELEMETRY_TAG {
+            self.stats.record_msg_for(
+                site,
+                Direction::Down,
+                msg.payload.len() as u64,
+                Some(msg.tag),
+                msg.query_id,
+            );
+        }
         self.to_sites[site]
             .send(msg)
             .map_err(|_| NetError::Disconnected)
@@ -102,15 +105,18 @@ impl SiteNet {
         self.site_id
     }
 
-    /// Send a message to the coordinator.
+    /// Send a message to the coordinator. Telemetry frames bypass the
+    /// byte accounting (see [`crate::transport::TELEMETRY_TAG`]).
     pub fn send(&self, msg: Message) -> Result<(), NetError> {
-        self.stats.record_msg_for(
-            self.site_id,
-            Direction::Up,
-            msg.payload.len() as u64,
-            Some(msg.tag),
-            msg.query_id,
-        );
+        if msg.tag != crate::transport::TELEMETRY_TAG {
+            self.stats.record_msg_for(
+                self.site_id,
+                Direction::Up,
+                msg.payload.len() as u64,
+                Some(msg.tag),
+                msg.query_id,
+            );
+        }
         self.tx
             .send((self.site_id, msg))
             .map_err(|_| NetError::Disconnected)
@@ -275,6 +281,26 @@ mod tests {
             counters["net.bytes_up"],
             (4 + MESSAGE_OVERHEAD_BYTES) as f64
         );
+    }
+
+    /// Telemetry frames are invisible to the byte accounting in both
+    /// directions — the channel/TCP byte-identity invariant must hold
+    /// whether or not telemetry export is on.
+    #[test]
+    fn telemetry_frames_bypass_accounting() {
+        use crate::transport::TELEMETRY_TAG;
+        let (coord, sites) = star(1);
+        coord
+            .send(0, Message::new(TELEMETRY_TAG, vec![0; 100]))
+            .unwrap();
+        sites[0]
+            .send(Message::new(TELEMETRY_TAG, vec![0; 200]))
+            .unwrap();
+        let t = coord.stats().totals();
+        assert_eq!((t.down_bytes, t.up_bytes, t.down_msgs, t.up_msgs), (0, 0, 0, 0));
+        // The frames still arrive.
+        assert_eq!(sites[0].recv().unwrap().tag, TELEMETRY_TAG);
+        assert_eq!(coord.recv(Duration::from_secs(5)).unwrap().1.tag, TELEMETRY_TAG);
     }
 
     #[test]

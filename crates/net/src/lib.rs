@@ -29,4 +29,4 @@ pub use cost::CostModel;
 pub use mux::{MuxHandle, QueryMux};
 pub use stats::{Direction, LinkStats, NetStats, RoundStats, MESSAGE_OVERHEAD_BYTES};
 pub use tcp::{connect_with_backoff, TcpConfig, TcpCoordinator, TcpSite, TcpSiteListener};
-pub use transport::{CoordinatorTransport, Message, NetError, SiteTransport};
+pub use transport::{CoordinatorTransport, Message, NetError, SiteTransport, TELEMETRY_TAG};

@@ -213,26 +213,30 @@ impl CoordinatorTransport for MuxHandle {
 
     fn send(&self, site: usize, msg: Message) -> Result<(), NetError> {
         let msg = msg.with_query_id(self.query_id);
-        self.stats.record_msg_for(
-            site,
-            Direction::Down,
-            msg.payload.len() as u64,
-            Some(msg.tag),
-            self.query_id,
-        );
+        if msg.tag != crate::transport::TELEMETRY_TAG {
+            self.stats.record_msg_for(
+                site,
+                Direction::Down,
+                msg.payload.len() as u64,
+                Some(msg.tag),
+                self.query_id,
+            );
+        }
         self.inner.send(site, msg)
     }
 
     fn recv(&self, timeout: Duration) -> Result<(usize, Message), NetError> {
         match self.rx.lock().recv_timeout(timeout) {
             Ok(Routed::Msg(site, msg)) => {
-                self.stats.record_msg_for(
-                    site,
-                    Direction::Up,
-                    msg.payload.len() as u64,
-                    Some(msg.tag),
-                    self.query_id,
-                );
+                if msg.tag != crate::transport::TELEMETRY_TAG {
+                    self.stats.record_msg_for(
+                        site,
+                        Direction::Up,
+                        msg.payload.len() as u64,
+                        Some(msg.tag),
+                        self.query_id,
+                    );
+                }
                 Ok((site, msg))
             }
             Ok(Routed::Failed(err)) => Err(err),

@@ -276,13 +276,15 @@ impl CoordinatorTransport for TcpCoordinator {
     }
 
     fn send(&self, site: usize, msg: Message) -> Result<(), NetError> {
-        self.stats.record_msg_for(
-            site,
-            Direction::Down,
-            msg.payload.len() as u64,
-            Some(msg.tag),
-            msg.query_id,
-        );
+        if msg.tag != crate::transport::TELEMETRY_TAG {
+            self.stats.record_msg_for(
+                site,
+                Direction::Down,
+                msg.payload.len() as u64,
+                Some(msg.tag),
+                msg.query_id,
+            );
+        }
         write_frame(&mut self.links[site].lock(), &msg).map_err(|e| match e {
             NetError::Disconnected => NetError::SiteDisconnected {
                 site,
@@ -295,13 +297,15 @@ impl CoordinatorTransport for TcpCoordinator {
     fn recv(&self, timeout: Duration) -> Result<(usize, Message), NetError> {
         match self.inbound.lock().recv_timeout(timeout) {
             Ok(Inbound::Msg(site, msg)) => {
-                self.stats.record_msg_for(
-                    site,
-                    Direction::Up,
-                    msg.payload.len() as u64,
-                    Some(msg.tag),
-                    msg.query_id,
-                );
+                if msg.tag != crate::transport::TELEMETRY_TAG {
+                    self.stats.record_msg_for(
+                        site,
+                        Direction::Up,
+                        msg.payload.len() as u64,
+                        Some(msg.tag),
+                        msg.query_id,
+                    );
+                }
                 Ok((site, msg))
             }
             Ok(Inbound::Gone(site, detail)) => Err(NetError::SiteDisconnected { site, detail }),
@@ -418,13 +422,15 @@ impl TcpSite {
             &mut self.read_half.lock(),
             Some(Instant::now() + timeout),
         )?;
-        self.stats.record_msg_for(
-            self.site_id,
-            Direction::Down,
-            msg.payload.len() as u64,
-            Some(msg.tag),
-            msg.query_id,
-        );
+        if msg.tag != crate::transport::TELEMETRY_TAG {
+            self.stats.record_msg_for(
+                self.site_id,
+                Direction::Down,
+                msg.payload.len() as u64,
+                Some(msg.tag),
+                msg.query_id,
+            );
+        }
         Ok(msg)
     }
 }
@@ -435,26 +441,30 @@ impl SiteTransport for TcpSite {
     }
 
     fn send(&self, msg: Message) -> Result<(), NetError> {
-        self.stats.record_msg_for(
-            self.site_id,
-            Direction::Up,
-            msg.payload.len() as u64,
-            Some(msg.tag),
-            msg.query_id,
-        );
+        if msg.tag != crate::transport::TELEMETRY_TAG {
+            self.stats.record_msg_for(
+                self.site_id,
+                Direction::Up,
+                msg.payload.len() as u64,
+                Some(msg.tag),
+                msg.query_id,
+            );
+        }
         write_frame(&mut self.write_half.lock(), &msg)
     }
 
     fn recv(&self) -> Result<Message, NetError> {
         let deadline = self.read_timeout.map(|t| Instant::now() + t);
         let msg = read_frame(&mut self.read_half.lock(), deadline)?;
-        self.stats.record_msg_for(
-            self.site_id,
-            Direction::Down,
-            msg.payload.len() as u64,
-            Some(msg.tag),
-            msg.query_id,
-        );
+        if msg.tag != crate::transport::TELEMETRY_TAG {
+            self.stats.record_msg_for(
+                self.site_id,
+                Direction::Down,
+                msg.payload.len() as u64,
+                Some(msg.tag),
+                msg.query_id,
+            );
+        }
         Ok(msg)
     }
 }

@@ -26,6 +26,17 @@ use crate::stats::NetStats;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// The frame tag carrying telemetry (site → coordinator metric/trace
+/// export, and the coordinator's pull request for it).
+///
+/// Telemetry frames are **never recorded in [`NetStats`]**, on either
+/// transport, in either direction: the byte accounting reproduces the
+/// paper's query-traffic formulas, and observability payloads are not
+/// query traffic. Exempting them at the transport layer keeps the
+/// channel/TCP byte-identity invariant intact whether or not telemetry
+/// export is enabled.
+pub const TELEMETRY_TAG: u8 = 9;
+
 /// A framed message: an application-defined tag, the query it belongs
 /// to, and payload bytes.
 ///

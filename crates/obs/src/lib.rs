@@ -22,7 +22,12 @@
 //! no serde.
 
 pub mod chrome;
+pub mod expo;
 pub mod json;
+pub mod serve;
+pub mod telemetry;
+
+pub use telemetry::{estimate_offset_us, ExportCursor, TelemetryDelta};
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -167,7 +172,7 @@ impl ArgValue {
 }
 
 /// A completed or in-flight span.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpanRecord {
     /// Recorder-unique id.
     pub id: u32,
@@ -186,7 +191,7 @@ pub struct SpanRecord {
 }
 
 /// An instant event.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EventRecord {
     /// Timeline the event belongs to.
     pub track: Track,
@@ -199,7 +204,7 @@ pub struct EventRecord {
 }
 
 /// One counter observation (counters are gauges with history).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CounterSample {
     /// Counter name.
     pub name: String,
@@ -212,7 +217,7 @@ pub struct CounterSample {
 /// Log-bucketed histogram: exact count/sum/min/max, ~19% relative
 /// resolution (base 2¼ buckets) for percentile estimates. Covers
 /// values from 1e-9 up; smaller values clamp into the first bucket.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     count: u64,
     sum: f64,
@@ -297,6 +302,83 @@ impl Histogram {
         }
     }
 
+    /// The raw bucket counts (length [`Histogram::n_buckets`]); bucket
+    /// `i` covers `[1e-9·2^(i/4), 1e-9·2^((i+1)/4))`. Exported so
+    /// snapshots from different processes merge without precision loss.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Number of buckets every histogram has.
+    pub fn n_buckets() -> usize {
+        HIST_BUCKETS
+    }
+
+    /// Rebuild a histogram from exported parts (the inverse of reading
+    /// [`Histogram::buckets`] plus the count/sum/min/max accessors).
+    /// `buckets` longer than [`Histogram::n_buckets`] is truncated,
+    /// shorter is zero-padded. An empty (`count == 0`) histogram resets
+    /// min/max to their identity values regardless of the inputs.
+    pub fn from_parts(count: u64, sum: f64, min: f64, max: f64, buckets: &[u64]) -> Histogram {
+        let mut b = vec![0u64; HIST_BUCKETS];
+        for (dst, src) in b.iter_mut().zip(buckets) {
+            *dst = *src;
+        }
+        if count == 0 {
+            Histogram {
+                buckets: b,
+                ..Histogram::default()
+            }
+        } else {
+            Histogram {
+                count,
+                sum,
+                min,
+                max,
+                buckets: b,
+            }
+        }
+    }
+
+    /// Merge another histogram's samples into this one. Count, sum and
+    /// the bucket array add exactly; min/max take the tighter bound —
+    /// merging is sample-exact relative to recording every observation
+    /// into a single histogram (min/max/count/sum/buckets all agree).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += *src;
+        }
+    }
+
+    /// The samples `newer` has accumulated beyond `older` (two snapshots
+    /// of the same growing histogram). Count, sum and buckets subtract
+    /// exactly; min/max carry `newer`'s overall-so-far bounds, so a
+    /// stream of window deltas still merges to the true overall min/max.
+    pub fn diff(newer: &Histogram, older: &Histogram) -> Histogram {
+        let count = newer.count.saturating_sub(older.count);
+        if count == 0 {
+            return Histogram::default();
+        }
+        let mut buckets = newer.buckets.clone();
+        for (dst, src) in buckets.iter_mut().zip(&older.buckets) {
+            *dst = dst.saturating_sub(*src);
+        }
+        Histogram {
+            count,
+            sum: newer.sum - older.sum,
+            min: newer.min,
+            max: newer.max,
+            buckets,
+        }
+    }
+
     /// Estimated `p`-th percentile (`p` in 0..=100), within one bucket
     /// (~19% relative error), clamped to the observed min/max.
     pub fn percentile(&self, p: f64) -> f64 {
@@ -323,8 +405,41 @@ struct Timeline {
     spans: Vec<SpanRecord>,
     events: Vec<EventRecord>,
     counters: Vec<CounterSample>,
+    /// Final value of every counter whose sample history was drained by
+    /// [`Recorder::take_delta`]; [`Recorder::counters`] overlays live
+    /// samples on top of this, so draining never loses gauge values.
+    counter_base: HashMap<String, f64>,
     stacks: HashMap<Track, Vec<u32>>,
     next_id: u32,
+}
+
+/// Telemetry imported from another process's recorder, kept alongside
+/// the local timeline for merged export: the process keeps its own pid
+/// lane in the Chrome trace, and its timestamps are shifted by
+/// `offset_us` (its clock mapped onto this recorder's epoch).
+#[derive(Debug, Clone)]
+pub struct RemotePart {
+    /// Originating process id (distinct pid lane in the merged trace).
+    pub process_id: u32,
+    /// Originating process name (e.g. `site-0`).
+    pub process_name: String,
+    /// Microseconds to add to the part's timestamps to land on this
+    /// recorder's timeline (estimated once per process and then pinned,
+    /// so later imports from the same process stay monotone).
+    pub offset_us: i64,
+    /// Spans recorded by the remote process (its own epoch).
+    pub spans: Vec<SpanRecord>,
+    /// Instant events recorded by the remote process.
+    pub events: Vec<EventRecord>,
+    /// Counter samples recorded by the remote process.
+    pub counters: Vec<CounterSample>,
+}
+
+impl RemotePart {
+    /// Map a remote timestamp onto the importing recorder's timeline.
+    pub fn shift_us(&self, us: u64) -> u64 {
+        (us as i64 + self.offset_us).max(0) as u64
+    }
 }
 
 /// The shared recording sink. Create one per traced execution via
@@ -335,6 +450,8 @@ pub struct Recorder {
     wall_start_unix_us: u64,
     timeline: Mutex<Timeline>,
     hists: Mutex<HashMap<String, Histogram>>,
+    process: Mutex<(u32, String)>,
+    remote: Mutex<Vec<RemotePart>>,
 }
 
 impl Recorder {
@@ -347,7 +464,26 @@ impl Recorder {
                 .unwrap_or(0),
             timeline: Mutex::new(Timeline::default()),
             hists: Mutex::new(HashMap::new()),
+            process: Mutex::new((1, "skalla".to_string())),
+            remote: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Name this recorder's process for multi-process trace export
+    /// (e.g. `coordinator` / `site-3`). The id becomes the pid lane in
+    /// merged Chrome traces, so each process needs a distinct one.
+    pub fn set_process(&self, id: u32, name: impl Into<String>) {
+        *self.process.lock() = (id, name.into());
+    }
+
+    /// The pid lane this recorder's own events export under.
+    pub fn process_id(&self) -> u32 {
+        self.process.lock().0
+    }
+
+    /// The process lane name (default `skalla`).
+    pub fn process_name(&self) -> String {
+        self.process.lock().1.clone()
     }
 
     /// Microseconds elapsed since this recorder was created.
@@ -375,10 +511,11 @@ impl Recorder {
         self.timeline.lock().counters.clone()
     }
 
-    /// Latest value of each counter.
+    /// Latest value of each counter (including counters whose sample
+    /// history was drained by [`Recorder::take_delta`]).
     pub fn counters(&self) -> HashMap<String, f64> {
         let tl = self.timeline.lock();
-        let mut out = HashMap::new();
+        let mut out = tl.counter_base.clone();
         for s in &tl.counters {
             out.insert(s.name.clone(), s.value);
         }
@@ -388,6 +525,98 @@ impl Recorder {
     /// Snapshot of all histograms.
     pub fn histograms(&self) -> HashMap<String, Histogram> {
         self.hists.lock().clone()
+    }
+
+    /// Drain everything recorded since the cursor's last export into a
+    /// portable [`TelemetryDelta`]: closed spans, events and counter
+    /// samples are *removed* (keeping a long-running process's memory
+    /// bounded — final counter values are folded into a base so
+    /// [`Recorder::counters`] still reports them), histograms are
+    /// diffed against the cursor's previous snapshot. Still-open spans
+    /// stay behind and export once they close. Deltas taken through one
+    /// cursor are disjoint: every observation is exported exactly once.
+    pub fn take_delta(&self, cursor: &mut ExportCursor) -> TelemetryDelta {
+        let export_now_us = self.now_us();
+        let (process_id, process_name) = self.process.lock().clone();
+        let mut tl = self.timeline.lock();
+        let mut spans = Vec::new();
+        let mut kept = Vec::with_capacity(tl.stacks.values().map(Vec::len).sum());
+        for s in tl.spans.drain(..) {
+            if s.dur_us.is_some() {
+                spans.push(s);
+            } else {
+                kept.push(s);
+            }
+        }
+        tl.spans = kept;
+        let events = std::mem::take(&mut tl.events);
+        let counters = std::mem::take(&mut tl.counters);
+        for s in &counters {
+            tl.counter_base.insert(s.name.clone(), s.value);
+        }
+        drop(tl);
+
+        let current = self.hists.lock().clone();
+        let mut hists = Vec::new();
+        for (name, h) in &current {
+            let delta = match cursor.prev_hists.get(name) {
+                Some(old) => Histogram::diff(h, old),
+                None => h.clone(),
+            };
+            if delta.count() > 0 {
+                hists.push((name.clone(), delta));
+            }
+        }
+        hists.sort_by(|a, b| a.0.cmp(&b.0));
+        cursor.prev_hists = current;
+
+        TelemetryDelta {
+            process_id,
+            process_name,
+            wall_start_unix_us: self.wall_start_unix_us,
+            export_now_us,
+            spans,
+            events,
+            counters,
+            hists,
+        }
+    }
+
+    /// Merge telemetry from another process into this recorder.
+    /// Histograms merge sample-exactly into the same-named local
+    /// histograms; spans/events/counters are kept as a [`RemotePart`]
+    /// under the delta's process identity, timestamp-shifted by
+    /// `offset_us` at export (see [`estimate_offset_us`]). The offset of
+    /// the *first* import from a given process id is pinned and reused
+    /// for its later deltas, keeping merged timestamps monotone.
+    pub fn import_remote(&self, delta: TelemetryDelta, offset_us: i64) {
+        {
+            let mut hists = self.hists.lock();
+            for (name, h) in &delta.hists {
+                hists.entry(name.clone()).or_default().merge(h);
+            }
+        }
+        let mut remote = self.remote.lock();
+        match remote.iter_mut().find(|p| p.process_id == delta.process_id) {
+            Some(part) => {
+                part.spans.extend(delta.spans);
+                part.events.extend(delta.events);
+                part.counters.extend(delta.counters);
+            }
+            None => remote.push(RemotePart {
+                process_id: delta.process_id,
+                process_name: delta.process_name,
+                offset_us,
+                spans: delta.spans,
+                events: delta.events,
+                counters: delta.counters,
+            }),
+        }
+    }
+
+    /// Telemetry imported from other processes, for merged export.
+    pub fn remote_parts(&self) -> Vec<RemotePart> {
+        self.remote.lock().clone()
     }
 
     fn open_span(self: &Arc<Self>, track: Track, name: String) -> u32 {
@@ -562,6 +791,7 @@ impl Obs {
                 .rev()
                 .find(|s| s.name == name)
                 .map(|s| s.value)
+                .or_else(|| tl.counter_base.get(name).copied())
                 .unwrap_or(0.0);
             tl.counters.push(CounterSample {
                 name: name.to_string(),

@@ -1,0 +1,156 @@
+//! Live metrics exposition over HTTP.
+//!
+//! [`MetricsServer::bind`] starts a minimal, dependency-free HTTP/1.0
+//! responder on a background thread, serving the recorder's current
+//! state on every request:
+//!
+//! - `/metrics` — Prometheus text format ([`crate::expo::prometheus_text`])
+//! - `/metrics.json` — the [`crate::chrome::metrics_snapshot`] document
+//! - `/trace.json` — the merged Chrome trace ([`crate::chrome::chrome_trace`])
+//!
+//! One request per connection (`Connection: close`), bounded reads, no
+//! keep-alive, no TLS — this is an operator endpoint for `curl` and
+//! scrapers on a trusted network, not a general web server.
+
+use crate::{chrome, expo, Recorder};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handle to a running metrics endpoint. Dropping the handle asks the
+/// serving thread to wind down (it exits after the next connection or
+/// accept wakeup rather than blocking process exit).
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9100`, port 0 for ephemeral) and
+    /// serve `rec` until the process exits or the handle is dropped.
+    pub fn bind(addr: &str, rec: Arc<Recorder>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("skalla-metrics".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // One slow client must not wedge the endpoint.
+                        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                        let _ = serve_one(stream, &rec);
+                    }
+                }
+            })?;
+        Ok(MetricsServer { addr: local, stop })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Poke the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+fn serve_one(stream: TcpStream, rec: &Recorder) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers until the blank line so the client isn't reset
+    // mid-send; bound the total to keep rude clients cheap.
+    let mut drained = 0usize;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        drained += n;
+        if n == 0 || line == "\r\n" || line == "\n" || drained > 16 * 1024 {
+            break;
+        }
+    }
+
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" | "/" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            expo::prometheus_text(rec),
+        ),
+        "/metrics.json" => (
+            "200 OK",
+            "application/json",
+            chrome::metrics_snapshot(rec).to_json(),
+        ),
+        "/trace.json" => ("200 OK", "application/json", chrome::write_chrome_trace(rec)),
+        _ => (
+            "404 Not Found",
+            "text/plain; version=0.0.4",
+            "not found: try /metrics, /metrics.json or /trace.json\n".to_string(),
+        ),
+    };
+
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{json, Obs};
+    use std::io::Read as _;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        s.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_snapshot_and_trace() {
+        let obs = Obs::recording();
+        obs.counter("scheduler.running", 2.0);
+        obs.hist("query.wall_s", 0.125);
+        let server =
+            MetricsServer::bind("127.0.0.1:0", Arc::clone(obs.recorder().unwrap())).unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(head.contains(&format!("Content-Length: {}", body.len())));
+        assert!(body.contains("skalla_scheduler_running 2\n"), "{body}");
+        assert!(body.contains("skalla_query_wall_s_count 1\n"));
+
+        let (_, body) = http_get(addr, "/metrics.json");
+        let doc = json::parse(&body).expect("snapshot is valid JSON");
+        assert!(doc.get("counters").is_some());
+
+        let (_, body) = http_get(addr, "/trace.json");
+        assert!(json::parse(&body).unwrap().get("traceEvents").is_some());
+
+        let (head, _) = http_get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.0 404"), "{head}");
+    }
+}

@@ -20,7 +20,9 @@ use skalla::datagen::tpcr::{generate_tpcr, TpcrConfig};
 use skalla::net::CostModel;
 use skalla::net::TcpConfig;
 use skalla::obs::chrome::{metrics_snapshot, write_chrome_trace};
-use skalla::obs::Obs;
+use skalla::obs::json::{self, Json};
+use skalla::obs::serve::MetricsServer;
+use skalla::obs::{Histogram, Obs};
 use skalla::query;
 use skalla::relation::{csv, DataType, DomainMap, Relation, Schema};
 use std::collections::HashMap;
@@ -41,6 +43,8 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(rest),
         "site" => cmd_site(rest),
         "net-probe" => cmd_net_probe(),
+        "trace-check" => cmd_trace_check(rest),
+        "http-get" => cmd_http_get(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -65,6 +69,8 @@ USAGE:
   skalla-cli explain [data options] [--opt LEVEL] (-q QUERY | --query-file F)
   skalla-cli gen     --dataset flow|tpcr [--rows N] [--seed S] --out FILE.csv
   skalla-cli site    --listen ADDR --site-index I [data options] [tcp options] [--once]
+  skalla-cli trace-check FILE.json   assert a merged Chrome trace has site-* spans
+  skalla-cli http-get URL            fetch http://HOST:PORT/path and print the body
 
 DATA OPTIONS (choose one source):
   --dataset flow|tpcr        built-in generator (default: flow)
@@ -82,6 +88,7 @@ SITE (standalone warehouse site process):
                              prints `listening on HOST:PORT` once bound)
   --site-index I             which fragment of the partitioned data this site holds
   --once                     serve one coordinator session, then exit
+  --metrics-listen ADDR      also serve live metrics over HTTP (see OBSERVABILITY)
 
 TCP OPTIONS (run --sites / site):
   --net-timeout SECS         per-round receive timeout, and the site's idle
@@ -102,10 +109,22 @@ QUERY OPTIONS:
                               persistent site sessions and must agree
                               (default: 1)
 
-OBSERVABILITY (run only):
-  --trace FILE.json           record spans/events and write a Chrome trace
-                              (load in Perfetto or chrome://tracing)
-  --metrics FILE.json         write a flat counters/histograms snapshot";
+OBSERVABILITY:
+  --trace FILE.json           (run) record spans/events and write a Chrome trace
+                              merging the coordinator and every site's telemetry
+                              into one timeline (load in Perfetto or
+                              chrome://tracing)
+  --metrics FILE.json         (run) write a flat counters/histograms snapshot
+  --metrics-listen ADDR       (run/site) serve live metrics over HTTP while the
+                              process runs: /metrics (Prometheus text),
+                              /metrics.json, /trace.json. Port 0 = ephemeral;
+                              prints `metrics listening on http://HOST:PORT`
+  --metrics-linger SECS       (run) keep the metrics endpoint up for SECS
+                              seconds after the query finishes (default: 0)
+  --slow-query-log FILE       (run) append one JSON line per logged query:
+                              timestamp, query text, wall seconds, full stats
+  --slow-query-ms N           (run) only log queries slower than N ms
+                              (default: 0 = log every query)";
 
 fn opt(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -314,14 +333,39 @@ fn cmd_run(args: &[String], execute: bool) -> Result<(), String> {
     let text = load_query(args)?;
     let trace_path = opt(args, "--trace");
     let metrics_path = opt(args, "--metrics");
+    let metrics_listen = opt(args, "--metrics-listen");
+    let metrics_linger: u64 = opt(args, "--metrics-linger")
+        .map(|s| s.parse().map_err(|e| format!("bad --metrics-linger: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let slow_log_path = opt(args, "--slow-query-log");
+    let slow_query_ms: f64 = opt(args, "--slow-query-ms")
+        .map(|s| s.parse().map_err(|e| format!("bad --slow-query-ms: {e}")))
+        .transpose()?
+        .unwrap_or(0.0);
     let concurrency: usize = opt(args, "--concurrency")
         .map(|s| s.parse().map_err(|e| format!("bad --concurrency: {e}")))
         .transpose()?
         .unwrap_or(1);
-    let obs = if execute && (trace_path.is_some() || metrics_path.is_some()) {
-        Obs::recording()
-    } else {
-        Obs::disabled()
+    let record = execute
+        && (trace_path.is_some() || metrics_path.is_some() || metrics_listen.is_some());
+    let obs = if record { Obs::recording() } else { Obs::disabled() };
+    // The coordinator claims process lane 1 in merged traces; imported
+    // site telemetry lands on lanes 2+ (see `Skalla::execute`).
+    if let Some(rec) = obs.recorder() {
+        rec.set_process(1, "coordinator");
+    }
+    // Bind the live endpoint before the query runs so scrapers can watch
+    // the scheduler gauges move while work is in flight.
+    let metrics_server = match (&metrics_listen, obs.recorder()) {
+        (Some(addr), Some(rec)) => {
+            let server = MetricsServer::bind(addr, Arc::clone(rec))
+                .map_err(|e| format!("binding metrics endpoint {addr}: {e}"))?;
+            // Parsed by scripts (and ci.sh) to discover ephemeral ports.
+            println!("metrics listening on http://{}", server.local_addr());
+            Some(server)
+        }
+        _ => None,
     };
     let engine = build_engine(args, obs.clone())?;
 
@@ -407,9 +451,20 @@ fn cmd_run(args: &[String], execute: bool) -> Result<(), String> {
     println!("wall clock:      {:.4}s", stats.wall_s);
     if concurrency > 1 {
         let serial_sum: f64 = results.iter().map(|r| r.stats.wall_s).sum();
+        let mut lat = Histogram::default();
+        for r in &results {
+            lat.record(r.stats.wall_s);
+        }
         println!("\n=== concurrency ===");
         println!("queries:         {concurrency} (identical results)");
         println!("combined wall:   {concurrent_wall:.4}s (sum of per-query walls: {serial_sum:.4}s)");
+        println!(
+            "latency:         p50 {:.4}s p95 {:.4}s p99 {:.4}s (n={})",
+            lat.percentile(50.0),
+            lat.percentile(95.0),
+            lat.percentile(99.0),
+            lat.count()
+        );
         for (i, r) in results.iter().enumerate() {
             println!(
                 "  query {i}: {} rounds, {} B down / {} B up, {:.4}s",
@@ -433,6 +488,60 @@ fn cmd_run(args: &[String], execute: bool) -> Result<(), String> {
             std::fs::write(path, metrics_snapshot(rec).to_json())
                 .map_err(|e| format!("writing {path}: {e}"))?;
             println!("wrote metrics snapshot to {path}");
+        }
+    }
+
+    // Slow-query log: one JSON line per query at or above the threshold
+    // (threshold 0 logs everything). Appends, so a long-lived script can
+    // accumulate a history across runs and feed it to jq or an indexer.
+    if let Some(path) = &slow_log_path {
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        let mut lines = String::new();
+        let mut logged = 0usize;
+        for r in &results {
+            if r.stats.wall_s * 1000.0 < slow_query_ms {
+                continue;
+            }
+            Json::obj(vec![
+                ("ts_unix_us", Json::UInt(ts)),
+                ("query", Json::Str(text.clone())),
+                ("wall_s", Json::Float(r.stats.wall_s)),
+                ("threshold_ms", Json::Float(slow_query_ms)),
+                ("stats", r.stats.to_json()),
+            ])
+            .write(&mut lines);
+            lines.push('\n');
+            logged += 1;
+        }
+        if logged > 0 {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("opening {path}: {e}"))?;
+            f.write_all(lines.as_bytes())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+        }
+        println!(
+            "slow-query log: {logged} of {} quer{} at or above {slow_query_ms}ms → {path}",
+            results.len(),
+            if results.len() == 1 { "y" } else { "ies" },
+        );
+    }
+
+    // Keep the live endpoint up after the query so one-shot runs can
+    // still be scraped (ci.sh probes it during this window).
+    if let Some(server) = &metrics_server {
+        if metrics_linger > 0 {
+            println!(
+                "metrics endpoint lingering {metrics_linger}s at http://{}",
+                server.local_addr()
+            );
+            std::thread::sleep(Duration::from_secs(metrics_linger));
         }
     }
     Ok(())
@@ -465,8 +574,27 @@ fn cmd_site(args: &[String]) -> Result<(), String> {
         .keys()
         .map(|table| (table.clone(), dist.domains(table, index)))
         .collect();
-    let server = SiteServer::bind(&listen, catalog, domains, tcp_config(args)?)
+    let mut server = SiteServer::bind(&listen, catalog, domains, tcp_config(args)?)
         .map_err(|e| e.to_string())?;
+    // A standalone site always records: its spans and counters ship to
+    // the coordinator in telemetry frames after every query, so a `run
+    // --trace` against this site sees its work merged into one timeline.
+    // Process lane `2 + index` matches the lane the coordinator assigns
+    // on import; the name labels this lane in Perfetto.
+    let obs = Obs::recording();
+    if let Some(rec) = obs.recorder() {
+        rec.set_process(2 + index as u32, format!("site-{index}"));
+    }
+    server.set_obs(obs.clone());
+    let _metrics_server = match (opt(args, "--metrics-listen"), obs.recorder()) {
+        (Some(addr), Some(rec)) => {
+            let ms = MetricsServer::bind(&addr, Arc::clone(rec))
+                .map_err(|e| format!("binding metrics endpoint {addr}: {e}"))?;
+            println!("metrics listening on http://{}", ms.local_addr());
+            Some(ms)
+        }
+        _ => None,
+    };
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     // Parsed by scripts (and ci.sh) to discover ephemeral ports — flush so
     // it is visible even through a pipe.
@@ -493,6 +621,107 @@ fn cmd_net_probe() -> Result<(), String> {
         .map_err(|e| format!("connect: {e}"))?;
     let _server = listener.accept().map_err(|e| format!("accept: {e}"))?;
     println!("loopback sockets ok");
+    Ok(())
+}
+
+/// `skalla-cli trace-check FILE.json`: assert a merged Chrome trace
+/// really contains site-side work — at least one complete span (`"X"`)
+/// on a process lane whose `process_name` metadata starts with `site-`.
+/// Exit status is the answer; CI uses it to verify that a distributed
+/// run's telemetry made it back to the coordinator and into the trace.
+fn cmd_trace_check(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .ok_or_else(|| "usage: trace-check FILE.json".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: no traceEvents array — not a Chrome trace"))?;
+
+    // Process lanes are named by "M" metadata records:
+    //   {"ph":"M","pid":P,"name":"process_name","args":{"name":"site-0"}}
+    let mut lanes: HashMap<u64, String> = HashMap::new();
+    for ev in events {
+        if ev.get("ph").and_then(Json::as_str) == Some("M")
+            && ev.get("name").and_then(Json::as_str) == Some("process_name")
+        {
+            if let (Some(pid), Some(name)) = (
+                ev.get("pid").and_then(Json::as_u64),
+                ev.get("args").and_then(|a| a.get("name")).and_then(Json::as_str),
+            ) {
+                lanes.insert(pid, name.to_string());
+            }
+        }
+    }
+    let mut spans_per_lane: HashMap<u64, usize> = HashMap::new();
+    for ev in events {
+        if ev.get("ph").and_then(Json::as_str) == Some("X") {
+            if let Some(pid) = ev.get("pid").and_then(Json::as_u64) {
+                *spans_per_lane.entry(pid).or_default() += 1;
+            }
+        }
+    }
+    let mut named: Vec<(&u64, &String)> = lanes.iter().collect();
+    named.sort();
+    for (pid, name) in &named {
+        println!(
+            "process {pid} ({name}): {} span(s)",
+            spans_per_lane.get(pid).copied().unwrap_or(0)
+        );
+    }
+    let site_spans: usize = named
+        .iter()
+        .filter(|(_, name)| name.starts_with("site-"))
+        .map(|(pid, _)| spans_per_lane.get(pid).copied().unwrap_or(0))
+        .sum();
+    if !lanes.values().any(|n| n == "coordinator") {
+        return Err(format!("{path}: no process lane named \"coordinator\""));
+    }
+    if site_spans == 0 {
+        return Err(format!(
+            "{path}: no spans on any site-* process lane — site telemetry missing"
+        ));
+    }
+    println!("ok: {site_spans} span(s) across site-* lanes");
+    Ok(())
+}
+
+/// `skalla-cli http-get URL`: minimal HTTP/1.0 GET over a raw socket,
+/// printing the response body. Exists so ci.sh can probe the
+/// `--metrics-listen` endpoint without depending on curl or wget.
+fn cmd_http_get(args: &[String]) -> Result<(), String> {
+    let url = args
+        .first()
+        .ok_or_else(|| "usage: http-get http://HOST:PORT/path".to_string())?;
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("{url:?}: only http:// URLs are supported"))?;
+    let (host, path) = match rest.split_once('/') {
+        Some((h, p)) => (h, format!("/{p}")),
+        None => (rest, "/".to_string()),
+    };
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(host).map_err(|e| format!("connect {host}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n").as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("recv: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed HTTP response (no header terminator)".to_string())?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(format!("{url}: {status}"));
+    }
+    print!("{body}");
     Ok(())
 }
 

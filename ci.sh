@@ -12,6 +12,14 @@ cargo build --release
 # property test, and fig_kernel.)
 SKALLA_THREADS=1 cargo test -q
 SKALLA_THREADS=4 cargo test -q
+# Kernel ablation: tier-1 (incl. the transport-equivalence and
+# theorem-bound suites) and the kernel crate must also pass with the
+# columnar kernel forced off — the row and columnar kernels are
+# bit-identical, so the only permissible difference is speed. (The =1
+# side is the default and already covered by the runs above.)
+SKALLA_COLUMNAR=0 cargo test -q
+SKALLA_COLUMNAR=0 cargo test -q -p skalla-gmdj
+SKALLA_COLUMNAR=1 cargo test -q -p skalla-gmdj
 cargo clippy --all-targets -- -D warnings
 
 # Extended (workspace-wide) checks; tier-1 above is the gate.
@@ -28,8 +36,15 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace \
   --exclude criterion --exclude crossbeam --exclude parking_lot \
   --exclude proptest --exclude rand
 # Zero-allocation probe regression guard (plain-main bench, not run by
-# `cargo test`).
+# `cargo test`) — covers the row-kernel bucket index and the columnar
+# kernel's canonical-key probe / typed inner loops.
 cargo bench -p skalla-bench --bench probe_alloc
+# Kernel ablation smoke: quick fig_kernel run with the columnar config
+# row; --check asserts the columnar-over-serial speedup floor (and the
+# parallel floor on multi-core runners) plus bit-identity across thread
+# counts and kernels.
+cargo run --release -q -p skalla-bench --bin fig_kernel -- \
+  --quick --repeats 3 --check --out "$(mktemp)"
 
 # Multi-process TCP smoke test: two standalone site processes on ephemeral
 # loopback ports, one coordinator run over them. Skipped gracefully in

@@ -10,6 +10,12 @@
 //! is kept as a positive control proving the instrument actually counts
 //! per-probe allocations.
 //!
+//! The same guard covers the columnar kernel: its canonical-key probe and
+//! typed aggregate inner loops must also perform zero per-row heap
+//! allocations (its setup allocates a constant *number* of typed vectors,
+//! independent of detail size, so the size delta still isolates the
+//! per-row cost).
+//!
 //! Not a timing benchmark — plain assertions, run by `ci.sh`.
 
 use skalla_gmdj::prelude::*;
@@ -75,11 +81,12 @@ fn main() {
     );
     // Single morsel, single worker: the only size-dependent work is the
     // probe loop itself.
-    let opts = |legacy_probe: bool| EvalOptions {
+    let opts = |legacy_probe: bool, columnar: bool| EvalOptions {
         hash_path: true,
         parallelism: 1,
         morsel_rows: 1 << 30,
         legacy_probe,
+        columnar,
         fault_panic_morsel: None,
     };
 
@@ -88,31 +95,43 @@ fn main() {
     let small = miss_detail(SMALL);
     let large = miss_detail(LARGE);
 
-    // Warm up both paths (lazy one-time allocations must not skew counts).
+    // Warm up every path (lazy one-time allocations — including the cached
+    // columnar layout — must not skew counts).
     for legacy in [false, true] {
-        eval_local(&base, &small, &op, opts(legacy)).unwrap();
+        eval_local(&base, &small, &op, opts(legacy, false)).unwrap();
+        eval_local(&base, &large, &op, opts(legacy, false)).unwrap();
     }
+    eval_local(&base, &small, &op, opts(false, true)).unwrap();
+    eval_local(&base, &large, &op, opts(false, true)).unwrap();
 
     let fast_small = allocs_during(|| {
-        eval_local(&base, &small, &op, opts(false)).unwrap();
+        eval_local(&base, &small, &op, opts(false, false)).unwrap();
     });
     let fast_large = allocs_during(|| {
-        eval_local(&base, &large, &op, opts(false)).unwrap();
+        eval_local(&base, &large, &op, opts(false, false)).unwrap();
+    });
+    let col_small = allocs_during(|| {
+        eval_local(&base, &small, &op, opts(false, true)).unwrap();
+    });
+    let col_large = allocs_during(|| {
+        eval_local(&base, &large, &op, opts(false, true)).unwrap();
     });
     let legacy_small = allocs_during(|| {
-        eval_local(&base, &small, &op, opts(true)).unwrap();
+        eval_local(&base, &small, &op, opts(true, false)).unwrap();
     });
     let legacy_large = allocs_during(|| {
-        eval_local(&base, &large, &op, opts(true)).unwrap();
+        eval_local(&base, &large, &op, opts(true, false)).unwrap();
     });
 
     let fast_delta = fast_large.saturating_sub(fast_small);
+    let col_delta = col_large.saturating_sub(col_small);
     let legacy_delta = legacy_large.saturating_sub(legacy_small);
     let extra_rows = (LARGE - SMALL) as u64;
 
     println!("probe_alloc guard ({extra_rows} extra all-miss probes)");
-    println!("  fast probe   allocation delta: {fast_delta}");
-    println!("  legacy probe allocation delta: {legacy_delta}");
+    println!("  fast probe     allocation delta: {fast_delta}");
+    println!("  columnar       allocation delta: {col_delta}");
+    println!("  legacy probe   allocation delta: {legacy_delta}");
 
     // Fast path: probing must not allocate per miss. Allow a tiny slack for
     // allocator-internal noise, but nothing proportional to row count.
@@ -120,6 +139,13 @@ fn main() {
         fast_delta <= 16,
         "fast probe allocated {fast_delta} times for {extra_rows} extra misses \
          — the zero-allocation probe regressed"
+    );
+    // Columnar kernel: canonical-key probing and the typed inner loops
+    // must not allocate per row either.
+    assert!(
+        col_delta <= 16,
+        "columnar kernel allocated {col_delta} times for {extra_rows} extra \
+         rows — its inner loops regressed to per-row allocation"
     );
     // Positive control: the legacy probe allocates a key per miss, so the
     // counter must see at least one allocation per extra row.

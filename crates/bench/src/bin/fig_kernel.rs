@@ -1,24 +1,30 @@
-//! **Kernel ablation — serial vs morsel-parallel vs zero-alloc probe.**
+//! **Kernel ablation — serial vs morsel-parallel vs zero-alloc probe vs
+//! columnar.**
 //!
 //! Not a paper figure: this measures the *local* GMDJ kernel that every
-//! site runs, isolating the two PR-level optimizations from the
-//! distributed machinery. Three configurations evaluate the same
-//! group-by GMDJ over a synthetic detail relation (1M rows by default):
+//! site runs, isolating the PR-level optimizations from the distributed
+//! machinery. Four configurations evaluate the same group-by GMDJ over a
+//! synthetic detail relation (1M rows by default):
 //!
-//! * *serial* — one worker, one morsel, legacy allocating probe (the
-//!   pre-optimization kernel);
+//! * *serial* — one worker, one morsel, legacy allocating probe, row
+//!   kernel (the pre-optimization baseline);
 //! * *morsel* — morsel-driven worker pool (64K-row morsels, one worker
-//!   per core), still the legacy probe;
-//! * *morsel+noalloc* — the pool plus the zero-allocation bucket index.
+//!   per core), still the legacy probe, row kernel;
+//! * *morsel+noalloc* — the pool plus the zero-allocation bucket index,
+//!   row kernel;
+//! * *columnar* — the vectorized kernel: typed accumulator arrays over
+//!   the columnar layout with canonical-key probing.
 //!
-//! The run also verifies the determinism contract: the morsel
-//! configuration produces **bit-identical** accumulators (f64 compared by
-//! bit pattern) at 1, 2 and 4 worker threads.
+//! The run also verifies the determinism contract: both kernels produce
+//! **bit-identical** accumulators (f64 compared by bit pattern) at 1, 2
+//! and 4 worker threads, and the columnar kernel's bits equal the row
+//! kernel's.
 //!
 //! Results are written to `BENCH_kernel.json` (override with `--out`) so
 //! later PRs have a perf trajectory to compare against. `--check`
-//! additionally asserts the ≥2× parallel-over-serial speedup — meaningful
-//! only on a multi-core runner, so it is opt-in.
+//! additionally asserts the ≥2× columnar-over-serial speedup (a
+//! single-thread property, so it holds on any runner) and — on multi-core
+//! runners only — the ≥2× parallel-over-serial speedup.
 
 use skalla_bench::harness::{arg_value, has_flag};
 use skalla_gmdj::prelude::*;
@@ -100,17 +106,21 @@ fn main() {
     let base = base_of(groups);
     let op = operator();
 
-    let opts = |parallelism: usize, morsel_rows: usize, legacy_probe: bool| EvalOptions {
-        hash_path: true,
-        parallelism,
-        morsel_rows,
-        legacy_probe,
-        fault_panic_morsel: None,
+    let opts = |parallelism: usize, morsel_rows: usize, legacy_probe: bool, columnar: bool| {
+        EvalOptions {
+            hash_path: true,
+            parallelism,
+            morsel_rows,
+            legacy_probe,
+            columnar,
+            fault_panic_morsel: None,
+        }
     };
     let configs = [
-        ("serial", opts(1, 1 << 30, true)),
-        ("morsel", opts(0, 65_536, true)),
-        ("morsel+noalloc", opts(0, 65_536, false)),
+        ("serial", opts(1, 1 << 30, true, false)),
+        ("morsel", opts(0, 65_536, true, false)),
+        ("morsel+noalloc", opts(0, 65_536, false, false)),
+        ("columnar", opts(0, 65_536, false, true)),
     ];
 
     let mut medians = Vec::new();
@@ -132,6 +142,7 @@ fn main() {
             ("parallelism", Json::UInt(o.parallelism as u64)),
             ("morsel_rows", Json::UInt(o.morsel_rows as u64)),
             ("legacy_probe", Json::Bool(o.legacy_probe)),
+            ("columnar", Json::Bool(o.columnar)),
             ("median_s", Json::Float(med)),
             (
                 "runs_s",
@@ -140,28 +151,33 @@ fn main() {
         ]));
     }
 
-    // Determinism contract: the morsel kernel is bit-identical across
-    // thread counts (fixed morsel size ⇒ fixed merge structure).
-    let reference = eval_local(&base, &detail, &op, opts(1, 65_536, false))
+    // Determinism contract: both kernels are bit-identical across thread
+    // counts (fixed morsel size ⇒ fixed merge structure), and the
+    // columnar kernel's bits equal the row kernel's.
+    let reference = eval_local(&base, &detail, &op, opts(1, 65_536, false, false))
         .unwrap()
         .physical;
     let mut identical = true;
-    for p in [2usize, 4] {
-        let got = eval_local(&base, &detail, &op, opts(p, 65_536, false))
-            .unwrap()
-            .physical;
-        if !bit_identical(&got, &reference) {
-            identical = false;
-            eprintln!("BIT MISMATCH at parallelism {p}");
+    for columnar in [false, true] {
+        for p in [1usize, 2, 4] {
+            let got = eval_local(&base, &detail, &op, opts(p, 65_536, false, columnar))
+                .unwrap()
+                .physical;
+            if !bit_identical(&got, &reference) {
+                identical = false;
+                eprintln!("BIT MISMATCH at parallelism {p}, columnar {columnar}");
+            }
         }
     }
-    assert!(identical, "morsel kernel output depends on thread count");
-    println!("bit-identical across 1/2/4 worker threads ✓");
+    assert!(identical, "kernel output depends on thread count or kernel");
+    println!("bit-identical across 1/2/4 worker threads and both kernels ✓");
 
     let speedup_parallel = medians[0] / medians[1];
     let speedup_full = medians[0] / medians[2];
+    let speedup_columnar = medians[0] / medians[3];
     println!("speedup morsel/serial:         {speedup_parallel:.2}x");
     println!("speedup morsel+noalloc/serial: {speedup_full:.2}x");
+    println!("speedup columnar/serial:       {speedup_columnar:.2}x");
 
     let report = Json::obj(vec![
         ("bench", Json::Str("fig_kernel".into())),
@@ -172,6 +188,7 @@ fn main() {
         ("configs", Json::Arr(config_json)),
         ("speedup_morsel_over_serial", Json::Float(speedup_parallel)),
         ("speedup_full_over_serial", Json::Float(speedup_full)),
+        ("speedup_columnar_over_serial", Json::Float(speedup_columnar)),
         ("bit_identical_across_threads", Json::Bool(identical)),
     ]);
     std::fs::write(&out_path, report.to_json())
@@ -180,10 +197,16 @@ fn main() {
 
     if has_flag(&args, "--check") {
         assert!(
-            speedup_full >= 2.0,
-            "expected >= 2x parallel speedup on a multi-core runner \
-             ({cores} cores), got {speedup_full:.2}x"
+            speedup_columnar >= 2.0,
+            "expected >= 2x columnar-over-serial speedup, got {speedup_columnar:.2}x"
         );
+        if cores >= 2 {
+            assert!(
+                speedup_full >= 2.0,
+                "expected >= 2x parallel speedup on a multi-core runner \
+                 ({cores} cores), got {speedup_full:.2}x"
+            );
+        }
         println!("speedup check passed ✓");
     }
 }

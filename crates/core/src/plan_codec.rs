@@ -97,6 +97,7 @@ fn put_eval_options(enc: &mut Encoder, opts: &EvalOptions) {
     enc.put_u32(opts.parallelism as u32);
     enc.put_u32(opts.morsel_rows.min(u32::MAX as usize) as u32);
     enc.put_u8(opts.legacy_probe as u8);
+    enc.put_u8(opts.columnar as u8);
     match opts.fault_panic_morsel {
         Some(m) => {
             enc.put_u8(1);
@@ -111,6 +112,7 @@ fn get_eval_options(dec: &mut Decoder<'_>) -> Result<EvalOptions> {
     let parallelism = dec.get_u32()? as usize;
     let morsel_rows = (dec.get_u32()? as usize).max(1);
     let legacy_probe = dec.get_u8()? != 0;
+    let columnar = dec.get_u8()? != 0;
     let fault_panic_morsel = match dec.get_u8()? {
         0 => None,
         1 => Some(dec.get_u32()? as usize),
@@ -121,6 +123,7 @@ fn get_eval_options(dec: &mut Decoder<'_>) -> Result<EvalOptions> {
         parallelism,
         morsel_rows,
         legacy_probe,
+        columnar,
         fault_panic_morsel,
     })
 }
@@ -279,6 +282,7 @@ mod tests {
                 parallelism: 0,
                 morsel_rows: 65_536,
                 legacy_probe: false,
+                columnar: true,
                 fault_panic_morsel: None,
             },
             EvalOptions {
@@ -286,6 +290,7 @@ mod tests {
                 parallelism: 7,
                 morsel_rows: 256,
                 legacy_probe: true,
+                columnar: false,
                 fault_panic_morsel: Some(3),
             },
         ] {
@@ -298,6 +303,7 @@ mod tests {
                 assert_eq!(back_opts.parallelism, opts.parallelism);
                 assert_eq!(back_opts.morsel_rows, opts.morsel_rows);
                 assert_eq!(back_opts.legacy_probe, opts.legacy_probe);
+                assert_eq!(back_opts.columnar, opts.columnar);
                 assert_eq!(back_opts.fault_panic_morsel, opts.fault_panic_morsel);
             }
         }

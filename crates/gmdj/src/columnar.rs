@@ -1,0 +1,1260 @@
+//! The vectorized (columnar) GMDJ kernel.
+//!
+//! The row kernel in [`crate::eval`] walks `Row`s and folds every matching
+//! detail tuple into `Vec<Value>` accumulators through [`AggSpec::update`]
+//! — one enum dispatch plus one possible clone per (tuple, aggregate).
+//! This module rebuilds that hot path on the relation's columnar layout
+//! ([`Columns`]): per morsel it first runs the **probe/θ pass**, producing
+//! a selection of matching `(detail row, base position)` pairs, and then
+//! runs one **typed inner loop per aggregate** over `&[i64]` / `&[f64]`
+//! column slices into typed accumulator arrays (`Vec<i64>`, `Vec<f64>`,
+//! `Vec<bool>` has-flags) — no `Value` is materialized per row.
+//!
+//! **Canonical-key probing.** Equi-key blocks probe a hash index built on
+//! *canonical keys*: each key value collapses to a `(tag, word)` pair such
+//! that two values are [`Value`]-equal iff their pairs are equal
+//! ([`canon_i64`] / [`canon_f64`]; `NULL` is [`CANON_NULL`]). String keys
+//! use the column's dictionary codes directly as words — base-side strings
+//! are interned through the same per-key-column table — so probing never
+//! hashes or compares a string, an `Int`, or any other [`Value`] enum
+//! row-by-row.
+//!
+//! **Bit identity.** The kernel runs under the same shared morsel driver
+//! (`eval::drive`) as the row kernel: same morsel decomposition,
+//! fresh accumulators per morsel, merge in morsel order. Within a morsel
+//! the selection is built in exactly the row kernel's iteration order
+//! (detail-row-outer for keyed blocks, base-position-outer for nested
+//! loops), so each accumulator slot sees the identical sequence of
+//! floating-point operations and the output bits match the row kernel's
+//! for every thread count. Aggregates the typed loops cannot express
+//! (computed input expressions, mixed-type columns, string MIN/MAX) fall
+//! back to [`AggSpec::update`] per selected pair — same semantics, still
+//! columnar input access.
+
+use crate::agg::{AccLayout, AggFunc, AggSpec};
+use crate::eval::{drive, EvalOptions, MorselKernel, MorselState, PreparedBlock};
+use crate::operator::Gmdj;
+use skalla_obs::Obs;
+use skalla_relation::columns::{canon_f64, canon_i64, CANON_NULL, CANON_STR_TAG};
+use skalla_relation::{Bitmap, BoundExpr, Column, Columns, Relation, Result, Side, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-key-column string interner: maps each distinct string to one `u32`
+/// code, shared between the detail and base sides of one equi-key pair so
+/// equal strings always canonicalize to equal words.
+struct StrCodes {
+    map: HashMap<Arc<str>, u32>,
+}
+
+impl StrCodes {
+    fn new() -> StrCodes {
+        StrCodes {
+            map: HashMap::new(),
+        }
+    }
+
+    /// Seeded with a column dictionary: code `i` ↦ `dict[i]`.
+    fn from_dict(dict: &[Arc<str>]) -> StrCodes {
+        let mut map = HashMap::with_capacity(dict.len());
+        for (i, s) in dict.iter().enumerate() {
+            map.insert(Arc::clone(s), i as u32);
+        }
+        StrCodes { map }
+    }
+
+    fn code(&mut self, s: &Arc<str>) -> u32 {
+        let next = self.map.len() as u32;
+        *self.map.entry(Arc::clone(s)).or_insert(next)
+    }
+}
+
+/// The canonical `(tag, word)` of one value, interning strings.
+fn canon_value(v: &Value, codes: &mut StrCodes) -> (u8, u64) {
+    match v {
+        Value::Null => CANON_NULL,
+        Value::Int(i) => canon_i64(*i),
+        Value::Double(d) => canon_f64(*d),
+        Value::Str(s) => (CANON_STR_TAG, codes.code(s) as u64),
+    }
+}
+
+/// Canonicalize one detail column for key probing. Dictionary-encoded
+/// string columns turn their codes into words directly (one pass over
+/// `u32`s, no hashing); other layouts canonicalize element-wise.
+fn canon_detail_column(col: &Column, len: usize) -> (Vec<u8>, Vec<u64>, StrCodes) {
+    let mut tags = vec![0u8; len];
+    let mut words = vec![0u64; len];
+    let mut codes = StrCodes::new();
+    match col {
+        Column::Int { data, valid } => {
+            for i in 0..len {
+                if valid.as_ref().is_none_or(|b| b.get(i)) {
+                    let (t, w) = canon_i64(data[i]);
+                    tags[i] = t;
+                    words[i] = w;
+                }
+            }
+        }
+        Column::Double { data, valid } => {
+            for i in 0..len {
+                if valid.as_ref().is_none_or(|b| b.get(i)) {
+                    let (t, w) = canon_f64(data[i]);
+                    tags[i] = t;
+                    words[i] = w;
+                }
+            }
+        }
+        Column::Str {
+            codes: col_codes,
+            dict,
+            valid,
+        } => {
+            codes = StrCodes::from_dict(dict);
+            for i in 0..len {
+                if valid.as_ref().is_none_or(|b| b.get(i)) {
+                    tags[i] = CANON_STR_TAG;
+                    words[i] = col_codes[i] as u64;
+                }
+            }
+        }
+        Column::Mixed(vs) => {
+            for i in 0..len {
+                let (t, w) = canon_value(&vs[i], &mut codes);
+                tags[i] = t;
+                words[i] = w;
+            }
+        }
+    }
+    (tags, words, codes)
+}
+
+/// Mix one canonical component into a running hash (a 64-bit multiply-
+/// xorshift; the index only needs consistency between its build and probe
+/// sides, not SipHash strength).
+#[inline]
+fn mix64(mut h: u64, v: u64) -> u64 {
+    h ^= v;
+    h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^ (h >> 29)
+}
+
+#[inline]
+fn canon_hash(tags: &[Vec<u8>], words: &[Vec<u64>], i: usize) -> u64 {
+    let mut h = 0x51CA_11A0_C0FF_EE00u64;
+    for (t, w) in tags.iter().zip(words) {
+        h = mix64(h, t[i] as u64);
+        h = mix64(h, w[i]);
+    }
+    h
+}
+
+/// One equi-key pair's canonical columns plus the hash index over base
+/// positions (bucket heads + per-row chain, exactly the shape of the row
+/// kernel's `KeyIndex`). Blocks sharing `(base_keys, detail_keys)` share
+/// one entry.
+struct CanonPair {
+    /// Per key column: canonical tags/words for every detail row.
+    dtags: Vec<Vec<u8>>,
+    dwords: Vec<Vec<u64>>,
+    /// Same for base rows.
+    btags: Vec<Vec<u8>>,
+    bwords: Vec<Vec<u64>>,
+    /// Bucket → first chained base position + 1 (0 = empty).
+    heads: Vec<u32>,
+    /// Base position → next position + 1 in the same bucket.
+    next: Vec<u32>,
+    /// Precomputed canonical hash per base position.
+    hashes: Vec<u64>,
+}
+
+impl CanonPair {
+    fn build(base: &Relation, detail: &Columns, base_keys: &[usize], detail_keys: &[usize]) -> CanonPair {
+        let dlen = detail.len();
+        let mut dtags = Vec::with_capacity(detail_keys.len());
+        let mut dwords = Vec::with_capacity(detail_keys.len());
+        let mut btags = Vec::with_capacity(base_keys.len());
+        let mut bwords = Vec::with_capacity(base_keys.len());
+        for (&bk, &dk) in base_keys.iter().zip(detail_keys) {
+            let (dt, dw, mut codes) = canon_detail_column(detail.col(dk), dlen);
+            let mut bt = vec![0u8; base.len()];
+            let mut bw = vec![0u64; base.len()];
+            for (pos, row) in base.iter().enumerate() {
+                let (t, w) = canon_value(row.get(bk), &mut codes);
+                bt[pos] = t;
+                bw[pos] = w;
+            }
+            dtags.push(dt);
+            dwords.push(dw);
+            btags.push(bt);
+            bwords.push(bw);
+        }
+        let n = base.len();
+        assert!(n < u32::MAX as usize, "base relation too large to index");
+        let cap = (n.max(1) * 2).next_power_of_two();
+        let mut heads = vec![0u32; cap];
+        let mut next = vec![0u32; n];
+        let mut hashes = vec![0u64; n];
+        for pos in 0..n {
+            let h = canon_hash(&btags, &bwords, pos);
+            hashes[pos] = h;
+            let b = (h as usize) & (cap - 1);
+            next[pos] = heads[b];
+            heads[b] = pos as u32 + 1;
+        }
+        CanonPair {
+            dtags,
+            dwords,
+            btags,
+            bwords,
+            heads,
+            next,
+            hashes,
+        }
+    }
+
+    /// Exact canonical key equality between base position `pos` and detail
+    /// row `i` (called after a hash match).
+    #[inline]
+    fn keys_equal(&self, pos: usize, i: usize) -> bool {
+        self.btags
+            .iter()
+            .zip(&self.bwords)
+            .zip(self.dtags.iter().zip(&self.dwords))
+            .all(|((bt, bw), (dt, dw))| bt[pos] == dt[i] && bw[pos] == dw[i])
+    }
+}
+
+/// How one aggregate is computed over the selection: a typed inner loop
+/// over a column slice, or the row-semantics fallback.
+enum ColAgg<'a> {
+    /// `COUNT(*)`.
+    CountStar,
+    /// `COUNT(col)` — counts valid (non-`NULL`) rows of any column layout.
+    CountCol(usize),
+    /// `SUM(col)` over an `Int` column (wrapping, like `eval_arith`).
+    SumInt(usize),
+    /// `SUM(col)` over a `Double` column.
+    SumF64(usize),
+    /// `MIN`/`MAX` over an `Int` column (`max` = true for MAX).
+    MinMaxInt { col: usize, max: bool },
+    /// `MIN`/`MAX` over a `Double` column (total order, NaN greatest).
+    MinMaxF64 { col: usize, max: bool },
+    /// `AVG(col)` over an `Int` column: wrapping Int sum + count.
+    AvgInt(usize),
+    /// `AVG(col)` over a `Double` column: f64 sum + count.
+    AvgF64(usize),
+    /// `VAR`/`STDDEV` over an `Int` column (`x as f64`, like `as_f64`).
+    VarInt(usize),
+    /// `VAR`/`STDDEV` over a `Double` column.
+    VarF64(usize),
+    /// Everything else (computed expressions, `Mixed` columns, string
+    /// MIN/MAX): per-pair [`AggSpec::update`] with the input fetched
+    /// through [`BoundExpr::eval_cols`].
+    Fallback {
+        spec: &'a AggSpec,
+        input: Option<&'a BoundExpr>,
+    },
+}
+
+fn classify<'a>(spec: &'a AggSpec, input: Option<&'a BoundExpr>, detail: &Columns) -> ColAgg<'a> {
+    let fallback = ColAgg::Fallback { spec, input };
+    let col = match input {
+        None => {
+            return if spec.func == AggFunc::Count {
+                ColAgg::CountStar
+            } else {
+                fallback
+            }
+        }
+        Some(BoundExpr::Col(Side::Detail, c)) => *c,
+        Some(_) => return fallback,
+    };
+    if spec.func == AggFunc::Count {
+        return ColAgg::CountCol(col);
+    }
+    match detail.col(col) {
+        Column::Int { .. } => match spec.func {
+            AggFunc::Sum => ColAgg::SumInt(col),
+            AggFunc::Min => ColAgg::MinMaxInt { col, max: false },
+            AggFunc::Max => ColAgg::MinMaxInt { col, max: true },
+            AggFunc::Avg => ColAgg::AvgInt(col),
+            AggFunc::Var | AggFunc::StdDev => ColAgg::VarInt(col),
+            AggFunc::Count => unreachable!("handled above"),
+        },
+        Column::Double { .. } => match spec.func {
+            AggFunc::Sum => ColAgg::SumF64(col),
+            AggFunc::Min => ColAgg::MinMaxF64 { col, max: false },
+            AggFunc::Max => ColAgg::MinMaxF64 { col, max: true },
+            AggFunc::Avg => ColAgg::AvgF64(col),
+            AggFunc::Var | AggFunc::StdDev => ColAgg::VarF64(col),
+            AggFunc::Count => unreachable!("handled above"),
+        },
+        // String MIN/MAX and mixed-type columns keep row semantics.
+        Column::Str { .. } | Column::Mixed(_) => fallback,
+    }
+}
+
+/// Typed accumulator arrays, one slot per base position. `has` flags
+/// mirror the row kernel's `Null` accumulator states: a slot's stored
+/// number is meaningful only where `has` is set, and the first value
+/// *assigns* rather than adds (so `-0.0` and NaN payloads survive exactly
+/// as they do through `add_into`).
+enum AggState {
+    /// `COUNT` slots.
+    Count(Vec<i64>),
+    /// Int SUM (also the sum half of Int AVG).
+    SumI { s: Vec<i64>, has: Vec<bool> },
+    /// Double SUM.
+    SumF { s: Vec<f64>, has: Vec<bool> },
+    /// Int MIN/MAX.
+    MinMaxI { m: Vec<i64>, has: Vec<bool> },
+    /// Double MIN/MAX (total order, NaN greatest).
+    MinMaxF { m: Vec<f64>, has: Vec<bool> },
+    /// Int AVG: wrapping sum + count (count > 0 ⇔ sum present).
+    AvgI { s: Vec<i64>, cnt: Vec<i64> },
+    /// Double AVG.
+    AvgF { s: Vec<f64>, cnt: Vec<i64> },
+    /// VAR/STDDEV: sum, sum of squares, count — all start at zero and
+    /// accumulate unconditionally, like `add_f64`.
+    Var {
+        s: Vec<f64>,
+        sq: Vec<f64>,
+        cnt: Vec<i64>,
+    },
+    /// Row-semantics accumulators for the fallback path.
+    Fallback(Vec<Vec<Value>>),
+}
+
+impl AggState {
+    fn init(agg: &ColAgg<'_>, n: usize) -> AggState {
+        match agg {
+            ColAgg::CountStar | ColAgg::CountCol(_) => AggState::Count(vec![0; n]),
+            ColAgg::SumInt(_) => AggState::SumI {
+                s: vec![0; n],
+                has: vec![false; n],
+            },
+            ColAgg::SumF64(_) => AggState::SumF {
+                s: vec![0.0; n],
+                has: vec![false; n],
+            },
+            ColAgg::MinMaxInt { .. } => AggState::MinMaxI {
+                m: vec![0; n],
+                has: vec![false; n],
+            },
+            ColAgg::MinMaxF64 { .. } => AggState::MinMaxF {
+                m: vec![0.0; n],
+                has: vec![false; n],
+            },
+            ColAgg::AvgInt(_) => AggState::AvgI {
+                s: vec![0; n],
+                cnt: vec![0; n],
+            },
+            ColAgg::AvgF64(_) => AggState::AvgF {
+                s: vec![0.0; n],
+                cnt: vec![0; n],
+            },
+            ColAgg::VarInt(_) | ColAgg::VarF64(_) => AggState::Var {
+                s: vec![0.0; n],
+                sq: vec![0.0; n],
+                cnt: vec![0; n],
+            },
+            ColAgg::Fallback { spec, .. } => AggState::Fallback(
+                (0..n)
+                    .map(|_| {
+                        let mut acc = Vec::with_capacity(spec.acc_width());
+                        spec.init_acc(&mut acc);
+                        acc
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    fn reset(&mut self, spec: &AggSpec) {
+        match self {
+            AggState::Count(c) => c.fill(0),
+            AggState::SumI { has, .. }
+            | AggState::SumF { has, .. }
+            | AggState::MinMaxI { has, .. }
+            | AggState::MinMaxF { has, .. } => has.fill(false),
+            AggState::AvgI { cnt, .. } | AggState::AvgF { cnt, .. } => cnt.fill(0),
+            AggState::Var { s, sq, cnt } => {
+                s.fill(0.0);
+                sq.fill(0.0);
+                cnt.fill(0);
+            }
+            AggState::Fallback(accs) => {
+                for acc in accs {
+                    acc.clear();
+                    spec.init_acc(acc);
+                }
+            }
+        }
+    }
+
+    /// Merge a later morsel's state into this one — the typed mirror of
+    /// [`AggSpec::merge`], slot by slot.
+    fn merge(&mut self, src: &AggState, spec: &AggSpec) -> Result<()> {
+        match (self, src) {
+            (AggState::Count(d), AggState::Count(s)) => {
+                for (d, s) in d.iter_mut().zip(s) {
+                    *d += *s;
+                }
+            }
+            (
+                AggState::SumI { s: ds, has: dh },
+                AggState::SumI { s: ss, has: sh },
+            ) => {
+                for p in 0..ds.len() {
+                    if sh[p] {
+                        ds[p] = if dh[p] { ds[p].wrapping_add(ss[p]) } else { ss[p] };
+                        dh[p] = true;
+                    }
+                }
+            }
+            (
+                AggState::SumF { s: ds, has: dh },
+                AggState::SumF { s: ss, has: sh },
+            ) => {
+                for p in 0..ds.len() {
+                    if sh[p] {
+                        ds[p] = if dh[p] { ds[p] + ss[p] } else { ss[p] };
+                        dh[p] = true;
+                    }
+                }
+            }
+            (
+                AggState::MinMaxI { m: dm, has: dh },
+                AggState::MinMaxI { m: sm, has: sh },
+            ) => {
+                // `max` is recoverable from the spec; both directions share
+                // the "replace if strictly better or absent" shape.
+                let max = spec.func == AggFunc::Max;
+                for p in 0..dm.len() {
+                    if sh[p] && (!dh[p] || better_i(sm[p], dm[p], max)) {
+                        dm[p] = sm[p];
+                        dh[p] = true;
+                    }
+                }
+            }
+            (
+                AggState::MinMaxF { m: dm, has: dh },
+                AggState::MinMaxF { m: sm, has: sh },
+            ) => {
+                let max = spec.func == AggFunc::Max;
+                for p in 0..dm.len() {
+                    if sh[p] && (!dh[p] || better_f(sm[p], dm[p], max)) {
+                        dm[p] = sm[p];
+                        dh[p] = true;
+                    }
+                }
+            }
+            (
+                AggState::AvgI { s: ds, cnt: dc },
+                AggState::AvgI { s: ss, cnt: sc },
+            ) => {
+                for p in 0..ds.len() {
+                    if sc[p] > 0 {
+                        ds[p] = if dc[p] > 0 { ds[p].wrapping_add(ss[p]) } else { ss[p] };
+                    }
+                    dc[p] += sc[p];
+                }
+            }
+            (
+                AggState::AvgF { s: ds, cnt: dc },
+                AggState::AvgF { s: ss, cnt: sc },
+            ) => {
+                for p in 0..ds.len() {
+                    if sc[p] > 0 {
+                        ds[p] = if dc[p] > 0 { ds[p] + ss[p] } else { ss[p] };
+                    }
+                    dc[p] += sc[p];
+                }
+            }
+            (
+                AggState::Var { s: ds, sq: dq, cnt: dc },
+                AggState::Var { s: ss, sq: sq2, cnt: sc },
+            ) => {
+                for p in 0..ds.len() {
+                    ds[p] += ss[p];
+                    dq[p] += sq2[p];
+                    dc[p] += sc[p];
+                }
+            }
+            (AggState::Fallback(d), AggState::Fallback(s)) => {
+                for (d, s) in d.iter_mut().zip(s) {
+                    spec.merge(d, s)?;
+                }
+            }
+            _ => unreachable!("morsel states share one classification"),
+        }
+        Ok(())
+    }
+
+    /// Append this aggregate's physical slot values for base position
+    /// `pos` — exactly what the row kernel's `Vec<Value>` accumulator
+    /// holds after the same updates.
+    fn push_values(&self, pos: usize, out: &mut Vec<Value>) {
+        match self {
+            AggState::Count(c) => out.push(Value::Int(c[pos])),
+            AggState::SumI { s, has } => out.push(if has[pos] {
+                Value::Int(s[pos])
+            } else {
+                Value::Null
+            }),
+            AggState::SumF { s, has } => out.push(if has[pos] {
+                Value::Double(s[pos])
+            } else {
+                Value::Null
+            }),
+            AggState::MinMaxI { m, has } => out.push(if has[pos] {
+                Value::Int(m[pos])
+            } else {
+                Value::Null
+            }),
+            AggState::MinMaxF { m, has } => out.push(if has[pos] {
+                Value::Double(m[pos])
+            } else {
+                Value::Null
+            }),
+            AggState::AvgI { s, cnt } => {
+                out.push(if cnt[pos] > 0 {
+                    Value::Int(s[pos])
+                } else {
+                    Value::Null
+                });
+                out.push(Value::Int(cnt[pos]));
+            }
+            AggState::AvgF { s, cnt } => {
+                out.push(if cnt[pos] > 0 {
+                    Value::Double(s[pos])
+                } else {
+                    Value::Null
+                });
+                out.push(Value::Int(cnt[pos]));
+            }
+            AggState::Var { s, sq, cnt } => {
+                out.push(Value::Double(s[pos]));
+                out.push(Value::Double(sq[pos]));
+                out.push(Value::Int(cnt[pos]));
+            }
+            AggState::Fallback(accs) => out.extend(accs[pos].iter().cloned()),
+        }
+    }
+}
+
+/// Strictly better under the Int MIN/MAX order.
+#[inline]
+fn better_i(candidate: i64, current: i64, max: bool) -> bool {
+    if max {
+        candidate > current
+    } else {
+        candidate < current
+    }
+}
+
+/// Strictly better under the Double total order (NaN greatest) — the same
+/// order [`Value`]'s `Ord` gives `MIN`/`MAX` in the row kernel.
+#[inline]
+fn better_f(candidate: f64, current: f64, max: bool) -> bool {
+    use std::cmp::Ordering;
+    let ord = match (candidate.is_nan(), current.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => candidate.partial_cmp(&current).expect("non-NaN"),
+    };
+    ord == if max { Ordering::Greater } else { Ordering::Less }
+}
+
+/// One block, lowered for columnar evaluation.
+struct ColBlock<'a> {
+    /// Index into the shared [`CanonPair`] cache (`None` ⇒ nested loop).
+    pair: Option<usize>,
+    /// Residual θ (`None` when trivially true).
+    residual: Option<&'a BoundExpr>,
+    /// This block's aggregates with their global indexes into
+    /// `ColState::aggs`.
+    aggs: Vec<(usize, ColAgg<'a>)>,
+}
+
+/// Per-morsel accumulation state: one typed array per aggregate plus the
+/// match flags, and the reusable selection buffers of the probe pass.
+struct ColState {
+    aggs: Vec<AggState>,
+    matched: Vec<bool>,
+    /// Selected detail rows / base positions of the current block (scratch
+    /// of `run_morsel_into`; excluded from merges).
+    sel_rows: Vec<u32>,
+    sel_poss: Vec<u32>,
+}
+
+/// The immutable columnar evaluation context shared across the pool.
+struct ColKernel<'a> {
+    base: &'a Relation,
+    detail: &'a Columns,
+    layout: &'a AccLayout,
+    blocks: Vec<ColBlock<'a>>,
+    pairs: Vec<CanonPair>,
+    opts: EvalOptions,
+    morsel_rows: usize,
+    n_morsels: usize,
+}
+
+impl ColKernel<'_> {
+    /// The spec of global aggregate `gi` (layout entries share the global
+    /// aggregate order).
+    fn spec(&self, gi: usize) -> &AggSpec {
+        &self.layout.entries()[gi].1
+    }
+}
+
+impl MorselKernel for ColKernel<'_> {
+    type State = ColState;
+
+    fn n_morsels(&self) -> usize {
+        self.n_morsels
+    }
+
+    fn morsel_rows_in(&self, m: usize) -> usize {
+        ((m + 1) * self.morsel_rows).min(self.detail.len()) - m * self.morsel_rows
+    }
+
+    fn init_state(&self) -> ColState {
+        let n = self.base.len();
+        let aggs = self
+            .blocks
+            .iter()
+            .flat_map(|b| b.aggs.iter().map(|(_, a)| AggState::init(a, n)))
+            .collect();
+        ColState {
+            aggs,
+            matched: vec![false; n],
+            sel_rows: Vec::new(),
+            sel_poss: Vec::new(),
+        }
+    }
+
+    fn reset_state(&self, state: &mut ColState) {
+        for (gi, st) in state.aggs.iter_mut().enumerate() {
+            st.reset(self.spec(gi));
+        }
+        state.matched.fill(false);
+    }
+
+    fn merge_state(&self, dst: &mut ColState, src: &ColState) -> Result<()> {
+        for (gi, (d, s)) in dst.aggs.iter_mut().zip(&src.aggs).enumerate() {
+            d.merge(s, self.spec(gi))?;
+        }
+        for (d, s) in dst.matched.iter_mut().zip(&src.matched) {
+            *d |= *s;
+        }
+        Ok(())
+    }
+
+    fn run_morsel_into(&self, m: usize, state: &mut ColState) -> Result<()> {
+        if self.opts.fault_panic_morsel == Some(m) {
+            panic!("injected fault in morsel {m}");
+        }
+        let lo = m * self.morsel_rows;
+        let hi = ((m + 1) * self.morsel_rows).min(self.detail.len());
+        for cb in &self.blocks {
+            // Probe/θ pass: fill the selection in the row kernel's
+            // iteration order (see module docs — this is what makes the
+            // two kernels bit-identical).
+            state.sel_rows.clear();
+            state.sel_poss.clear();
+            match cb.pair {
+                Some(pi) => {
+                    let cp = &self.pairs[pi];
+                    let mask = cp.heads.len() - 1;
+                    for i in lo..hi {
+                        let h = canon_hash(&cp.dtags, &cp.dwords, i);
+                        let mut cur = cp.heads[(h as usize) & mask];
+                        while cur != 0 {
+                            let pos = (cur - 1) as usize;
+                            cur = cp.next[pos];
+                            if cp.hashes[pos] != h || !cp.keys_equal(pos, i) {
+                                continue;
+                            }
+                            if let Some(res) = cb.residual {
+                                let b = &self.base.rows()[pos];
+                                if !res.eval_cols(b, self.detail, i)?.is_truthy() {
+                                    continue;
+                                }
+                            }
+                            state.matched[pos] = true;
+                            state.sel_rows.push(i as u32);
+                            state.sel_poss.push(pos as u32);
+                        }
+                    }
+                }
+                None => {
+                    for (pos, b) in self.base.iter().enumerate() {
+                        for i in lo..hi {
+                            if let Some(res) = cb.residual {
+                                if !res.eval_cols(b, self.detail, i)?.is_truthy() {
+                                    continue;
+                                }
+                            }
+                            state.matched[pos] = true;
+                            state.sel_rows.push(i as u32);
+                            state.sel_poss.push(pos as u32);
+                        }
+                    }
+                }
+            }
+            // Aggregate pass: one typed loop per aggregate over the
+            // selection. Split borrows: `aggs` mutably, selection shared.
+            let aggs = &mut state.aggs;
+            let (rows, poss) = (&state.sel_rows, &state.sel_poss);
+            for (gi, agg) in &cb.aggs {
+                update_agg(agg, &mut aggs[*gi], rows, poss, self.detail, self.base)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run one aggregate's inner loop over the selected `(row, pos)` pairs.
+fn update_agg(
+    agg: &ColAgg<'_>,
+    state: &mut AggState,
+    rows: &[u32],
+    poss: &[u32],
+    detail: &Columns,
+    base: &Relation,
+) -> Result<()> {
+    match (agg, state) {
+        (ColAgg::CountStar, AggState::Count(c)) => {
+            for &p in poss {
+                c[p as usize] += 1;
+            }
+        }
+        (ColAgg::CountCol(col), AggState::Count(c)) => {
+            let column = detail.col(*col);
+            match column {
+                Column::Int { valid, .. }
+                | Column::Double { valid, .. }
+                | Column::Str { valid, .. } => match valid {
+                    None => {
+                        for &p in poss {
+                            c[p as usize] += 1;
+                        }
+                    }
+                    Some(vb) => {
+                        for (&i, &p) in rows.iter().zip(poss) {
+                            c[p as usize] += vb.get(i as usize) as i64;
+                        }
+                    }
+                },
+                Column::Mixed(vs) => {
+                    for (&i, &p) in rows.iter().zip(poss) {
+                        c[p as usize] += !vs[i as usize].is_null() as i64;
+                    }
+                }
+            }
+        }
+        (ColAgg::SumInt(col), AggState::SumI { s, has }) => {
+            let (data, valid) = detail.col(*col).as_int().expect("classified Int");
+            sum_loop(rows, poss, data, valid, |acc, v, h| {
+                *acc = if h { acc.wrapping_add(v) } else { v };
+            }, s, has);
+        }
+        (ColAgg::SumF64(col), AggState::SumF { s, has }) => {
+            let (data, valid) = detail.col(*col).as_double().expect("classified Double");
+            sum_loop(rows, poss, data, valid, |acc, v, h| {
+                *acc = if h { *acc + v } else { v };
+            }, s, has);
+        }
+        (ColAgg::MinMaxInt { col, max }, AggState::MinMaxI { m, has }) => {
+            let (data, valid) = detail.col(*col).as_int().expect("classified Int");
+            let max = *max;
+            sum_loop(rows, poss, data, valid, move |acc, v, h| {
+                if !h || better_i(v, *acc, max) {
+                    *acc = v;
+                }
+            }, m, has);
+        }
+        (ColAgg::MinMaxF64 { col, max }, AggState::MinMaxF { m, has }) => {
+            let (data, valid) = detail.col(*col).as_double().expect("classified Double");
+            let max = *max;
+            sum_loop(rows, poss, data, valid, move |acc, v, h| {
+                if !h || better_f(v, *acc, max) {
+                    *acc = v;
+                }
+            }, m, has);
+        }
+        (ColAgg::AvgInt(col), AggState::AvgI { s, cnt }) => {
+            let (data, valid) = detail.col(*col).as_int().expect("classified Int");
+            match valid {
+                None => {
+                    for (&i, &p) in rows.iter().zip(poss) {
+                        let (i, p) = (i as usize, p as usize);
+                        let v = data[i];
+                        s[p] = if cnt[p] > 0 { s[p].wrapping_add(v) } else { v };
+                        cnt[p] += 1;
+                    }
+                }
+                Some(vb) => {
+                    for (&i, &p) in rows.iter().zip(poss) {
+                        let (i, p) = (i as usize, p as usize);
+                        if vb.get(i) {
+                            let v = data[i];
+                            s[p] = if cnt[p] > 0 { s[p].wrapping_add(v) } else { v };
+                            cnt[p] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        (ColAgg::AvgF64(col), AggState::AvgF { s, cnt }) => {
+            let (data, valid) = detail.col(*col).as_double().expect("classified Double");
+            match valid {
+                None => {
+                    for (&i, &p) in rows.iter().zip(poss) {
+                        let (i, p) = (i as usize, p as usize);
+                        let v = data[i];
+                        s[p] = if cnt[p] > 0 { s[p] + v } else { v };
+                        cnt[p] += 1;
+                    }
+                }
+                Some(vb) => {
+                    for (&i, &p) in rows.iter().zip(poss) {
+                        let (i, p) = (i as usize, p as usize);
+                        if vb.get(i) {
+                            let v = data[i];
+                            s[p] = if cnt[p] > 0 { s[p] + v } else { v };
+                            cnt[p] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        (ColAgg::VarInt(col), AggState::Var { s, sq, cnt }) => {
+            let (data, valid) = detail.col(*col).as_int().expect("classified Int");
+            match valid {
+                None => {
+                    for (&i, &p) in rows.iter().zip(poss) {
+                        let (i, p) = (i as usize, p as usize);
+                        let x = data[i] as f64;
+                        s[p] += x;
+                        sq[p] += x * x;
+                        cnt[p] += 1;
+                    }
+                }
+                Some(vb) => {
+                    for (&i, &p) in rows.iter().zip(poss) {
+                        let (i, p) = (i as usize, p as usize);
+                        if vb.get(i) {
+                            let x = data[i] as f64;
+                            s[p] += x;
+                            sq[p] += x * x;
+                            cnt[p] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        (ColAgg::VarF64(col), AggState::Var { s, sq, cnt }) => {
+            let (data, valid) = detail.col(*col).as_double().expect("classified Double");
+            match valid {
+                None => {
+                    for (&i, &p) in rows.iter().zip(poss) {
+                        let (i, p) = (i as usize, p as usize);
+                        let x = data[i];
+                        s[p] += x;
+                        sq[p] += x * x;
+                        cnt[p] += 1;
+                    }
+                }
+                Some(vb) => {
+                    for (&i, &p) in rows.iter().zip(poss) {
+                        let (i, p) = (i as usize, p as usize);
+                        if vb.get(i) {
+                            let x = data[i];
+                            s[p] += x;
+                            sq[p] += x * x;
+                            cnt[p] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        (ColAgg::Fallback { spec, input }, AggState::Fallback(accs)) => {
+            for (&i, &p) in rows.iter().zip(poss) {
+                let (i, p) = (i as usize, p as usize);
+                match input {
+                    Some(e) => {
+                        let v = e.eval_cols(&base.rows()[p], detail, i)?;
+                        spec.update(&mut accs[p], Some(&v))?;
+                    }
+                    None => spec.update(&mut accs[p], None)?,
+                }
+            }
+        }
+        _ => unreachable!("state shape follows classification"),
+    }
+    Ok(())
+}
+
+/// The shared shape of the null-skipping typed loops: apply `fold` to the
+/// slot of every selected pair whose detail value is valid, then mark the
+/// slot present.
+#[inline]
+fn sum_loop<T: Copy>(
+    rows: &[u32],
+    poss: &[u32],
+    data: &[T],
+    valid: Option<&Bitmap>,
+    fold: impl Fn(&mut T, T, bool),
+    acc: &mut [T],
+    has: &mut [bool],
+) {
+    match valid {
+        None => {
+            for (&i, &p) in rows.iter().zip(poss) {
+                let (i, p) = (i as usize, p as usize);
+                fold(&mut acc[p], data[i], has[p]);
+                has[p] = true;
+            }
+        }
+        Some(vb) => {
+            for (&i, &p) in rows.iter().zip(poss) {
+                let (i, p) = (i as usize, p as usize);
+                if vb.get(i) {
+                    fold(&mut acc[p], data[i], has[p]);
+                    has[p] = true;
+                }
+            }
+        }
+    }
+}
+
+/// Evaluate a GMDJ through the columnar kernel, returning the merged
+/// morsel state in the row kernel's representation (the caller's
+/// physical-row assembly is shared between kernels).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn eval_columnar(
+    base: &Relation,
+    detail: &Relation,
+    gmdj: &Gmdj,
+    layout: &AccLayout,
+    blocks: &[PreparedBlock],
+    opts: EvalOptions,
+    morsel_rows: usize,
+    n_morsels: usize,
+    obs: &Obs,
+    site: usize,
+) -> Result<MorselState> {
+    assert!(detail.len() < u32::MAX as usize, "detail relation too large");
+    let cols = detail.columns();
+
+    // Lower blocks: share canonical pairs between blocks with identical
+    // equi-keys (mirrors the row kernel's index cache), classify every
+    // aggregate against the column layouts.
+    let mut cache: HashMap<(Vec<usize>, Vec<usize>), usize> = HashMap::new();
+    let mut pairs: Vec<CanonPair> = Vec::new();
+    let mut cblocks = Vec::with_capacity(blocks.len());
+    let mut gi = 0usize;
+    for (bi, pb) in blocks.iter().enumerate() {
+        let pair = if pb.index.is_some() {
+            let key = (pb.base_keys.clone(), pb.detail_keys.clone());
+            let slot = *cache.entry(key).or_insert_with(|| {
+                pairs.push(CanonPair::build(base, cols, &pb.base_keys, &pb.detail_keys));
+                pairs.len() - 1
+            });
+            Some(slot)
+        } else {
+            None
+        };
+        let residual = (!pb.trivial_condition).then_some(&pb.condition);
+        let mut aggs = Vec::with_capacity(pb.aggs.len());
+        for (spec, (input, _off)) in gmdj.blocks[bi].aggs.iter().zip(&pb.aggs) {
+            aggs.push((gi, classify(spec, input.as_ref(), cols)));
+            gi += 1;
+        }
+        cblocks.push(ColBlock {
+            pair,
+            residual,
+            aggs,
+        });
+    }
+
+    let kernel = ColKernel {
+        base,
+        detail: cols,
+        layout,
+        blocks: cblocks,
+        pairs,
+        opts,
+        morsel_rows,
+        n_morsels,
+    };
+    let merged = drive(&kernel, opts, obs, site)?;
+
+    // Materialize into the row kernel's state shape: per base position,
+    // the physical accumulator values in layout (global aggregate) order.
+    let n = base.len();
+    let mut accs = Vec::with_capacity(n);
+    for pos in 0..n {
+        let mut acc = Vec::with_capacity(layout.width());
+        for st in &merged.aggs {
+            st.push_values(pos, &mut acc);
+        }
+        accs.push(acc);
+    }
+    Ok(MorselState {
+        accs,
+        matched: merged.matched,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggSpec;
+    use crate::eval::{eval_full, eval_local, DEFAULT_MORSEL_ROWS};
+    use crate::theta::ThetaBuilder;
+    use skalla_relation::{row, DataType, Expr, Schema};
+
+    fn opts_columnar() -> EvalOptions {
+        EvalOptions {
+            hash_path: true,
+            parallelism: 1,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            legacy_probe: false,
+            columnar: true,
+            fault_panic_morsel: None,
+        }
+    }
+
+    fn opts_row() -> EvalOptions {
+        EvalOptions {
+            columnar: false,
+            ..opts_columnar()
+        }
+    }
+
+    fn detail() -> Relation {
+        Relation::new(
+            Schema::of(&[
+                ("g", DataType::Int),
+                ("v", DataType::Int),
+                ("x", DataType::Double),
+                ("s", DataType::Str),
+            ]),
+            vec![
+                row![1i64, 10i64, 1.5, "a"],
+                row![1i64, 20i64, -0.0, "b"],
+                row![2i64, 5i64, f64::NAN, "a"],
+                row![2i64, 7i64, 2.5, Value::Null],
+                row![2i64, Value::Null, 0.25, "c"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn base() -> Relation {
+        Relation::new(
+            Schema::of(&[("g", DataType::Int)]),
+            vec![row![1i64], row![2i64], row![3i64]],
+        )
+        .unwrap()
+    }
+
+    fn wide_gmdj() -> Gmdj {
+        Gmdj::new("t").block(
+            ThetaBuilder::group_by(&["g"]).build(),
+            vec![
+                AggSpec::count("cnt"),
+                AggSpec::over_expr(AggFunc::Count, Expr::dcol("v"), "cnt_v"),
+                AggSpec::sum("v", "sum_v"),
+                AggSpec::sum("x", "sum_x"),
+                AggSpec::min("v", "min_v"),
+                AggSpec::max("x", "max_x"),
+                AggSpec::avg("v", "avg_v"),
+                AggSpec::avg("x", "avg_x"),
+                AggSpec::var("x", "var_x"),
+                AggSpec::min("s", "min_s"),
+                AggSpec::over_expr(
+                    AggFunc::Sum,
+                    Expr::dcol("v").mul(Expr::lit(2i64)),
+                    "sum_2v",
+                ),
+            ],
+        )
+    }
+
+    /// Bitwise comparison of two local results (PartialEq on Double is
+    /// not bitwise: -0.0 == 0.0 and NaN payloads compare equal).
+    fn assert_bits_equal(a: &crate::eval::LocalGmdj, b: &crate::eval::LocalGmdj) {
+        assert_eq!(a.matched, b.matched);
+        assert_eq!(a.physical.len(), b.physical.len());
+        for (ra, rb) in a.physical.iter().zip(b.physical.iter()) {
+            for (va, vb) in ra.values().iter().zip(rb.values()) {
+                match (va, vb) {
+                    (Value::Double(x), Value::Double(y)) => {
+                        assert_eq!(x.to_bits(), y.to_bits(), "double bits differ")
+                    }
+                    _ => assert_eq!(va, vb),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_matches_row_kernel_wide_aggregates() {
+        let col = eval_local(&base(), &detail(), &wide_gmdj(), opts_columnar()).unwrap();
+        let rowk = eval_local(&base(), &detail(), &wide_gmdj(), opts_row()).unwrap();
+        assert_bits_equal(&col, &rowk);
+    }
+
+    #[test]
+    fn columnar_matches_row_kernel_tiny_morsels_and_threads() {
+        for morsel_rows in [1usize, 2, 3] {
+            for p in [1usize, 2, 4] {
+                let col = eval_local(
+                    &base(),
+                    &detail(),
+                    &wide_gmdj(),
+                    EvalOptions {
+                        morsel_rows,
+                        parallelism: p,
+                        ..opts_columnar()
+                    },
+                )
+                .unwrap();
+                let rowk = eval_local(
+                    &base(),
+                    &detail(),
+                    &wide_gmdj(),
+                    EvalOptions {
+                        morsel_rows,
+                        ..opts_row()
+                    },
+                )
+                .unwrap();
+                assert_bits_equal(&col, &rowk);
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_nested_loop_and_residual() {
+        // Non-equi θ forces the nested loop; a residual exercises
+        // eval_cols against the columnar store.
+        let b = Relation::new(
+            Schema::of(&[("lo", DataType::Int)]),
+            vec![row![0i64], row![8i64]],
+        )
+        .unwrap();
+        let g = Gmdj::new("t").block(
+            Expr::dcol("v").ge(Expr::bcol("lo")),
+            vec![AggSpec::count("cnt"), AggSpec::sum("x", "sx")],
+        );
+        let col = eval_full(&b, &detail(), &g, opts_columnar()).unwrap();
+        let rowk = eval_full(&b, &detail(), &g, opts_row()).unwrap();
+        assert_eq!(col, rowk);
+        // Group-by with an extra residual conjunct (hash path + residual).
+        let g2 = Gmdj::new("t").block(
+            ThetaBuilder::group_by(&["g"])
+                .and(Expr::dcol("v").gt(Expr::lit(6i64)))
+                .build(),
+            vec![AggSpec::count("cnt"), AggSpec::max("v", "mx")],
+        );
+        let col = eval_full(&base(), &detail(), &g2, opts_columnar()).unwrap();
+        let rowk = eval_full(&base(), &detail(), &g2, opts_row()).unwrap();
+        assert_eq!(col, rowk);
+    }
+
+    #[test]
+    fn columnar_string_keys_probe_dictionary_codes() {
+        let b = Relation::new(
+            Schema::of(&[("s", DataType::Str)]),
+            vec![row!["a"], row!["c"], row!["zzz"]],
+        )
+        .unwrap();
+        let g = Gmdj::new("t").block(
+            ThetaBuilder::group_by(&["s"]).build(),
+            vec![AggSpec::count("cnt"), AggSpec::sum("v", "sv")],
+        );
+        let col = eval_full(&b, &detail(), &g, opts_columnar()).unwrap();
+        let rowk = eval_full(&b, &detail(), &g, opts_row()).unwrap();
+        assert_eq!(col, rowk);
+        // "zzz" appears nowhere in the detail dictionary.
+        assert_eq!(col.rows()[2], row!["zzz", 0i64, Value::Null]);
+    }
+
+    #[test]
+    fn columnar_mixed_type_key_column() {
+        // A detail key column mixing Int and Str (legal: lazily typed)
+        // falls back to Mixed and still matches by value equality.
+        let d = Relation::new(
+            Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]),
+            vec![row![1i64, 10i64], row!["one", 20i64], row![1i64, 30i64]],
+        )
+        .unwrap();
+        let b = Relation::new(
+            Schema::of(&[("k", DataType::Int)]),
+            vec![row![1i64], row!["one"], row![1.0]],
+        )
+        .unwrap();
+        let g = Gmdj::new("t").block(
+            ThetaBuilder::group_by(&["k"]).build(),
+            vec![AggSpec::sum("v", "sv")],
+        );
+        let col = eval_full(&b, &d, &g, opts_columnar()).unwrap();
+        let rowk = eval_full(&b, &d, &g, opts_row()).unwrap();
+        assert_eq!(col, rowk);
+        // Int(1) == Double(1.0) canonically.
+        assert_eq!(col.rows()[2].get(1), &Value::Int(40));
+    }
+
+    #[test]
+    fn columnar_streaming_serial_matches_parallel_bits() {
+        // Satellite check: the workers==1 streaming merge produces the
+        // same bits as the deferred parallel merge, morsel by morsel.
+        let serial = eval_local(
+            &base(),
+            &detail(),
+            &wide_gmdj(),
+            EvalOptions {
+                morsel_rows: 2,
+                parallelism: 1,
+                ..opts_columnar()
+            },
+        )
+        .unwrap();
+        let parallel = eval_local(
+            &base(),
+            &detail(),
+            &wide_gmdj(),
+            EvalOptions {
+                morsel_rows: 2,
+                parallelism: 4,
+                ..opts_columnar()
+            },
+        )
+        .unwrap();
+        assert_bits_equal(&serial, &parallel);
+    }
+
+    #[test]
+    fn columnar_worker_panic_surfaces_as_execution_error() {
+        let err = eval_local(
+            &base(),
+            &detail(),
+            &wide_gmdj(),
+            EvalOptions {
+                morsel_rows: 1,
+                parallelism: 2,
+                fault_panic_morsel: Some(1),
+                ..opts_columnar()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("panicked in morsel 1"));
+    }
+}

@@ -64,6 +64,14 @@ pub struct EvalOptions {
     /// instead of the zero-allocation bucket index. Kept only for the
     /// `fig_kernel` ablation bench.
     pub legacy_probe: bool,
+    /// Evaluate through the columnar (vectorized) kernel: typed aggregate
+    /// accumulator arrays over the detail relation's columnar layout
+    /// ([`skalla_relation::Columns`]), canonical-key probes on dictionary
+    /// codes instead of per-row [`Value`] hashing. On by default. Like
+    /// `legacy_probe`, this is an ablation knob (env `SKALLA_COLUMNAR=0`,
+    /// CLI `--no-columnar`) so fig benches can A/B the two kernels; both
+    /// produce bit-identical results.
+    pub columnar: bool,
     /// Fault injection for robustness tests: panic when a worker starts
     /// the morsel with this index. `None` in production.
     pub fault_panic_morsel: Option<usize>,
@@ -73,11 +81,18 @@ fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok().and_then(|v| v.parse().ok())
 }
 
+fn env_flag(name: &str) -> Option<bool> {
+    std::env::var(name)
+        .ok()
+        .map(|v| v != "0" && !v.eq_ignore_ascii_case("false"))
+}
+
 impl Default for EvalOptions {
-    /// Defaults honour `SKALLA_THREADS` and `SKALLA_MORSEL_ROWS` from the
-    /// environment (used by `ci.sh` to run the whole suite at several
-    /// thread counts), falling back to auto parallelism and
-    /// [`DEFAULT_MORSEL_ROWS`].
+    /// Defaults honour `SKALLA_THREADS`, `SKALLA_MORSEL_ROWS` and
+    /// `SKALLA_COLUMNAR` from the environment (used by `ci.sh` to run the
+    /// whole suite at several thread counts and under both kernels),
+    /// falling back to auto parallelism, [`DEFAULT_MORSEL_ROWS`] and the
+    /// columnar kernel.
     fn default() -> Self {
         EvalOptions {
             hash_path: true,
@@ -86,6 +101,7 @@ impl Default for EvalOptions {
                 .unwrap_or(DEFAULT_MORSEL_ROWS)
                 .max(1),
             legacy_probe: false,
+            columnar: env_flag("SKALLA_COLUMNAR").unwrap_or(true),
             fault_panic_morsel: None,
         }
     }
@@ -230,25 +246,25 @@ enum BaseIndex {
     Legacy(HashMap<Vec<Value>, Vec<usize>>),
 }
 
-struct PreparedBlock {
+pub(crate) struct PreparedBlock {
     /// Base-side positions of equi-key columns (empty ⇒ nested loop).
-    base_keys: Vec<usize>,
+    pub(crate) base_keys: Vec<usize>,
     /// Detail-side positions of equi-key columns.
-    detail_keys: Vec<usize>,
+    pub(crate) detail_keys: Vec<usize>,
     /// Bound residual (or the full θ for the nested-loop path).
-    condition: BoundExpr,
+    pub(crate) condition: BoundExpr,
     /// `true` when `condition` is a trivially true literal — pre-bound out
     /// of the inner loops on both the hash and nested-loop paths.
-    trivial_condition: bool,
+    pub(crate) trivial_condition: bool,
     /// Slot in the shared index cache (`Some` ⇒ hash path; blocks with
     /// identical `base_keys` share one slot).
-    index: Option<usize>,
+    pub(crate) index: Option<usize>,
     /// Bound aggregate inputs (`None` for `COUNT(*)`), with the slot
     /// offset of each aggregate.
-    aggs: Vec<(Option<BoundExpr>, usize)>,
+    pub(crate) aggs: Vec<(Option<BoundExpr>, usize)>,
 }
 
-fn prepare_blocks(
+pub(crate) fn prepare_blocks(
     gmdj: &Gmdj,
     base: &Schema,
     detail: &Schema,
@@ -335,10 +351,155 @@ fn build_indexes(
 }
 
 /// Per-morsel accumulation state: one accumulator vector and one match
-/// flag per base row.
-struct MorselState {
-    accs: Vec<Vec<Value>>,
-    matched: Vec<bool>,
+/// flag per base row. Also the shape both kernels (row and columnar)
+/// deliver their merged result in.
+pub(crate) struct MorselState {
+    pub(crate) accs: Vec<Vec<Value>>,
+    pub(crate) matched: Vec<bool>,
+}
+
+/// A morsel-at-a-time kernel the shared [`drive`] loop can run: both the
+/// row kernel below and the columnar kernel in [`crate::columnar`]
+/// implement it. Results must be a pure function of (input, morsel
+/// structure): a fresh state per morsel plus an in-morsel-order merge.
+pub(crate) trait MorselKernel: Sync {
+    /// Per-morsel accumulation state.
+    type State: Send;
+    /// Number of morsels the detail relation splits into (≥ 1).
+    fn n_morsels(&self) -> usize;
+    /// Number of detail rows in morsel `m` (span attribute only).
+    fn morsel_rows_in(&self, m: usize) -> usize;
+    /// A fresh (empty) accumulation state.
+    fn init_state(&self) -> Self::State;
+    /// Reset a state to exactly [`MorselKernel::init_state`] in place,
+    /// reusing its allocations (serial streaming path).
+    fn reset_state(&self, state: &mut Self::State);
+    /// Evaluate morsel `m` into `state` (which is freshly init/reset).
+    fn run_morsel_into(&self, m: usize, state: &mut Self::State) -> Result<()>;
+    /// Merge `src` (a later morsel) into `dst`, in morsel order.
+    fn merge_state(&self, dst: &mut Self::State, src: &Self::State) -> Result<()>;
+}
+
+/// Run one morsel behind a panic barrier, recording a span on the
+/// worker's own track (span nesting is per-track, so concurrent workers
+/// must not share one).
+fn run_caught<K: MorselKernel>(
+    kernel: &K,
+    m: usize,
+    state: &mut K::State,
+    worker: usize,
+    obs: &Obs,
+    site: usize,
+) -> Result<()> {
+    let mut span = if obs.is_recording() {
+        Some(
+            obs.span(Track::Worker(site, worker), "morsel")
+                .with("morsel", m)
+                .with("rows", kernel.morsel_rows_in(m)),
+        )
+    } else {
+        None
+    };
+    let t = std::time::Instant::now();
+    let out = catch_unwind(AssertUnwindSafe(|| kernel.run_morsel_into(m, state)))
+        .unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            Err(Error::Execution(format!(
+                "worker panicked in morsel {m}: {msg}"
+            )))
+        });
+    if let Some(span) = span.take() {
+        obs.hist("kernel.morsel_us", t.elapsed().as_micros() as f64);
+        obs.counter_add("kernel.morsels", 1.0);
+        span.finish();
+    }
+    out
+}
+
+/// The shared morsel driver: claim morsels, evaluate each into a fresh
+/// state, merge **in morsel order**. Because the decomposition and merge
+/// structure depend only on (input, `morsel_rows`), bits never depend on
+/// the worker count.
+///
+/// With one effective worker the driver streams: it keeps a running
+/// merged state plus one scratch state that is reset (not reallocated)
+/// per morsel, and merges each morsel immediately — no per-morsel state
+/// vector, no deferred merge pass. The operation sequence (fresh state,
+/// merge in order) is identical to the parallel path's, so the bits are
+/// the same by construction; only the bookkeeping disappears.
+pub(crate) fn drive<K: MorselKernel>(
+    kernel: &K,
+    opts: EvalOptions,
+    obs: &Obs,
+    site: usize,
+) -> Result<K::State> {
+    let n_morsels = kernel.n_morsels();
+    let workers = opts.effective_parallelism().clamp(1, n_morsels);
+
+    if workers == 1 {
+        let mut merged = kernel.init_state();
+        run_caught(kernel, 0, &mut merged, 0, obs, site)?;
+        if n_morsels > 1 {
+            let mut scratch = kernel.init_state();
+            for m in 1..n_morsels {
+                if m > 1 {
+                    kernel.reset_state(&mut scratch);
+                }
+                run_caught(kernel, m, &mut scratch, 0, obs, site)?;
+                kernel.merge_state(&mut merged, &scratch)?;
+            }
+        }
+        return Ok(merged);
+    }
+
+    // Parallel path: workers claim morsels from an atomic counter; every
+    // morsel gets fresh accumulators, merged afterwards in morsel order.
+    let next = AtomicUsize::new(0);
+    let mut states: Vec<Option<Result<K::State>>> = (0..n_morsels).map(|_| None).collect();
+    let worker_outs: Vec<Vec<(usize, Result<K::State>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let m = next.fetch_add(1, Ordering::Relaxed);
+                        if m >= n_morsels {
+                            break;
+                        }
+                        let mut state = kernel.init_state();
+                        let r = run_caught(kernel, m, &mut state, w, obs, site)
+                            .map(|()| state);
+                        out.push((m, r));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panics are caught"))
+            .collect()
+    });
+    for (m, result) in worker_outs.into_iter().flatten() {
+        states[m] = Some(result);
+    }
+
+    // Merge in morsel order (deterministic). Errors surface for the
+    // smallest failing morsel index, independent of worker scheduling.
+    let mut merged: Option<K::State> = None;
+    for state in states {
+        let state = state.expect("every morsel was claimed")?;
+        match &mut merged {
+            None => merged = Some(state),
+            Some(acc) => kernel.merge_state(acc, &state)?,
+        }
+    }
+    Ok(merged.expect("at least one morsel"))
 }
 
 /// The immutable evaluation context shared across the worker pool.
@@ -354,20 +515,49 @@ struct Kernel<'a> {
     n_morsels: usize,
 }
 
-impl Kernel<'_> {
-    /// Evaluate one morsel of the detail relation against every block,
-    /// into fresh accumulators.
-    fn run_morsel(&self, m: usize) -> Result<MorselState> {
+impl MorselKernel for Kernel<'_> {
+    type State = MorselState;
+
+    fn n_morsels(&self) -> usize {
+        self.n_morsels
+    }
+
+    fn morsel_rows_in(&self, m: usize) -> usize {
+        ((m + 1) * self.morsel_rows).min(self.detail.len()) - m * self.morsel_rows
+    }
+
+    fn init_state(&self) -> MorselState {
+        MorselState {
+            accs: (0..self.base.len()).map(|_| self.layout.init()).collect(),
+            matched: vec![false; self.base.len()],
+        }
+    }
+
+    fn reset_state(&self, state: &mut MorselState) {
+        for acc in &mut state.accs {
+            self.layout.init_into(acc);
+        }
+        state.matched.fill(false);
+    }
+
+    fn merge_state(&self, dst: &mut MorselState, src: &MorselState) -> Result<()> {
+        for (d, s) in dst.accs.iter_mut().zip(&src.accs) {
+            self.layout.merge(d, s)?;
+        }
+        for (d, s) in dst.matched.iter_mut().zip(&src.matched) {
+            *d |= *s;
+        }
+        Ok(())
+    }
+
+    /// Evaluate one morsel of the detail relation against every block.
+    fn run_morsel_into(&self, m: usize, state: &mut MorselState) -> Result<()> {
         if self.opts.fault_panic_morsel == Some(m) {
             panic!("injected fault in morsel {m}");
         }
         let lo = m * self.morsel_rows;
         let hi = ((m + 1) * self.morsel_rows).min(self.detail.len());
         let morsel = &self.detail.rows()[lo..hi];
-        let mut state = MorselState {
-            accs: (0..self.base.len()).map(|_| self.layout.init()).collect(),
-            matched: vec![false; self.base.len()],
-        };
         for (bi, pb) in self.blocks.iter().enumerate() {
             let block = &self.gmdj.blocks[bi];
             match pb.index.map(|i| &self.indexes[i]) {
@@ -425,50 +615,7 @@ impl Kernel<'_> {
                 }
             }
         }
-        Ok(state)
-    }
-
-    /// Run one morsel behind a panic barrier, recording a span on the
-    /// worker's own track (span nesting is per-track, so concurrent
-    /// workers must not share one).
-    fn run_morsel_caught(
-        &self,
-        m: usize,
-        worker: usize,
-        obs: &Obs,
-        site: usize,
-    ) -> Result<MorselState> {
-        let mut span = if obs.is_recording() {
-            Some(
-                obs.span(Track::Worker(site, worker), "morsel")
-                    .with("morsel", m)
-                    .with(
-                        "rows",
-                        ((m + 1) * self.morsel_rows).min(self.detail.len())
-                            - m * self.morsel_rows,
-                    ),
-            )
-        } else {
-            None
-        };
-        let t = std::time::Instant::now();
-        let out = catch_unwind(AssertUnwindSafe(|| self.run_morsel(m)))
-            .unwrap_or_else(|payload| {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "unknown panic".to_string());
-                Err(Error::Execution(format!(
-                    "worker panicked in morsel {m}: {msg}"
-                )))
-            });
-        if let Some(span) = span.take() {
-            obs.hist("kernel.morsel_us", t.elapsed().as_micros() as f64);
-            obs.counter_add("kernel.morsels", 1.0);
-            span.finish();
-        }
-        out
+        Ok(())
     }
 }
 
@@ -504,80 +651,41 @@ pub fn eval_local_traced(
 ) -> Result<LocalGmdj> {
     gmdj.validate(base.schema(), detail.schema())?;
     let (layout, mut blocks) = prepare_blocks(gmdj, base.schema(), detail.schema(), opts)?;
-    let indexes = build_indexes(base, &mut blocks, opts);
 
     let morsel_rows = opts.morsel_rows.max(1);
     let n_morsels = detail.len().div_ceil(morsel_rows).max(1);
-    let kernel = Kernel {
-        base,
-        detail,
-        gmdj,
-        layout: &layout,
-        blocks: &blocks,
-        indexes: &indexes,
-        opts,
-        morsel_rows,
-        n_morsels,
-    };
-    let workers = kernel.opts.effective_parallelism().clamp(1, n_morsels);
 
-    // Evaluate all morsels; each gets fresh accumulators, so results are a
-    // pure function of (input, morsel_rows) — independent of `workers`.
-    let mut states: Vec<Option<Result<MorselState>>> = (0..n_morsels).map(|_| None).collect();
-    if workers == 1 {
-        for (m, slot) in states.iter_mut().enumerate() {
-            *slot = Some(kernel.run_morsel_caught(m, 0, obs, site));
-        }
+    // Both kernels run the same morsel decomposition and merge structure
+    // through `drive`, so their bits agree with each other and across
+    // worker counts.
+    let merged: MorselState = if opts.columnar {
+        crate::columnar::eval_columnar(
+            base,
+            detail,
+            gmdj,
+            &layout,
+            &blocks,
+            opts,
+            morsel_rows,
+            n_morsels,
+            obs,
+            site,
+        )?
     } else {
-        let next = AtomicUsize::new(0);
-        let worker_outs: Vec<Vec<(usize, Result<MorselState>)>> =
-            std::thread::scope(|s| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        let kernel = &kernel;
-                        let next = &next;
-                        s.spawn(move || {
-                            let mut out = Vec::new();
-                            loop {
-                                let m = next.fetch_add(1, Ordering::Relaxed);
-                                if m >= kernel.n_morsels {
-                                    break;
-                                }
-                                out.push((m, kernel.run_morsel_caught(m, w, obs, site)));
-                            }
-                            out
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panics are caught"))
-                    .collect()
-            });
-        for (m, result) in worker_outs.into_iter().flatten() {
-            states[m] = Some(result);
-        }
-    }
-
-    // Merge in morsel order (deterministic): start from morsel 0's state
-    // and fold the rest via AccLayout::merge. Errors surface for the
-    // smallest failing morsel index, independent of worker scheduling.
-    let mut merged: Option<MorselState> = None;
-    for state in states {
-        let state = state.expect("every morsel was claimed")?;
-        match &mut merged {
-            None => merged = Some(state),
-            Some(acc) => {
-                for (dst, src) in acc.accs.iter_mut().zip(&state.accs) {
-                    layout.merge(dst, src)?;
-                }
-                for (dst, src) in acc.matched.iter_mut().zip(&state.matched) {
-                    *dst |= *src;
-                }
-            }
-        }
-    }
-    let merged = merged.expect("at least one morsel");
+        let indexes = build_indexes(base, &mut blocks, opts);
+        let kernel = Kernel {
+            base,
+            detail,
+            gmdj,
+            layout: &layout,
+            blocks: &blocks,
+            indexes: &indexes,
+            opts,
+            morsel_rows,
+            n_morsels,
+        };
+        drive(&kernel, opts, obs, site)?
+    };
 
     let phys_schema = gmdj.physical_schema(base.schema(), detail.schema())?;
     let rows: Vec<Row> = base
@@ -686,13 +794,17 @@ mod tests {
         )
     }
 
-    /// Environment-independent options for deterministic tests.
+    /// Environment-independent options for deterministic tests. The row
+    /// kernel is selected explicitly — these tests exercise its internals;
+    /// columnar/row agreement is covered by dedicated tests below and by
+    /// the property suite.
     fn opts() -> EvalOptions {
         EvalOptions {
             hash_path: true,
             parallelism: 1,
             morsel_rows: DEFAULT_MORSEL_ROWS,
             legacy_probe: false,
+            columnar: false,
             fault_panic_morsel: None,
         }
     }

@@ -6,7 +6,8 @@
 //! decomposition ([`agg`]), condition analysis ([`theta`]), complex GMDJ
 //! expressions ([`chain`]), coalescing rewrites ([`rewrite`]), and an
 //! efficient centralized evaluator ([`eval`]) with hash and nested-loop
-//! strategies.
+//! strategies, evaluated by default through the vectorized columnar
+//! kernel ([`columnar`]).
 //!
 //! Distributed evaluation of these expressions lives in `skalla-core`.
 
@@ -15,6 +16,7 @@
 pub mod agg;
 pub mod chain;
 pub mod codec;
+pub mod columnar;
 pub mod eval;
 pub mod operator;
 pub mod patterns;

@@ -16,6 +16,7 @@
 //! a pragmatic two-valued reading that matches how the paper's conditions
 //! behave over non-null warehouse data.
 
+use crate::columns::Columns;
 use crate::error::{Error, Result};
 use crate::row::Row;
 use crate::schema::Schema;
@@ -539,6 +540,50 @@ impl BoundExpr {
     /// Evaluate a base-only predicate over a single row.
     pub fn eval_row(&self, base: &Row) -> Result<Value> {
         self.eval_inner(base, None)
+    }
+
+    /// Evaluate over a base row and row `at` of a columnar detail store —
+    /// the columnar kernel's equivalent of [`BoundExpr::eval`], fetching
+    /// detail values from typed columns instead of a materialized [`Row`].
+    pub fn eval_cols(&self, base: &Row, detail: &Columns, at: usize) -> Result<Value> {
+        match self {
+            BoundExpr::Col(Side::Base, i) => Ok(base.get(*i).clone()),
+            BoundExpr::Col(Side::Detail, i) => Ok(detail.value(*i, at)),
+            BoundExpr::Lit(v) => Ok(v.clone()),
+            BoundExpr::Cmp(op, a, b) => {
+                let (x, y) = (a.eval_cols(base, detail, at)?, b.eval_cols(base, detail, at)?);
+                if x.is_null() || y.is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Int(op.apply(&x, &y) as i64))
+            }
+            BoundExpr::Arith(op, a, b) => {
+                let (x, y) = (a.eval_cols(base, detail, at)?, b.eval_cols(base, detail, at)?);
+                eval_arith(*op, &x, &y)
+            }
+            BoundExpr::And(a, b) => {
+                if !a.eval_cols(base, detail, at)?.is_truthy() {
+                    return Ok(Value::Int(0));
+                }
+                Ok(Value::Int(b.eval_cols(base, detail, at)?.is_truthy() as i64))
+            }
+            BoundExpr::Or(a, b) => {
+                if a.eval_cols(base, detail, at)?.is_truthy() {
+                    return Ok(Value::Int(1));
+                }
+                Ok(Value::Int(b.eval_cols(base, detail, at)?.is_truthy() as i64))
+            }
+            BoundExpr::Not(a) => {
+                Ok(Value::Int(!a.eval_cols(base, detail, at)?.is_truthy() as i64))
+            }
+            BoundExpr::InList(a, vs) => {
+                let x = a.eval_cols(base, detail, at)?;
+                if x.is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Int(vs.binary_search(&x).is_ok() as i64))
+            }
+        }
     }
 
     fn eval_inner(&self, base: &Row, detail: Option<&Row>) -> Result<Value> {

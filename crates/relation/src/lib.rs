@@ -2,7 +2,9 @@
 //!
 //! The storage and expression layer underneath the Skalla distributed OLAP
 //! engine: scalar [`Value`]s, [`Schema`]s, [`Row`]s, in-memory
-//! [`Relation`]s with the usual operators, two-sided scalar [`Expr`]essions
+//! [`Relation`]s with the usual operators plus a cached [`Columns`]
+//! physical layout (typed vectors, dictionary-encoded strings, validity
+//! bitmaps) for the vectorized kernel, two-sided scalar [`Expr`]essions
 //! (GMDJ conditions θ(b, r)), interval/domain analysis for deriving the
 //! paper's ¬ψ group-reduction filters, hash indexes, a binary codec with
 //! exact byte accounting, and CSV import/export.
@@ -16,6 +18,7 @@ mod error;
 mod value;
 
 pub mod codec;
+pub mod columns;
 pub mod csv;
 pub mod expr;
 pub mod index;
@@ -25,6 +28,7 @@ pub mod relation;
 pub mod row;
 pub mod schema;
 
+pub use columns::{Bitmap, Column, Columns, StrDictView};
 pub use error::{Error, Result};
 pub use expr::{ArithOp, BoundExpr, CmpOp, Expr, Side};
 pub use index::HashIndex;

@@ -1,5 +1,6 @@
 //! In-memory relations (multisets of rows) and basic relational operators.
 
+use crate::columns::Columns;
 use crate::error::{Error, Result};
 use crate::expr::BoundExpr;
 use crate::row::Row;
@@ -7,16 +8,29 @@ use crate::schema::{Schema, SchemaRef};
 use crate::value::Value;
 use std::collections::HashSet;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A multiset of rows sharing one schema.
 ///
 /// This is the storage unit of each warehouse site's local detail relation
-/// and of every structure shipped between sites and the coordinator.
-#[derive(Debug, Clone, PartialEq)]
+/// and of every structure shipped between sites and the coordinator. Rows
+/// remain the interchange representation (the codec and CSV loader read
+/// them unchanged); the columnar physical layout used by the vectorized
+/// kernel is built lazily by [`Relation::columns`] and cached — clones
+/// share the cache, mutation invalidates it.
+#[derive(Debug, Clone)]
 pub struct Relation {
     schema: SchemaRef,
     rows: Vec<Row>,
+    columns: OnceLock<Arc<Columns>>,
+}
+
+/// Equality is over schema and rows only — whether the columnar cache has
+/// been built is invisible.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
 }
 
 impl Relation {
@@ -25,6 +39,7 @@ impl Relation {
         Relation {
             schema: Arc::new(schema),
             rows: Vec::new(),
+            columns: OnceLock::new(),
         }
     }
 
@@ -43,14 +58,22 @@ impl Relation {
                 )));
             }
         }
-        Ok(Relation { schema, rows })
+        Ok(Relation {
+            schema,
+            rows,
+            columns: OnceLock::new(),
+        })
     }
 
     /// A relation reusing an existing shared schema (no arity re-check; used
     /// on hot paths where rows are constructed against that schema).
     pub fn from_shared(schema: SchemaRef, rows: Vec<Row>) -> Relation {
         debug_assert!(rows.iter().all(|r| r.len() == schema.len()));
-        Relation { schema, rows }
+        Relation {
+            schema,
+            rows,
+            columns: OnceLock::new(),
+        }
     }
 
     /// The schema.
@@ -79,17 +102,28 @@ impl Relation {
     }
 
     /// Mutable access to the rows (coordinator-side in-place merges).
+    /// Invalidates the cached columnar layout.
     pub fn rows_mut(&mut self) -> &mut Vec<Row> {
+        self.columns.take();
         &mut self.rows
     }
 
-    /// Append a row.
+    /// Append a row. Invalidates the cached columnar layout.
     ///
     /// # Panics
     /// Debug-asserts the arity matches.
     pub fn push(&mut self, row: Row) {
         debug_assert_eq!(row.len(), self.schema.len());
+        self.columns.take();
         self.rows.push(row);
+    }
+
+    /// The columnar physical layout of this relation (typed vectors,
+    /// dictionary-encoded strings, validity bitmaps). Built on first use
+    /// and cached; clones of this relation share the cache.
+    pub fn columns(&self) -> &Columns {
+        self.columns
+            .get_or_init(|| Arc::new(Columns::from_rows(&self.schema, &self.rows)))
     }
 
     /// Iterate over rows.
@@ -313,5 +347,22 @@ mod tests {
         let r = sample();
         let f = r.filter(|row| row.get(0) == &Value::Int(1));
         assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn columns_view_round_trips_and_invalidates() {
+        let mut r = sample();
+        let cols = r.columns();
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols.to_rows(), r.rows());
+        // Mutation invalidates the cached layout.
+        r.push(row![9i64, "z"]);
+        assert_eq!(r.columns().len(), 4);
+        assert_eq!(r.columns().value(1, 3), Value::str("z"));
+        r.rows_mut().pop();
+        assert_eq!(r.columns().len(), 3);
+        // The cache is invisible to equality.
+        let fresh = sample();
+        assert_eq!(r, fresh);
     }
 }

@@ -47,12 +47,137 @@ fn arb_relation() -> impl Strategy<Value = Relation> {
     })
 }
 
+/// Relations biased toward the columnar layout's edge cases: per-column
+/// homogeneous types (so Int/Double/Str columns actually form), Nulls
+/// everywhere, NaN and -0.0 payloads, and a tiny string alphabet so the
+/// dictionary sees repeats — plus a mixed-type column kind for the
+/// fallback path.
+fn arb_columnar_relation() -> impl Strategy<Value = Relation> {
+    fn cell(kind: usize) -> BoxedStrategy<Value> {
+        match kind {
+            0 => prop_oneof![
+                any::<i64>().prop_map(Value::Int),
+                any::<i64>().prop_map(Value::Int),
+                Just(Value::Null),
+            ]
+            .boxed(),
+            1 => prop_oneof![
+                (-1e12f64..1e12).prop_map(Value::Double),
+                (-1e12f64..1e12).prop_map(Value::Double),
+                Just(Value::Double(f64::NAN)),
+                Just(Value::Double(-0.0)),
+                Just(Value::Null),
+            ]
+            .boxed(),
+            2 => prop_oneof![
+                "[ab]{0,2}".prop_map(Value::str),
+                "[ab]{0,2}".prop_map(Value::str),
+                Just(Value::Null),
+            ]
+            .boxed(),
+            _ => arb_value().boxed(),
+        }
+    }
+    (
+        (0usize..4, 0usize..4, 0usize..4, 0usize..4),
+        1usize..5,
+        0usize..24,
+    )
+        .prop_flat_map(|(kinds, arity, n_rows)| {
+            let kinds = [kinds.0, kinds.1, kinds.2, kinds.3];
+            (
+                proptest::collection::vec(cell(kinds[0]), n_rows..n_rows + 1),
+                proptest::collection::vec(cell(kinds[1]), n_rows..n_rows + 1),
+                proptest::collection::vec(cell(kinds[2]), n_rows..n_rows + 1),
+                proptest::collection::vec(cell(kinds[3]), n_rows..n_rows + 1),
+            )
+                .prop_map(move |(c0, c1, c2, c3)| {
+                    let cols = [c0, c1, c2, c3];
+                    let fields: Vec<(String, DataType)> = kinds[..arity]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, k)| {
+                            let t = match k {
+                                1 => DataType::Double,
+                                2 => DataType::Str,
+                                _ => DataType::Int,
+                            };
+                            (format!("c{i}"), t)
+                        })
+                        .collect();
+                    let schema = Schema::of(
+                        &fields
+                            .iter()
+                            .map(|(n, t)| (n.as_str(), *t))
+                            .collect::<Vec<_>>(),
+                    );
+                    let rows: Vec<Row> = (0..n_rows)
+                        .map(|r| {
+                            Row::new(
+                                cols[..arity].iter().map(|c| c[r].clone()).collect(),
+                            )
+                        })
+                        .collect();
+                    Relation::new(schema, rows).expect("arity matches")
+                })
+        })
+}
+
 proptest! {
     #[test]
     fn codec_round_trips(rel in arb_relation()) {
         let bytes = encode_relation(&rel);
         let back = decode_relation(&bytes).expect("decode what we encoded");
         prop_assert_eq!(rel, back);
+    }
+
+    /// The columnar physical layout is a lossless re-encoding: every cell
+    /// survives `rows → Columns → rows` with exact bits (f64 compared by
+    /// bit pattern, so NaN payloads and -0.0 are preserved), Nulls map to
+    /// validity-bitmap gaps and back, and equal strings share one
+    /// dictionary entry (same `Arc<str>` after reconstruction).
+    #[test]
+    fn columnar_layout_round_trips(rel in arb_columnar_relation()) {
+        let cols = rel.columns();
+        prop_assert_eq!(cols.len(), rel.len());
+        prop_assert_eq!(cols.arity(), rel.schema().len());
+        let bits_equal = |a: &Value, b: &Value| match (a, b) {
+            (Value::Double(x), Value::Double(y)) => x.to_bits() == y.to_bits(),
+            _ => a == b,
+        };
+        for (i, row) in rel.rows().iter().enumerate() {
+            for (c, want) in row.values().iter().enumerate() {
+                let got = cols.value(c, i);
+                prop_assert!(bits_equal(&got, want), "cell ({c},{i}): {got:?} vs {want:?}");
+            }
+        }
+        let back = cols.to_rows();
+        prop_assert_eq!(back.len(), rel.len());
+        for (got, want) in back.iter().zip(rel.rows()) {
+            for (gv, wv) in got.values().iter().zip(want.values()) {
+                prop_assert!(bits_equal(gv, wv), "{gv:?} vs {wv:?}");
+            }
+        }
+        // Shared interning: in a dictionary-encoded column, equal strings
+        // come back as the *same* allocation. (Mixed-type columns store
+        // values verbatim and make no sharing promise.)
+        for c in 0..cols.arity() {
+            if !matches!(cols.col(c), skalla_relation::Column::Str { .. }) {
+                continue;
+            }
+            let mut seen: Vec<std::sync::Arc<str>> = Vec::new();
+            for r in &back {
+                if let Value::Str(s) = &r.values()[c] {
+                    match seen.iter().find(|p| ***p == **s) {
+                        Some(prev) => prop_assert!(
+                            std::sync::Arc::ptr_eq(prev, s),
+                            "equal strings {s:?} in column {c} not shared"
+                        ),
+                        None => seen.push(s.clone()),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

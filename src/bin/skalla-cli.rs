@@ -104,6 +104,10 @@ QUERY OPTIONS:
   --chunk N                   row blocking: ship results in chunks of N rows
   --threads N                 worker threads per site for the morsel-parallel
                               GMDJ kernel (default: available cores; 1 = serial)
+  --no-columnar               evaluate with the row-at-a-time GMDJ kernel
+                              instead of the vectorized columnar kernel
+                              (ablation; same bits either way; also
+                              SKALLA_COLUMNAR=0)
   --concurrency N             submit the query N times at once through the
                               multi-query scheduler; the copies share the
                               persistent site sessions and must agree
@@ -284,12 +288,22 @@ fn build_engine(args: &[String], obs: Obs) -> Result<Box<dyn Warehouse>, String>
         let n: usize = chunk.parse().map_err(|e| format!("bad --chunk: {e}"))?;
         builder = builder.chunk_rows(Some(n));
     }
+    let mut eval = skalla::gmdj::EvalOptions::default();
+    let mut eval_set = false;
     if let Some(threads) = opt(args, "--threads") {
         let n: usize = threads.parse().map_err(|e| format!("bad --threads: {e}"))?;
         if n == 0 {
             return Err("--threads must be at least 1 (omit for auto)".to_string());
         }
-        builder = builder.eval_options(skalla::gmdj::EvalOptions::with_parallelism(n));
+        eval.parallelism = n;
+        eval_set = true;
+    }
+    if args.iter().any(|a| a == "--no-columnar") {
+        eval.columnar = false;
+        eval_set = true;
+    }
+    if eval_set {
+        builder = builder.eval_options(eval);
     }
     if let Some(c) = opt(args, "--concurrency") {
         let n: usize = c.parse().map_err(|e| format!("bad --concurrency: {e}"))?;

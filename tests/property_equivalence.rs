@@ -171,25 +171,35 @@ proptest! {
             ],
         );
         // Explicit options (not Default) so the test is independent of
-        // SKALLA_THREADS / SKALLA_MORSEL_ROWS in the environment. Tiny
-        // morsels force many merge steps even on small inputs.
-        let opts = |parallelism: usize, legacy_probe: bool| EvalOptions {
+        // SKALLA_THREADS / SKALLA_MORSEL_ROWS / SKALLA_COLUMNAR in the
+        // environment. Tiny morsels force many merge steps even on small
+        // inputs.
+        let opts = |parallelism: usize, legacy_probe: bool, columnar: bool| EvalOptions {
             hash_path,
             parallelism,
             morsel_rows: 7,
             legacy_probe,
+            columnar,
             fault_panic_morsel: None,
         };
-        let reference = skalla::gmdj::eval_local(&base, &detail, &op, opts(1, false))
+        let reference = skalla::gmdj::eval_local(&base, &detail, &op, opts(1, false, false))
             .expect("serial kernel");
-        for (p, legacy) in [(1, true), (2, false), (2, true), (7, false)] {
-            let out = skalla::gmdj::eval_local(&base, &detail, &op, opts(p, legacy))
+        for (p, legacy, columnar) in [
+            (1, true, false),
+            (2, false, false),
+            (2, true, false),
+            (7, false, false),
+            (1, false, true),
+            (2, false, true),
+            (7, false, true),
+        ] {
+            let out = skalla::gmdj::eval_local(&base, &detail, &op, opts(p, legacy, columnar))
                 .expect("parallel kernel");
             prop_assert_eq!(out.matched.clone(), reference.matched.clone(),
-                "matched flags, parallelism {} legacy {}", p, legacy);
+                "matched flags, parallelism {} legacy {} columnar {}", p, legacy, columnar);
             prop_assert_eq!(
                 out.physical.len(), reference.physical.len(),
-                "row count, parallelism {} legacy {}", p, legacy
+                "row count, parallelism {} legacy {} columnar {}", p, legacy, columnar
             );
             for (got, want) in out.physical.rows().iter().zip(reference.physical.rows()) {
                 for (gv, wv) in got.values().iter().zip(want.values()) {
@@ -200,10 +210,51 @@ proptest! {
                     };
                     prop_assert!(
                         same,
-                        "bit mismatch at parallelism {} legacy {}: {:?} vs {:?}",
-                        p, legacy, gv, wv
+                        "bit mismatch at parallelism {} legacy {} columnar {}: {:?} vs {:?}",
+                        p, legacy, columnar, gv, wv
                     );
                 }
+            }
+        }
+    }
+
+    /// The columnar kernel is bit-identical to the row kernel on randomly
+    /// shaped GMDJ *chains* — including correlated second blocks (whose
+    /// residuals reference first-block aggregate outputs) and non-equi
+    /// blocks (nested-loop path), end to end through finalization.
+    #[test]
+    fn columnar_kernel_matches_row_kernel_on_chains(
+        rows in proptest::collection::vec((-6i64..6, 0i64..3, -20i64..20), 0..60),
+        group_on_h in any::<bool>(),
+        second in arb_second(),
+    ) {
+        let detail = detail_relation_f64(rows);
+        let cluster = Cluster::from_partitions("t", partition_round_robin(&detail, 1));
+        let group_cols: Vec<&str> = if group_on_h { vec!["g", "h"] } else { vec!["g"] };
+        let expr = build_expr(&group_cols, &second);
+        let opts = |columnar: bool| EvalOptions {
+            hash_path: true,
+            parallelism: 1,
+            morsel_rows: 7,
+            legacy_probe: false,
+            columnar,
+            fault_panic_morsel: None,
+        };
+        let rowk = expr
+            .eval_centralized(&cluster.global_catalog(), opts(false))
+            .expect("row kernel evaluates");
+        let colk = expr
+            .eval_centralized(&cluster.global_catalog(), opts(true))
+            .expect("columnar kernel evaluates");
+        prop_assert_eq!(rowk.len(), colk.len());
+        for (got, want) in colk.rows().iter().zip(rowk.rows()) {
+            for (gv, wv) in got.values().iter().zip(want.values()) {
+                let same = match (gv, wv) {
+                    (skalla::relation::Value::Double(a), skalla::relation::Value::Double(b)) =>
+                        a.to_bits() == b.to_bits(),
+                    _ => gv == wv,
+                };
+                prop_assert!(same, "second {:?}: {:?} vs {:?}", second, gv, wv);
             }
         }
     }

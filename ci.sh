@@ -20,6 +20,12 @@ SKALLA_THREADS=4 cargo test -q
 SKALLA_COLUMNAR=0 cargo test -q
 SKALLA_COLUMNAR=0 cargo test -q -p skalla-gmdj
 SKALLA_COLUMNAR=1 cargo test -q -p skalla-gmdj
+# Skew ablation: the heavy-hitter balancer is a pure performance
+# transform, so the kernel and engine crates must pass identically with
+# it forced off and on (the equivalence property test additionally pins
+# bit-identity between the two paths on every run above).
+SKALLA_SKEW=0 cargo test -q -p skalla-gmdj -p skalla-core
+SKALLA_SKEW=1 cargo test -q -p skalla-gmdj -p skalla-core
 cargo clippy --all-targets -- -D warnings
 
 # Extended (workspace-wide) checks; tier-1 above is the gate.
@@ -45,6 +51,12 @@ cargo bench -p skalla-bench --bench probe_alloc
 # counts and kernels.
 cargo run --release -q -p skalla-bench --bin fig_kernel -- \
   --quick --repeats 3 --check --out "$(mktemp)"
+# Skew balancing smoke: quick fig_skew run; --check asserts balanced
+# max-site-busy strictly below unbalanced on the skewed configuration
+# (Zipf 1.2, 8 sites) under both kernels, plus bit-identity of the
+# balanced and unbalanced results everywhere.
+cargo run --release -q -p skalla-bench --bin fig_skew -- \
+  --quick --check --out "$(mktemp)"
 
 # Multi-process TCP smoke test: two standalone site processes on ephemeral
 # loopback ports, one coordinator run over them. Skipped gracefully in

@@ -87,6 +87,7 @@ fn main() {
         morsel_rows: 1 << 30,
         legacy_probe,
         columnar,
+        skew_balance: true,
         fault_panic_morsel: None,
     };
 

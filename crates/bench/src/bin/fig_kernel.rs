@@ -113,6 +113,7 @@ fn main() {
             morsel_rows,
             legacy_probe,
             columnar,
+            skew_balance: true,
             fault_panic_morsel: None,
         }
     };

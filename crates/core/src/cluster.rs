@@ -7,18 +7,21 @@
 //! sites compute, synchronize the sub-results, finalize. It also provides
 //! the ship-everything centralized baseline that Skalla's design avoids.
 
-use crate::coordinator::{empty_aggregates, parallel_merge_tree, BaseSync, ChainSync, MergeSync};
+use crate::coordinator::{
+    empty_aggregates, parallel_merge_tree, BaseSync, ChainSync, MergeSync, PartialMerge,
+};
 use crate::distribution::DistributionInfo;
 use crate::plan::{DistributedPlan, SiteFilter, StageKind};
 use crate::protocol;
+use crate::skew::{plan_routing, skew_eligible, Assignment, ExtractSpec, HotReport, SkewPlan};
 use crate::stats::{ExecStats, QueryResult, StageTimes};
 use parking_lot::Mutex;
 use skalla_gmdj::eval::EvalOptions;
 use skalla_gmdj::{BaseQuery, GmdjExpr};
 use skalla_net::{star, CoordinatorTransport, Direction, NetStats};
 use skalla_obs::{Obs, Track};
-use skalla_relation::{DomainMap, Error, Relation, Result, Schema};
-use std::collections::HashMap;
+use skalla_relation::{DomainMap, Error, Relation, Result, Row, Schema, Value};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -348,6 +351,15 @@ pub(crate) fn run_coordinator(
         BaseQuery::DistinctProject { .. } => None,
     };
     let mut stage_times = Vec::with_capacity(plan.stages.len());
+    // Skew balancing: when the knob is on and the plan is eligible, the
+    // sites append heavy-hitter reports to the base round, from which the
+    // routing is decided once and applied to every eligible stage.
+    let skew_spec = if eval.skew_balance {
+        skew_eligible(plan)
+    } else {
+        None
+    };
+    let mut skew_plan = SkewPlan::default();
 
     for (sidx, stage) in plan.stages.iter().enumerate() {
         coord.stats().begin_round(stage.label.clone());
@@ -368,10 +380,32 @@ pub(crate) fn run_coordinator(
                     .map_err(net_err)?;
                 let mut sync_span = obs.span(track, "BaseSync");
                 let mut sync = BaseSync::new();
-                st.coord_s += collect(coord, timeout, n, sidx as u32, |_, rel| {
-                    st.rows_up += rel.len() as u64;
-                    sync.absorb(rel)
-                })?;
+                if skew_spec.is_some() {
+                    let mut reports: Vec<HotReport> = vec![HotReport::default(); n];
+                    st.coord_s += collect_with_reports(
+                        coord,
+                        timeout,
+                        n,
+                        sidx as u32,
+                        &mut reports,
+                        |_, rel| {
+                            st.rows_up += rel.len() as u64;
+                            sync.absorb(rel)
+                        },
+                    )?;
+                    let t = Instant::now();
+                    skew_plan = plan_routing(&reports);
+                    if obs.is_recording() && !skew_plan.is_trivial() {
+                        obs.counter_add("skew.donors", skew_plan.n_donors() as f64);
+                        obs.counter_add("skew.hot_keys", skew_plan.n_hot_keys() as f64);
+                    }
+                    st.coord_s += t.elapsed().as_secs_f64();
+                } else {
+                    st.coord_s += collect(coord, timeout, n, sidx as u32, |_, rel| {
+                        st.rows_up += rel.len() as u64;
+                        sync.absorb(rel)
+                    })?;
+                }
                 let t = Instant::now();
                 b_cur = Some(sync.finish(&plan.key)?);
                 st.coord_s += t.elapsed().as_secs_f64();
@@ -380,10 +414,17 @@ pub(crate) fn run_coordinator(
                 sync_span.finish();
             }
             StageKind::Unit(unit) => {
-                // 1. Ship base fragments to participating sites.
+                // 1. Ship base fragments to participating sites. On a
+                // skew-balanced stage, a donor's hot-group base rows are
+                // held back for helpers and the donor is asked to loan
+                // the matching detail segments out.
                 let t = Instant::now();
                 let mut ship_span = obs.span(track, "ship base");
                 let mut participants = 0usize;
+                let balancing = skew_spec
+                    .as_ref()
+                    .filter(|s| s.stages.contains(&sidx) && !skew_plan.is_trivial());
+                let mut donors: HashMap<usize, DonorState> = HashMap::new();
                 let shared_fragment: Option<Relation> = if unit.fold_base {
                     None
                 } else {
@@ -393,7 +434,7 @@ pub(crate) fn run_coordinator(
                     Some(project_ship(b, &unit.ship_columns)?)
                 };
                 for site in 0..n {
-                    let fragment = match &unit.site_filters[site] {
+                    let mut fragment = match &unit.site_filters[site] {
                         SiteFilter::Skip => {
                             // Thm 4, S_MD ⊂ S_B case: the whole fragment
                             // is eliminated for this site.
@@ -429,11 +470,38 @@ pub(crate) fn run_coordinator(
                         }
                     };
                     participants += 1;
+                    let mut extract = None;
+                    if let Some(spec) = balancing {
+                        if !skew_plan.assignments[site].is_empty() {
+                            if let Some(f) = fragment.take() {
+                                match split_donor_fragment(
+                                    &f,
+                                    &plan.key,
+                                    &skew_plan.assignments[site],
+                                    &spec.detail_cols,
+                                )? {
+                                    Some((cold, ex, state)) => {
+                                        fragment = Some(cold);
+                                        extract = Some(ex);
+                                        donors.insert(site, state);
+                                    }
+                                    None => fragment = Some(f),
+                                }
+                            }
+                        }
+                    }
                     if let Some(f) = &fragment {
                         st.rows_down += f.len() as u64;
                     }
                     coord
-                        .send(site, protocol::run_stage(sidx as u32, fragment.as_ref()))
+                        .send(
+                            site,
+                            protocol::run_stage_with_extract(
+                                sidx as u32,
+                                fragment.as_ref(),
+                                extract.as_ref(),
+                            ),
+                        )
                         .map_err(net_err)?;
                 }
                 st.coord_s += t.elapsed().as_secs_f64();
@@ -472,22 +540,74 @@ pub(crate) fn run_coordinator(
                         &plan.key,
                         op,
                     )?;
-                    // Gather each site's chunks (site order, arrival
-                    // order within a site) and merge them as a parallel
-                    // binary tree instead of a left fold; only the final
-                    // merged relation is absorbed into X.
+                    // Gather each site's chunks, coalesce them into one
+                    // relation per site (chunks of one site hold disjoint
+                    // keys, so this is a bitwise pass-through; a donor's
+                    // coalesce also folds in the loan reconstruction),
+                    // then merge across sites as a parallel binary tree
+                    // whose shape depends only on the participant set —
+                    // the same either way, which keeps balanced and
+                    // unbalanced runs bit-identical.
                     let mut chunks_per_site: Vec<Vec<Relation>> = vec![Vec::new(); n];
-                    st.coord_s +=
-                        collect(coord, timeout, participants, sidx as u32, |site, rel| {
-                            st.rows_up += rel.len() as u64;
-                            chunks_per_site[site].push(rel);
-                            Ok(())
-                        })?;
+                    if donors.is_empty() {
+                        st.coord_s +=
+                            collect(coord, timeout, participants, sidx as u32, |site, rel| {
+                                st.rows_up += rel.len() as u64;
+                                chunks_per_site[site].push(rel);
+                                Ok(())
+                            })?;
+                    } else {
+                        let spec = balancing.expect("donors imply an active skew spec");
+                        st.coord_s += collect_balanced(
+                            coord,
+                            timeout,
+                            participants,
+                            sidx as u32,
+                            &spec.detail_cols,
+                            &mut donors,
+                            &mut chunks_per_site,
+                            &mut st,
+                            obs,
+                        )?;
+                    }
                     let t = Instant::now();
-                    let chunks: Vec<Relation> = chunks_per_site.into_iter().flatten().collect();
-                    let n_chunks = chunks.len();
+                    let mut n_chunks = 0usize;
+                    let mut per_site: Vec<Relation> = Vec::with_capacity(n);
+                    for (site, site_chunks) in chunks_per_site.iter_mut().enumerate() {
+                        let chunks = std::mem::take(site_chunks);
+                        n_chunks += chunks.len();
+                        let mut loan: Vec<(u32, usize, Relation)> = donors
+                            .get_mut(&site)
+                            .map(|d| std::mem::take(&mut d.results))
+                            .unwrap_or_default();
+                        if chunks.is_empty() && loan.is_empty() {
+                            continue;
+                        }
+                        if chunks.len() == 1 && loan.is_empty() {
+                            per_site.push(chunks.into_iter().next().expect("len checked"));
+                            continue;
+                        }
+                        let schema = chunks
+                            .first()
+                            .map(|c| c.schema_ref())
+                            .or_else(|| loan.first().map(|(_, _, r)| r.schema_ref()))
+                            .expect("non-empty checked");
+                        let mut pm = PartialMerge::new(plan.key.len(), op);
+                        for c in &chunks {
+                            pm.absorb(c)?;
+                        }
+                        // Loan sub-aggregates merge in (segment, helper)
+                        // order — the donor's morsel order — so each hot
+                        // key's state folds exactly as the donor would
+                        // have folded it locally.
+                        loan.sort_by_key(|&(seg, helper, _)| (seg, helper));
+                        for (_, _, rel) in &loan {
+                            pm.absorb(rel)?;
+                        }
+                        per_site.push(pm.into_relation(schema));
+                    }
                     let merged = parallel_merge_tree(
-                        chunks,
+                        per_site,
                         plan.key.len(),
                         op,
                         eval.effective_parallelism(),
@@ -544,6 +664,260 @@ pub(crate) fn collect(
                     finished += 1;
                 }
                 absorb(site, rel)?;
+            }
+            protocol::TAG_ERROR => {
+                return Err(Error::Execution(format!(
+                    "site failed: {}",
+                    protocol::decode_error(&msg.payload)
+                )));
+            }
+            t => {
+                return Err(Error::Execution(format!(
+                    "unexpected message tag {t} from site"
+                )))
+            }
+        }
+        busy += t.elapsed().as_secs_f64();
+    }
+    Ok(busy)
+}
+
+/// [`collect`] for a skew-monitored base round: additionally gathers one
+/// heavy-hitter report per site, returning once every site has sent both
+/// its final result chunk and its report.
+fn collect_with_reports(
+    coord: &dyn CoordinatorTransport,
+    timeout: Duration,
+    expected: usize,
+    stage: u32,
+    reports: &mut [HotReport],
+    mut absorb: impl FnMut(usize, Relation) -> Result<()>,
+) -> Result<f64> {
+    let mut busy = 0.0;
+    let mut finished = 0usize;
+    let mut reported = 0usize;
+    while finished < expected || reported < expected {
+        let (site, msg) = coord.recv(timeout).map_err(net_err)?;
+        let t = Instant::now();
+        match msg.tag {
+            protocol::TAG_RESULT => {
+                let (s, last, rel) = protocol::decode_result(&msg.payload)?;
+                if s != stage {
+                    return Err(Error::Execution(format!(
+                        "result for stage {s} while synchronizing stage {stage}"
+                    )));
+                }
+                if last {
+                    finished += 1;
+                }
+                absorb(site, rel)?;
+            }
+            protocol::TAG_HH_REPORT => {
+                let (s, report) = protocol::decode_hh_report(&msg.payload)?;
+                if s != stage {
+                    return Err(Error::Execution(format!(
+                        "heavy-hitter report for stage {s} during stage {stage}"
+                    )));
+                }
+                reports[site] = report;
+                reported += 1;
+            }
+            protocol::TAG_ERROR => {
+                return Err(Error::Execution(format!(
+                    "site failed: {}",
+                    protocol::decode_error(&msg.payload)
+                )));
+            }
+            t => {
+                return Err(Error::Execution(format!(
+                    "unexpected message tag {t} from site"
+                )))
+            }
+        }
+        busy += t.elapsed().as_secs_f64();
+    }
+    Ok(busy)
+}
+
+/// Coordinator-side context for one donor site on one rebalanced stage.
+struct DonorState {
+    /// Hot key → the helper sites taking it over.
+    helpers: HashMap<Vec<Value>, Vec<usize>>,
+    /// The base rows removed from the donor's fragment, in fragment
+    /// order, with their keys.
+    base_rows: Vec<(Vec<Value>, Row)>,
+    /// The shipped fragment's schema (the base relation of loan tasks).
+    schema: skalla_relation::SchemaRef,
+    /// `(segment, helper, sub-aggregates)` triples received back.
+    results: Vec<(u32, usize, Relation)>,
+}
+
+/// Split a donor's base fragment into the cold tail it evaluates itself
+/// and the hot-group rows held back for helpers. Returns `None` when no
+/// assigned hot key is actually present in the fragment (group reduction
+/// may have filtered them out), in which case the stage runs unbalanced
+/// for this site.
+fn split_donor_fragment(
+    f: &Relation,
+    key: &[String],
+    assignments: &[Assignment],
+    detail_cols: &[String],
+) -> Result<Option<(Relation, ExtractSpec, DonorState)>> {
+    let mut key_idx = Vec::with_capacity(key.len());
+    for k in key {
+        key_idx.push(f.schema().index_of(k)?);
+    }
+    let assigned: HashMap<&Vec<Value>, &Vec<usize>> =
+        assignments.iter().map(|a| (&a.key, &a.helpers)).collect();
+    let mut cold: Vec<Row> = Vec::with_capacity(f.len());
+    let mut base_rows: Vec<(Vec<Value>, Row)> = Vec::new();
+    let mut helpers: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    let mut keys: Vec<Vec<Value>> = Vec::new();
+    for row in f.iter() {
+        let k: Vec<Value> = key_idx.iter().map(|&i| row.get(i).clone()).collect();
+        match assigned.get(&k) {
+            Some(h) => {
+                keys.push(k.clone());
+                helpers.insert(k.clone(), (*h).clone());
+                base_rows.push((k, row.clone()));
+            }
+            None => cold.push(row.clone()),
+        }
+    }
+    if keys.is_empty() {
+        return Ok(None);
+    }
+    let cold = Relation::from_shared(f.schema_ref(), cold);
+    let spec = ExtractSpec {
+        detail_cols: detail_cols.to_vec(),
+        keys,
+    };
+    let state = DonorState {
+        helpers,
+        base_rows,
+        schema: f.schema_ref(),
+        results: Vec::new(),
+    };
+    Ok(Some((cold, spec, state)))
+}
+
+/// [`collect`] for a skew-balanced stage: alongside the regular result
+/// chunks, receives each donor's loan (dispatching its segments to the
+/// assigned helpers as soon as it arrives, so helpers overlap with the
+/// still-running sites) and the helpers' per-segment sub-aggregates.
+/// Returns once every participant finished, every donor loaned, and
+/// every dispatched loan task answered.
+#[allow(clippy::too_many_arguments)]
+fn collect_balanced(
+    coord: &dyn CoordinatorTransport,
+    timeout: Duration,
+    expected: usize,
+    stage: u32,
+    detail_cols: &[String],
+    donors: &mut HashMap<usize, DonorState>,
+    chunks_per_site: &mut [Vec<Relation>],
+    st: &mut StageTimes,
+    obs: &Obs,
+) -> Result<f64> {
+    let mut busy = 0.0;
+    let mut finished = 0usize;
+    let mut loans = 0usize;
+    let mut tasks_sent = 0usize;
+    let mut results_recv = 0usize;
+    while finished < expected || loans < donors.len() || results_recv < tasks_sent {
+        let (site, msg) = coord.recv(timeout).map_err(net_err)?;
+        let t = Instant::now();
+        match msg.tag {
+            protocol::TAG_RESULT => {
+                let (s, last, rel) = protocol::decode_result(&msg.payload)?;
+                if s != stage {
+                    return Err(Error::Execution(format!(
+                        "result for stage {s} while synchronizing stage {stage}"
+                    )));
+                }
+                if last {
+                    finished += 1;
+                }
+                st.rows_up += rel.len() as u64;
+                chunks_per_site[site].push(rel);
+            }
+            protocol::TAG_LOAN => {
+                let (s, segments) = protocol::decode_loan(&msg.payload)?;
+                if s != stage {
+                    return Err(Error::Execution(format!(
+                        "loan for stage {s} during stage {stage}"
+                    )));
+                }
+                loans += 1;
+                let state = donors
+                    .get_mut(&site)
+                    .ok_or_else(|| Error::Execution("loan from a non-donor site".into()))?;
+                // Route each segment's rows to its keys' helpers and
+                // dispatch one task per helper.
+                let mut per_helper: BTreeMap<usize, Vec<(u32, Relation)>> = BTreeMap::new();
+                for (seg, rel) in &segments {
+                    st.rows_up += rel.len() as u64;
+                    let mut idx = Vec::with_capacity(detail_cols.len());
+                    for c in detail_cols {
+                        idx.push(rel.schema().index_of(c)?);
+                    }
+                    let mut split: BTreeMap<usize, Vec<Row>> = BTreeMap::new();
+                    for row in rel.iter() {
+                        let k: Vec<Value> = idx.iter().map(|&i| row.get(i).clone()).collect();
+                        let helpers = state.helpers.get(&k).ok_or_else(|| {
+                            Error::Execution("loaned row with an unassigned key".into())
+                        })?;
+                        split
+                            .entry(helpers[*seg as usize % helpers.len()])
+                            .or_default()
+                            .push(row.clone());
+                    }
+                    for (h, rows) in split {
+                        per_helper
+                            .entry(h)
+                            .or_default()
+                            .push((*seg, Relation::from_shared(rel.schema_ref(), rows)));
+                    }
+                }
+                for (helper, segs) in per_helper {
+                    let base_rows: Vec<Row> = state
+                        .base_rows
+                        .iter()
+                        .filter(|(k, _)| state.helpers[k].contains(&helper))
+                        .map(|(_, r)| r.clone())
+                        .collect();
+                    let base = Relation::from_shared(Arc::clone(&state.schema), base_rows);
+                    st.rows_down += base.len() as u64;
+                    for (_, r) in &segs {
+                        st.rows_down += r.len() as u64;
+                    }
+                    if obs.is_recording() {
+                        obs.counter_add(
+                            "skew.loaned_rows",
+                            segs.iter().map(|(_, r)| r.len() as f64).sum(),
+                        );
+                    }
+                    coord
+                        .send(helper, protocol::loan_task(stage, site as u32, &base, &segs))
+                        .map_err(net_err)?;
+                    tasks_sent += 1;
+                }
+            }
+            protocol::TAG_LOAN_RESULT => {
+                let (s, donor, segments) = protocol::decode_loan_result(&msg.payload)?;
+                if s != stage {
+                    return Err(Error::Execution(format!(
+                        "loan result for stage {s} during stage {stage}"
+                    )));
+                }
+                results_recv += 1;
+                let state = donors
+                    .get_mut(&(donor as usize))
+                    .ok_or_else(|| Error::Execution("loan result for a non-donor site".into()))?;
+                for (seg, rel) in segments {
+                    st.rows_up += rel.len() as u64;
+                    state.results.push((seg, site, rel));
+                }
             }
             protocol::TAG_ERROR => {
                 return Err(Error::Execution(format!(

@@ -56,14 +56,21 @@ impl BaseSync {
         Ok(())
     }
 
-    /// Deduplicate into B₀ and verify the key is unique.
+    /// Deduplicate into B₀, verify the key is unique, and sort by key.
+    ///
+    /// Fragments arrive in whatever order site threads reply, so without
+    /// the sort the row order of B₀ — and of every later round, and of
+    /// the final result — would vary run to run. Sorting by the (unique)
+    /// key makes distributed results reproducible and lets ablation runs
+    /// (kernels, transports, skew balancing) be compared bit for bit.
     pub fn finish(self, key: &[String]) -> Result<Relation> {
         let b = self
             .acc
             .ok_or_else(|| Error::Execution("no base fragments received".into()))?
             .distinct();
         verify_unique_key(&b, key)?;
-        Ok(b)
+        let cols: Vec<&str> = key.iter().map(String::as_str).collect();
+        b.sorted_by(&cols)
     }
 }
 

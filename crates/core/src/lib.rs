@@ -32,6 +32,7 @@ pub mod protocol;
 pub mod remote;
 pub mod scheduler;
 pub mod site;
+pub mod skew;
 pub mod stats;
 pub mod topology;
 pub mod warehouse;
@@ -44,6 +45,7 @@ pub use plan::{
 pub use plan_codec::{decode_plan, encode_plan};
 pub use remote::{RemoteCluster, SiteServer};
 pub use scheduler::{AdmissionError, QueryId, QueryScheduler, SchedulerConfig};
+pub use skew::{plan_routing, skew_eligible, HotReport, SkewPlan, SkewSpec};
 pub use stats::{ExecStats, QueryResult, RoundSummary, SimBreakdown, StageTimes};
 pub use topology::{execute_tree, TreeQueryResult, TreeTopology};
 pub use warehouse::{EngineConfig, Skalla, SkallaBuilder, Warehouse};

@@ -98,6 +98,7 @@ fn put_eval_options(enc: &mut Encoder, opts: &EvalOptions) {
     enc.put_u32(opts.morsel_rows.min(u32::MAX as usize) as u32);
     enc.put_u8(opts.legacy_probe as u8);
     enc.put_u8(opts.columnar as u8);
+    enc.put_u8(opts.skew_balance as u8);
     match opts.fault_panic_morsel {
         Some(m) => {
             enc.put_u8(1);
@@ -113,6 +114,7 @@ fn get_eval_options(dec: &mut Decoder<'_>) -> Result<EvalOptions> {
     let morsel_rows = (dec.get_u32()? as usize).max(1);
     let legacy_probe = dec.get_u8()? != 0;
     let columnar = dec.get_u8()? != 0;
+    let skew_balance = dec.get_u8()? != 0;
     let fault_panic_morsel = match dec.get_u8()? {
         0 => None,
         1 => Some(dec.get_u32()? as usize),
@@ -124,6 +126,7 @@ fn get_eval_options(dec: &mut Decoder<'_>) -> Result<EvalOptions> {
         morsel_rows,
         legacy_probe,
         columnar,
+        skew_balance,
         fault_panic_morsel,
     })
 }
@@ -283,6 +286,7 @@ mod tests {
                 morsel_rows: 65_536,
                 legacy_probe: false,
                 columnar: true,
+                skew_balance: true,
                 fault_panic_morsel: None,
             },
             EvalOptions {
@@ -291,6 +295,7 @@ mod tests {
                 morsel_rows: 256,
                 legacy_probe: true,
                 columnar: false,
+                skew_balance: false,
                 fault_panic_morsel: Some(3),
             },
         ] {
@@ -304,6 +309,7 @@ mod tests {
                 assert_eq!(back_opts.morsel_rows, opts.morsel_rows);
                 assert_eq!(back_opts.legacy_probe, opts.legacy_probe);
                 assert_eq!(back_opts.columnar, opts.columnar);
+                assert_eq!(back_opts.skew_balance, opts.skew_balance);
                 assert_eq!(back_opts.fault_panic_morsel, opts.fault_panic_morsel);
             }
         }

@@ -9,11 +9,12 @@
 //! `TAG_CATALOG`). Every message is payload-identical whichever transport
 //! carries it, so the recorded traffic is transport-invariant.
 
+use crate::skew::{ExtractSpec, HotReport};
 use skalla_net::Message;
 use skalla_obs::json::{self, Json};
 use skalla_obs::TelemetryDelta;
 use skalla_relation::codec::{Decoder, Encoder};
-use skalla_relation::{Domain, DomainMap, Error, Relation, Result, Schema};
+use skalla_relation::{Domain, DomainMap, Error, Relation, Result, Schema, Value};
 
 /// The protocol generation this build speaks, negotiated in the catalog
 /// handshake ([`catalog_request`] carries it, [`catalog`] echoes it).
@@ -52,10 +53,39 @@ pub const TAG_CATALOG: u8 = 7;
 /// [`TAG_SHUTDOWN`] — which ends the whole connection — the session and
 /// its other in-flight queries continue.
 pub const TAG_QUERY_DONE: u8 = 8;
+/// Site → coordinator: the site's round-1 heavy-hitter report
+/// ([`HotReport`]) — its local detail row count and the top group keys
+/// of its space-saving sketch. Sent right after the base-stage result
+/// when the plan is skew-eligible and balancing is on. Unlike telemetry,
+/// this frame **is counted** in the traffic accounting: the routing
+/// decision is part of the query protocol, and its (small, bounded)
+/// cost belongs in the measured totals.
+pub const TAG_HH_REPORT: u8 = 10;
+/// Donor site → coordinator: the detail rows of its rerouted hot groups,
+/// bucketed by morsel segment, loaned out for helpers to evaluate.
+pub const TAG_LOAN: u8 = 11;
+/// Coordinator → helper site: evaluate loaned detail segments against
+/// the donor's hot base rows (each segment as a single morsel).
+pub const TAG_LOAN_TASK: u8 = 12;
+/// Helper site → coordinator: per-segment sub-aggregates of a loan
+/// task, merged back into the donor's result in morsel order.
+pub const TAG_LOAN_RESULT: u8 = 13;
 
 /// Encode a `RUN_STAGE` message.
 pub fn run_stage(stage: u32, fragment: Option<&Relation>) -> Message {
-    let mut enc = Encoder::with_capacity(8 + fragment.map(|r| r.encoded_size()).unwrap_or(0));
+    run_stage_with_extract(stage, fragment, None)
+}
+
+/// Encode a `RUN_STAGE` message, optionally asking the site to also
+/// extract and loan out the detail rows of the listed hot group keys
+/// (skew balancing — the fragment it receives has had those groups'
+/// base rows removed).
+pub fn run_stage_with_extract(
+    stage: u32,
+    fragment: Option<&Relation>,
+    extract: Option<&ExtractSpec>,
+) -> Message {
+    let mut enc = Encoder::with_capacity(16 + fragment.map(|r| r.encoded_size()).unwrap_or(0));
     enc.put_u32(stage);
     match fragment {
         Some(rel) => {
@@ -64,11 +94,25 @@ pub fn run_stage(stage: u32, fragment: Option<&Relation>) -> Message {
         }
         None => enc.put_u8(0),
     }
+    match extract {
+        Some(spec) => {
+            enc.put_u8(1);
+            enc.put_u32(spec.detail_cols.len() as u32);
+            for c in &spec.detail_cols {
+                enc.put_str(c);
+            }
+            enc.put_u32(spec.keys.len() as u32);
+            for k in &spec.keys {
+                put_key(&mut enc, k);
+            }
+        }
+        None => enc.put_u8(0),
+    }
     Message::new(TAG_RUN_STAGE, enc.finish())
 }
 
-/// Decode a `RUN_STAGE` payload.
-pub fn decode_run_stage(payload: &[u8]) -> Result<(u32, Option<Relation>)> {
+/// Decode a `RUN_STAGE` payload into `(stage, fragment, extract spec)`.
+pub fn decode_run_stage(payload: &[u8]) -> Result<(u32, Option<Relation>, Option<ExtractSpec>)> {
     let mut dec = Decoder::new(payload);
     let stage = dec.get_u32()?;
     let fragment = match dec.get_u8()? {
@@ -76,10 +120,242 @@ pub fn decode_run_stage(payload: &[u8]) -> Result<(u32, Option<Relation>)> {
         1 => Some(dec.get_relation()?),
         t => return Err(Error::Codec(format!("bad fragment flag {t}"))),
     };
+    let extract = match dec.get_u8()? {
+        0 => None,
+        1 => {
+            let n_cols = dec.get_u32()? as usize;
+            let mut detail_cols = Vec::with_capacity(n_cols);
+            for _ in 0..n_cols {
+                detail_cols.push(dec.get_str()?);
+            }
+            let n_keys = dec.get_u32()? as usize;
+            let mut keys = Vec::with_capacity(n_keys);
+            for _ in 0..n_keys {
+                keys.push(get_key(&mut dec)?);
+            }
+            Some(ExtractSpec { detail_cols, keys })
+        }
+        t => return Err(Error::Codec(format!("bad extract flag {t}"))),
+    };
     if dec.remaining() != 0 {
         return Err(Error::Codec("trailing bytes in RUN_STAGE".into()));
     }
-    Ok((stage, fragment))
+    Ok((stage, fragment, extract))
+}
+
+fn put_key(enc: &mut Encoder, key: &[Value]) {
+    enc.put_u32(key.len() as u32);
+    for v in key {
+        enc.put_value(v);
+    }
+}
+
+fn get_key(dec: &mut Decoder<'_>) -> Result<Vec<Value>> {
+    let arity = dec.get_u32()? as usize;
+    let mut key = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        key.push(dec.get_value()?);
+    }
+    Ok(key)
+}
+
+fn put_segments(enc: &mut Encoder, segments: &[(u32, Relation)]) {
+    enc.put_u32(segments.len() as u32);
+    for (seg, rel) in segments {
+        enc.put_u32(*seg);
+        enc.put_relation(rel);
+    }
+}
+
+fn get_segments(dec: &mut Decoder<'_>) -> Result<Vec<(u32, Relation)>> {
+    let n = dec.get_u32()? as usize;
+    let mut segments = Vec::with_capacity(n);
+    for _ in 0..n {
+        let seg = dec.get_u32()?;
+        segments.push((seg, dec.get_relation()?));
+    }
+    Ok(segments)
+}
+
+/// Encode a site's `HH_REPORT` frame for the given (base) stage.
+pub fn hh_report(stage: u32, report: &HotReport) -> Message {
+    let mut enc = Encoder::new();
+    enc.put_u32(stage);
+    enc.put_i64(report.rows as i64);
+    enc.put_u32(report.hitters.len() as u32);
+    for (key, count) in &report.hitters {
+        put_key(&mut enc, key);
+        enc.put_i64(*count as i64);
+    }
+    Message::new(TAG_HH_REPORT, enc.finish())
+}
+
+/// Decode an `HH_REPORT` payload into `(stage, report)`.
+pub fn decode_hh_report(payload: &[u8]) -> Result<(u32, HotReport)> {
+    let mut dec = Decoder::new(payload);
+    let stage = dec.get_u32()?;
+    let rows = dec.get_i64()? as u64;
+    let n = dec.get_u32()? as usize;
+    let mut hitters = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = get_key(&mut dec)?;
+        hitters.push((key, dec.get_i64()? as u64));
+    }
+    if dec.remaining() != 0 {
+        return Err(Error::Codec("trailing bytes in HH_REPORT".into()));
+    }
+    Ok((stage, HotReport { rows, hitters }))
+}
+
+/// Relations keyed by the donor's morsel-segment index, in ascending
+/// segment order. A loan's hot detail rows, a helper's per-segment
+/// sub-aggregates, and a donor's cold tail all take this shape.
+pub type Segments = Vec<(u32, Relation)>;
+
+/// Encode a donor's `LOAN` frame: hot-key detail rows bucketed by morsel
+/// segment, in ascending segment order.
+pub fn loan(stage: u32, segments: &[(u32, Relation)]) -> Message {
+    loan_from_encoded(stage, &encode_loan_segments(segments))
+}
+
+/// Encode just the segment list of a `LOAN` frame. A donor caches these
+/// bytes alongside its detail split: the segments are identical for
+/// every eligible stage of a query (only the stage prefix differs), so
+/// the row serialization happens once, not once per round.
+pub fn encode_loan_segments(segments: &[(u32, Relation)]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    put_segments(&mut enc, segments);
+    enc.finish()
+}
+
+/// Incrementally builds the segment list of a `LOAN` frame while the
+/// donor scans its detail partition: hot rows are serialized straight
+/// from the borrowed rows, never cloned into intermediate relations.
+/// Rows must arrive in ascending segment order (one scan does). The
+/// result is byte-identical to [`encode_loan_segments`] over the same
+/// segments.
+pub struct LoanSegmentsBuilder {
+    schema: skalla_relation::SchemaRef,
+    /// Finished segments: `(segment, row count, encoded rows)`.
+    done: Vec<(u32, u32, Vec<u8>)>,
+    cur: Option<(u32, u32, Encoder)>,
+}
+
+impl LoanSegmentsBuilder {
+    /// A builder for hot rows of a detail relation with this schema.
+    pub fn new(schema: skalla_relation::SchemaRef) -> LoanSegmentsBuilder {
+        LoanSegmentsBuilder {
+            schema,
+            done: Vec::new(),
+            cur: None,
+        }
+    }
+
+    /// Append one hot row of segment `seg`.
+    pub fn push(&mut self, seg: u32, row: &skalla_relation::Row) {
+        match &mut self.cur {
+            Some((s, n, enc)) if *s == seg => {
+                enc.put_row(row);
+                *n += 1;
+            }
+            _ => {
+                self.flush_cur();
+                let mut enc = Encoder::new();
+                enc.put_row(row);
+                self.cur = Some((seg, 1, enc));
+            }
+        }
+    }
+
+    fn flush_cur(&mut self) {
+        if let Some((s, n, enc)) = self.cur.take() {
+            self.done.push((s, n, enc.finish()));
+        }
+    }
+
+    /// The encoded segment list (the `LOAN` frame body).
+    pub fn finish(mut self) -> Vec<u8> {
+        self.flush_cur();
+        let mut enc = Encoder::new();
+        enc.put_u32(self.done.len() as u32);
+        let mut out = enc.finish();
+        for (seg, n, rows) in &self.done {
+            let mut head = Encoder::new();
+            head.put_u32(*seg);
+            head.put_schema(&self.schema);
+            head.put_u32(*n);
+            out.extend_from_slice(&head.finish());
+            out.extend_from_slice(rows);
+        }
+        out
+    }
+}
+
+/// Build a `LOAN` frame from a pre-encoded segment list
+/// ([`encode_loan_segments`]).
+pub fn loan_from_encoded(stage: u32, segments: &[u8]) -> Message {
+    let mut enc = Encoder::new();
+    enc.put_u32(stage);
+    let mut payload = enc.finish();
+    payload.extend_from_slice(segments);
+    Message::new(TAG_LOAN, payload)
+}
+
+/// Decode a `LOAN` payload into `(stage, segments)`.
+pub fn decode_loan(payload: &[u8]) -> Result<(u32, Segments)> {
+    let mut dec = Decoder::new(payload);
+    let stage = dec.get_u32()?;
+    let segments = get_segments(&mut dec)?;
+    if dec.remaining() != 0 {
+        return Err(Error::Codec("trailing bytes in LOAN".into()));
+    }
+    Ok((stage, segments))
+}
+
+/// Encode a `LOAN_TASK` frame: the donor's hot base rows plus the detail
+/// segments this helper should evaluate against them.
+pub fn loan_task(stage: u32, donor: u32, base: &Relation, segments: &[(u32, Relation)]) -> Message {
+    let mut enc = Encoder::with_capacity(16 + base.encoded_size());
+    enc.put_u32(stage);
+    enc.put_u32(donor);
+    enc.put_relation(base);
+    put_segments(&mut enc, segments);
+    Message::new(TAG_LOAN_TASK, enc.finish())
+}
+
+/// Decode a `LOAN_TASK` payload into `(stage, donor, base, segments)`.
+pub fn decode_loan_task(payload: &[u8]) -> Result<(u32, u32, Relation, Segments)> {
+    let mut dec = Decoder::new(payload);
+    let stage = dec.get_u32()?;
+    let donor = dec.get_u32()?;
+    let base = dec.get_relation()?;
+    let segments = get_segments(&mut dec)?;
+    if dec.remaining() != 0 {
+        return Err(Error::Codec("trailing bytes in LOAN_TASK".into()));
+    }
+    Ok((stage, donor, base, segments))
+}
+
+/// Encode a helper's `LOAN_RESULT` frame: per-segment sub-aggregates for
+/// the named donor's loan.
+pub fn loan_result(stage: u32, donor: u32, segments: &[(u32, Relation)]) -> Message {
+    let mut enc = Encoder::new();
+    enc.put_u32(stage);
+    enc.put_u32(donor);
+    put_segments(&mut enc, segments);
+    Message::new(TAG_LOAN_RESULT, enc.finish())
+}
+
+/// Decode a `LOAN_RESULT` payload into `(stage, donor, segments)`.
+pub fn decode_loan_result(payload: &[u8]) -> Result<(u32, u32, Segments)> {
+    let mut dec = Decoder::new(payload);
+    let stage = dec.get_u32()?;
+    let donor = dec.get_u32()?;
+    let segments = get_segments(&mut dec)?;
+    if dec.remaining() != 0 {
+        return Err(Error::Codec("trailing bytes in LOAN_RESULT".into()));
+    }
+    Ok((stage, donor, segments))
 }
 
 /// Encode a `RESULT` message. `last` marks the final chunk of a stage
@@ -404,14 +680,39 @@ mod tests {
     fn run_stage_round_trip() {
         let m = run_stage(3, Some(&rel()));
         assert_eq!(m.tag, TAG_RUN_STAGE);
-        let (stage, frag) = decode_run_stage(&m.payload).unwrap();
+        let (stage, frag, extract) = decode_run_stage(&m.payload).unwrap();
         assert_eq!(stage, 3);
         assert_eq!(frag.unwrap(), rel());
+        assert!(extract.is_none());
 
         let m = run_stage(0, None);
-        let (stage, frag) = decode_run_stage(&m.payload).unwrap();
+        let (stage, frag, extract) = decode_run_stage(&m.payload).unwrap();
         assert_eq!(stage, 0);
         assert!(frag.is_none());
+        assert!(extract.is_none());
+    }
+
+    #[test]
+    fn run_stage_with_extract_round_trip() {
+        use skalla_relation::Value;
+        let spec = ExtractSpec {
+            detail_cols: vec!["g".to_string(), "h".to_string()],
+            keys: vec![
+                vec![Value::Int(7), Value::from("x")],
+                vec![Value::Int(9), Value::Null],
+            ],
+        };
+        let m = run_stage_with_extract(2, Some(&rel()), Some(&spec));
+        let (stage, frag, extract) = decode_run_stage(&m.payload).unwrap();
+        assert_eq!(stage, 2);
+        assert_eq!(frag.unwrap(), rel());
+        assert_eq!(extract.unwrap(), spec);
+        // The wrapper without a spec is byte-identical to run_stage, so
+        // the accounted traffic of an unbalanced run is unchanged.
+        assert_eq!(
+            run_stage(2, Some(&rel())).payload,
+            run_stage_with_extract(2, Some(&rel()), None).payload
+        );
     }
 
     #[test]
@@ -507,6 +808,51 @@ mod tests {
         let mut m = run_stage(1, None).payload;
         m.push(0);
         assert!(decode_run_stage(&m).is_err());
+        // Truncated and padded skew frames are rejected too.
+        let h = hh_report(0, &HotReport::default()).payload;
+        assert!(decode_hh_report(&h[..h.len() - 1]).is_err());
+        let mut l = loan(1, &[]).payload;
+        l.push(0);
+        assert!(decode_loan(&l).is_err());
+        assert!(decode_loan_task(&[0, 0, 0, 0]).is_err());
+        assert!(decode_loan_result(&[0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn skew_frames_round_trip() {
+        use skalla_relation::Value;
+        let report = HotReport {
+            rows: 1234,
+            hitters: vec![
+                (vec![Value::Int(7)], 600),
+                (vec![Value::from("hot")], 250),
+            ],
+        };
+        let m = hh_report(0, &report);
+        assert_eq!(m.tag, TAG_HH_REPORT);
+        assert_ne!(m.tag, skalla_net::TELEMETRY_TAG, "HH reports are counted");
+        let (stage, back) = decode_hh_report(&m.payload).unwrap();
+        assert_eq!(stage, 0);
+        assert_eq!(back, report);
+
+        let segments = vec![(0u32, rel()), (3u32, rel())];
+        let m = loan(2, &segments);
+        assert_eq!(m.tag, TAG_LOAN);
+        let (stage, back) = decode_loan(&m.payload).unwrap();
+        assert_eq!((stage, back), (2, segments.clone()));
+
+        let m = loan_task(2, 5, &rel(), &segments);
+        assert_eq!(m.tag, TAG_LOAN_TASK);
+        let (stage, donor, base, back) = decode_loan_task(&m.payload).unwrap();
+        assert_eq!((stage, donor), (2, 5));
+        assert_eq!(base, rel());
+        assert_eq!(back, segments);
+
+        let m = loan_result(2, 5, &segments);
+        assert_eq!(m.tag, TAG_LOAN_RESULT);
+        let (stage, donor, back) = decode_loan_result(&m.payload).unwrap();
+        assert_eq!((stage, donor), (2, 5));
+        assert_eq!(back, segments);
     }
 
     #[test]

@@ -12,15 +12,15 @@
 
 use crate::plan::{DistributedPlan, StageKind, Unit};
 use crate::protocol;
+use crate::skew::{skew_eligible, ExtractSpec, HotReport, SkewSpec, REPORT_TOP, SKETCH_CAPACITY};
 use parking_lot::Mutex;
 use skalla_gmdj::eval::{eval_local_traced, finalize_physical, EvalOptions};
-use skalla_gmdj::{BaseQuery, Catalog};
+use skalla_gmdj::{BaseQuery, Catalog, SpaceSaving};
 use skalla_net::SiteTransport;
-use skalla_obs::{Obs, Track};
-use skalla_relation::{Error, Relation, Result, Value};
+use skalla_obs::{BusyTimer, Obs, Track};
+use skalla_relation::{Error, Relation, Result, Row, Value};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Execute one stage at a site. `incoming` is the base fragment shipped by
 /// the coordinator (`None` for base stages and folded units).
@@ -134,17 +134,322 @@ fn execute_unit(
         } else {
             local.physical
         };
-        // Project to K + the physical accumulator columns.
-        let base_arity = b_frag.schema().len();
-        let mut idx: Vec<usize> = Vec::with_capacity(key.len());
-        for k in &key {
-            idx.push(shipped.schema().index_of(k)?);
-        }
-        idx.extend(base_arity..shipped.schema().len());
-        let schema = shipped.schema().project(&idx)?;
-        let rows = shipped.iter().map(|r| r.project(&idx)).collect();
-        Relation::new(schema, rows)
+        ship_projection(&shipped, &key, b_frag.schema().len())
     }
+}
+
+/// Project a unit's evaluated relation to K + the physical accumulator
+/// columns — the shape every sub-aggregate ships in, whether it comes
+/// from a regular stage task or a loan task.
+fn ship_projection(shipped: &Relation, key: &[&str], base_arity: usize) -> Result<Relation> {
+    let mut idx: Vec<usize> = Vec::with_capacity(key.len());
+    for k in key {
+        idx.push(shipped.schema().index_of(k)?);
+    }
+    idx.extend(base_arity..shipped.schema().len());
+    let schema = shipped.schema().project(&idx)?;
+    let rows = shipped.iter().map(|r| r.project(&idx)).collect();
+    Relation::new(schema, rows)
+}
+
+/// Target number of rows the sketch pass actually scans. Larger
+/// partitions are stride-sampled with the estimated counts scaled back
+/// up by the stride — safe because the report is a load-balancing hint
+/// only (routing from a noisier sample still yields bit-identical
+/// results), and it caps the donor-side detection cost at a constant.
+const SKETCH_SAMPLE_TARGET: usize = 16_384;
+
+/// One space-saving pass over the local detail partition's key columns:
+/// the site's half of skew detection. Runs once per query, right after
+/// the base round, when the plan is skew-eligible and balancing is on.
+pub fn hot_report(catalog: &dyn Catalog, spec: &SkewSpec) -> Result<HotReport> {
+    let detail = catalog.table(&spec.table)?;
+    let mut idx = Vec::with_capacity(spec.detail_cols.len());
+    for c in &spec.detail_cols {
+        idx.push(detail.schema().index_of(c)?);
+    }
+    let stride = (detail.len() / SKETCH_SAMPLE_TARGET).max(1);
+    let mut sketch = SpaceSaving::new(SKETCH_CAPACITY);
+    let mut key: Vec<&Value> = Vec::with_capacity(idx.len());
+    for row in detail.iter().step_by(stride) {
+        key.clear();
+        key.extend(idx.iter().map(|&i| row.get(i)));
+        sketch.offer(&key);
+    }
+    Ok(HotReport {
+        rows: detail.len() as u64,
+        hitters: sketch
+            .top(REPORT_TOP)
+            .into_iter()
+            .map(|(k, c)| (k, c * stride as u64))
+            .collect(),
+    })
+}
+
+/// Split a detail relation into its hot-key and cold-key rows, both
+/// bucketed by morsel segment (`position / morsel_rows`), preserving row
+/// order within each bucket. Evaluating one bucket as a single morsel
+/// reproduces, bit for bit, the per-morsel accumulator state the donor
+/// would have computed for those keys over the whole partition (the
+/// eligibility check guarantees a detail row can only contribute to its
+/// own key's group, so hot and cold rows never touch each other's
+/// accumulators). The hot half is loaned to helpers; the donor folds the
+/// cold half itself.
+pub fn split_detail(
+    detail: &Relation,
+    spec: &ExtractSpec,
+    morsel_rows: usize,
+) -> Result<(protocol::Segments, protocol::Segments)> {
+    let mut hot_buckets: Vec<(u32, Vec<Row>)> = Vec::new();
+    let mut cold_buckets: Vec<(u32, Vec<Row>)> = Vec::new();
+    let push = |buckets: &mut Vec<(u32, Vec<Row>)>, seg: u32, row: &Row| {
+        match buckets.last_mut() {
+            Some((s, rows)) if *s == seg => rows.push(row.clone()),
+            _ => buckets.push((seg, vec![row.clone()])),
+        }
+    };
+    split_scan(
+        detail,
+        spec,
+        morsel_rows,
+        |seg, row| push(&mut hot_buckets, seg, row),
+        |seg, row| push(&mut cold_buckets, seg, row),
+    )?;
+    let pack = |buckets: Vec<(u32, Vec<Row>)>| {
+        buckets
+            .into_iter()
+            .map(|(seg, rows)| (seg, Relation::from_shared(detail.schema_ref(), rows)))
+            .collect()
+    };
+    Ok((pack(hot_buckets), pack(cold_buckets)))
+}
+
+/// One in-order pass over a detail relation, routing each row — with its
+/// morsel segment `position / morsel_rows` — to the `hot` or `cold`
+/// sink. The sinks see rows in ascending segment order and in row order
+/// within a segment, which is what every consumer relies on for
+/// bit-identical reconstruction.
+fn split_scan(
+    detail: &Relation,
+    spec: &ExtractSpec,
+    morsel_rows: usize,
+    mut hot_sink: impl FnMut(u32, &Row),
+    mut cold_sink: impl FnMut(u32, &Row),
+) -> Result<()> {
+    let mut idx = Vec::with_capacity(spec.detail_cols.len());
+    for c in &spec.detail_cols {
+        idx.push(detail.schema().index_of(c)?);
+    }
+    let m = morsel_rows.max(1);
+    if let [i] = idx[..] {
+        // Single-column key (the common case): probe the borrowed value
+        // directly, no per-row key buffer.
+        let hot: HashSet<&Value> = spec.keys.iter().filter_map(|k| k.first()).collect();
+        for (pos, row) in detail.iter().enumerate() {
+            let seg = (pos / m) as u32;
+            if hot.contains(row.get(i)) {
+                hot_sink(seg, row);
+            } else {
+                cold_sink(seg, row);
+            }
+        }
+    } else {
+        let hot: HashSet<&Vec<Value>> = spec.keys.iter().collect();
+        let mut key = Vec::with_capacity(idx.len());
+        for (pos, row) in detail.iter().enumerate() {
+            key.clear();
+            key.extend(idx.iter().map(|&i| row.get(i).clone()));
+            let seg = (pos / m) as u32;
+            if hot.contains(&key) {
+                hot_sink(seg, row);
+            } else {
+                cold_sink(seg, row);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`split_detail`] specialized for the donor's own use: the hot half is
+/// serialized straight into `LOAN`-frame bytes as the scan runs (hot
+/// rows — the bulk of a donor's partition — are never cloned), and only
+/// the cold half is materialized for local evaluation.
+fn split_for_loan(
+    detail: &Relation,
+    spec: &ExtractSpec,
+    morsel_rows: usize,
+) -> Result<(Vec<u8>, protocol::Segments)> {
+    let mut loan = protocol::LoanSegmentsBuilder::new(detail.schema_ref());
+    let mut cold_buckets: Vec<(u32, Vec<Row>)> = Vec::new();
+    split_scan(
+        detail,
+        spec,
+        morsel_rows,
+        |seg, row| loan.push(seg, row),
+        |seg, row| match cold_buckets.last_mut() {
+            Some((s, rows)) if *s == seg => rows.push(row.clone()),
+            _ => cold_buckets.push((seg, vec![row.clone()])),
+        },
+    )?;
+    let cold = cold_buckets
+        .into_iter()
+        .map(|(seg, rows)| (seg, Relation::from_shared(detail.schema_ref(), rows)))
+        .collect();
+    Ok((loan.finish(), cold))
+}
+
+/// Pull only the hot-key detail segments out of a detail relation — the
+/// loanable half of [`split_detail`].
+pub fn extract_segments(
+    detail: &Relation,
+    spec: &ExtractSpec,
+    morsel_rows: usize,
+) -> Result<Vec<(u32, Relation)>> {
+    Ok(split_detail(detail, spec, morsel_rows)?.0)
+}
+
+/// A donor's cached detail split: the table, extract spec and morsel
+/// size that produced it, the hot half already wire-encoded (the loan
+/// frame body is identical for every stage), and the cold segments the
+/// donor folds itself.
+struct SplitCache {
+    table: String,
+    spec: ExtractSpec,
+    morsel_rows: usize,
+    hot_encoded: Vec<u8>,
+    cold: Vec<(u32, Relation)>,
+}
+
+/// Per-site caches of skew-balancing artifacts derived purely from the
+/// immutable site catalog: the heavy-hitter report (keyed by its
+/// [`SkewSpec`]) and the donor's hot/cold detail split (keyed by table,
+/// [`ExtractSpec`] and morsel size). A site's catalog never changes, so
+/// both survive plan broadcasts — the coordinator sends the same spec
+/// for every eligible stage of a query, and repeated or concurrent
+/// queries over the same table reuse one detection pass and one split
+/// scan (mirroring how the columnar kernel's per-relation column cache
+/// already amortizes across queries).
+#[derive(Default)]
+struct SkewCaches {
+    report: Option<(SkewSpec, HotReport)>,
+    split: Option<SplitCache>,
+}
+
+/// The donor side of a rebalanced stage task. Splits the detail into
+/// hot and cold segments (cached across stages), ships the hot segments
+/// to the coordinator *immediately* via `send_early` — so helpers start
+/// their loaned work while the donor is still computing — and then folds
+/// only the cold segments, merging the per-segment sub-aggregates in
+/// segment order. The result is bit-identical to evaluating the full
+/// partition against the reduced fragment: hot rows cannot match any of
+/// the remaining base rows, so skipping them removes pure probe misses
+/// without touching a single accumulator.
+#[allow(clippy::too_many_arguments)]
+fn donor_stage(
+    catalog: &dyn Catalog,
+    plan: &DistributedPlan,
+    stage: u32,
+    fragment: Option<Relation>,
+    spec: &ExtractSpec,
+    caches: &mut SkewCaches,
+    send_early: &mut dyn FnMut(skalla_net::Message),
+    eval: EvalOptions,
+    obs: &Obs,
+    site: usize,
+) -> Result<Relation> {
+    let st = plan
+        .stages
+        .get(stage as usize)
+        .ok_or_else(|| Error::Execution(format!("no stage {stage}")))?;
+    let StageKind::Unit(unit) = &st.kind else {
+        return Err(Error::Execution("extract request on a non-unit stage".into()));
+    };
+    if unit.fold_base || unit.local_chain {
+        return Err(Error::Execution("extract request on a folded/chained unit".into()));
+    }
+    let detail = catalog.table(&unit.table)?;
+    if !caches.split.as_ref().is_some_and(|c| {
+        c.table == unit.table && c.spec == *spec && c.morsel_rows == eval.morsel_rows
+    }) {
+        let (hot_encoded, cold) = split_for_loan(detail, spec, eval.morsel_rows)?;
+        caches.split = Some(SplitCache {
+            table: unit.table.clone(),
+            spec: spec.clone(),
+            morsel_rows: eval.morsel_rows,
+            hot_encoded,
+            cold,
+        });
+    }
+    let cached = caches.split.as_ref().expect("split cache just filled");
+    let cold = &cached.cold;
+    send_early(protocol::loan_from_encoded(stage, &cached.hot_encoded));
+
+    let b_frag = base_input(catalog, plan, unit, fragment)?;
+    let op = &plan.expr.ops[unit.ops.start];
+    let key: Vec<&str> = plan.key.iter().map(String::as_str).collect();
+    let ship = |part: &Relation| -> Result<Relation> {
+        let local = eval_local_traced(&b_frag, part, op, eval, obs, site)?;
+        let shipped = if unit.site_reduce {
+            local.reduced()
+        } else {
+            local.physical
+        };
+        ship_projection(&shipped, &key, b_frag.schema().len())
+    };
+    match cold.as_slice() {
+        // Everything was hot: still evaluate, so every remaining base
+        // group ships its initial accumulator state.
+        [] => ship(&Relation::from_shared(detail.schema_ref(), Vec::new())),
+        [(_, only)] => ship(only),
+        segs => {
+            let mut pm = crate::coordinator::PartialMerge::new(plan.key.len(), op);
+            let mut schema = None;
+            for (_, part) in segs {
+                let rel = ship(part)?;
+                schema.get_or_insert_with(|| rel.schema_ref());
+                pm.absorb(&rel)?;
+            }
+            Ok(pm.into_relation(schema.expect("at least two cold segments")))
+        }
+    }
+}
+
+/// The helper side of a rebalanced stage: evaluate each loaned detail
+/// segment (one morsel each — segments never exceed the donor's morsel
+/// size) against the donor's hot base rows, and ship the per-segment
+/// sub-aggregates back for in-order reconstruction at the coordinator.
+pub fn execute_loan(
+    plan: &DistributedPlan,
+    stage: usize,
+    base: &Relation,
+    segments: &[(u32, Relation)],
+    eval: EvalOptions,
+    obs: &Obs,
+    site: usize,
+) -> Result<Vec<(u32, Relation)>> {
+    let st = plan
+        .stages
+        .get(stage)
+        .ok_or_else(|| Error::Execution(format!("no stage {stage}")))?;
+    let StageKind::Unit(unit) = &st.kind else {
+        return Err(Error::Execution("loan task on a non-unit stage".into()));
+    };
+    if unit.fold_base || unit.local_chain {
+        return Err(Error::Execution("loan task on a folded/chained unit".into()));
+    }
+    let op = &plan.expr.ops[unit.ops.start];
+    let key: Vec<&str> = plan.key.iter().map(String::as_str).collect();
+    let mut out = Vec::with_capacity(segments.len());
+    for (seg, detail) in segments {
+        let local = eval_local_traced(base, detail, op, eval, obs, site)?;
+        let shipped = if unit.site_reduce {
+            local.reduced()
+        } else {
+            local.physical
+        };
+        out.push((*seg, ship_projection(&shipped, &key, base.schema().len())?));
+    }
+    Ok(out)
 }
 
 /// Shared collector for `(site, stage, busy seconds)` samples reported by
@@ -169,6 +474,7 @@ pub fn site_loop(
     let mut plan: Option<DistributedPlan> = None;
     let mut eval = EvalOptions::default();
     let mut chunk_rows: Option<usize> = None;
+    let mut caches = SkewCaches::default();
     loop {
         let Ok(msg) = net.recv() else {
             return; // coordinator hung up (or the link timed out)
@@ -191,7 +497,7 @@ pub fn site_loop(
                     continue;
                 };
                 let replies = match protocol::decode_run_stage(&msg.payload) {
-                    Ok((stage, fragment)) => {
+                    Ok((stage, fragment, extract)) => {
                         let label = plan
                             .stages
                             .get(stage as usize)
@@ -201,12 +507,17 @@ pub fn site_loop(
                         if let Some(f) = &fragment {
                             task_span.arg("rows_in", f.len());
                         }
-                        let t = Instant::now();
-                        let out = execute_stage_traced(
+                        let t = BusyTimer::start();
+                        let out = run_stage_task(
                             catalog,
                             plan,
-                            stage as usize,
+                            stage,
                             fragment,
+                            extract.as_ref(),
+                            &mut caches,
+                            &mut |m| {
+                                let _ = net.send(m);
+                            },
                             eval,
                             obs,
                             net.site_id(),
@@ -215,14 +526,15 @@ pub fn site_loop(
                             times.lock().push((
                                 net.site_id(),
                                 stage as usize,
-                                t.elapsed().as_secs_f64(),
+                                t.elapsed_s(),
                             ));
                         }
                         match out {
-                            Ok(rel) => {
+                            Ok((mut msgs, rel)) => {
                                 task_span.arg("rows_out", rel.len());
                                 task_span.finish();
-                                chunked_results(stage, &rel, chunk_rows)
+                                msgs.extend(chunked_results(stage, &rel, chunk_rows));
+                                msgs
                             }
                             Err(e) => {
                                 task_span.arg("error", e.to_string());
@@ -239,10 +551,114 @@ pub fn site_loop(
                     }
                 }
             }
+            protocol::TAG_LOAN_TASK => {
+                let Some(plan) = &plan else {
+                    let _ = net.send(protocol::error("loan task before plan"));
+                    continue;
+                };
+                let replies = loan_task_replies(
+                    plan,
+                    &msg.payload,
+                    eval,
+                    obs,
+                    Track::Site(net.site_id()),
+                    net.site_id(),
+                    |stage, secs| {
+                        if let Some(times) = times {
+                            times.lock().push((net.site_id(), stage, secs));
+                        }
+                    },
+                );
+                for reply in replies {
+                    if net.send(reply).is_err() {
+                        return;
+                    }
+                }
+            }
             _ => {
                 let _ = net.send(protocol::error("unexpected message tag"));
             }
         }
+    }
+}
+
+/// One stage task's site-side work: the donor path when the coordinator
+/// asked for an extract (hot segments loaned eagerly through
+/// `send_early`, cold segments folded locally), the plain stage
+/// evaluation otherwise, plus the heavy-hitter report after an eligible
+/// base round. Returns the extra protocol frames to send ahead of the
+/// row-blocked RESULT chunks.
+#[allow(clippy::too_many_arguments)]
+fn run_stage_task(
+    catalog: &dyn Catalog,
+    plan: &DistributedPlan,
+    stage: u32,
+    fragment: Option<Relation>,
+    extract: Option<&ExtractSpec>,
+    caches: &mut SkewCaches,
+    send_early: &mut dyn FnMut(skalla_net::Message),
+    eval: EvalOptions,
+    obs: &Obs,
+    site: usize,
+) -> Result<(Vec<skalla_net::Message>, Relation)> {
+    if let Some(spec) = extract {
+        let rel = donor_stage(
+            catalog, plan, stage, fragment, spec, caches, send_early, eval, obs, site,
+        )?;
+        return Ok((Vec::new(), rel));
+    }
+    let mut msgs = Vec::new();
+    let rel = execute_stage_traced(catalog, plan, stage as usize, fragment, eval, obs, site)?;
+    let is_base = matches!(
+        plan.stages.get(stage as usize).map(|s| &s.kind),
+        Some(StageKind::Base)
+    );
+    if is_base && eval.skew_balance {
+        if let Some(spec) = skew_eligible(plan) {
+            if !caches.report.as_ref().is_some_and(|(s, _)| *s == spec) {
+                let report = hot_report(catalog, &spec)?;
+                caches.report = Some((spec.clone(), report));
+            }
+            let (_, report) = caches.report.as_ref().expect("report cache just filled");
+            msgs.push(protocol::hh_report(stage, report));
+        }
+    }
+    Ok((msgs, rel))
+}
+
+/// Decode and execute a `LOAN_TASK` frame, reporting the busy time via
+/// `record` — shared by the serial [`site_loop`] and the per-query
+/// [`query_worker`], which stamp samples differently.
+fn loan_task_replies(
+    plan: &DistributedPlan,
+    payload: &[u8],
+    eval: EvalOptions,
+    obs: &Obs,
+    track: Track,
+    site: usize,
+    record: impl FnOnce(usize, f64),
+) -> Vec<skalla_net::Message> {
+    match protocol::decode_loan_task(payload) {
+        Ok((stage, donor, base, segments)) => {
+            let mut span = obs.span(track, "loan");
+            span.arg("donor", donor as u64);
+            span.arg("segments", segments.len());
+            let t = BusyTimer::start();
+            let out = execute_loan(plan, stage as usize, &base, &segments, eval, obs, site);
+            record(stage as usize, t.elapsed_s());
+            match out {
+                Ok(segs) => {
+                    span.finish();
+                    vec![protocol::loan_result(stage, donor, &segs)]
+                }
+                Err(e) => {
+                    span.arg("error", e.to_string());
+                    span.finish();
+                    vec![protocol::error(&e.to_string())]
+                }
+            }
+        }
+        Err(e) => vec![protocol::error(&e.to_string())],
     }
 }
 
@@ -400,6 +816,7 @@ fn query_worker(
     let mut plan: Option<DistributedPlan> = None;
     let mut eval = EvalOptions::default();
     let mut chunk_rows: Option<usize> = None;
+    let mut caches = SkewCaches::default();
     let reply = |msg: skalla_net::Message| net.send(msg.with_query_id(query_id));
     while let Ok(msg) = rx.recv() {
         match msg.tag {
@@ -419,7 +836,7 @@ fn query_worker(
                     continue;
                 };
                 let replies = match protocol::decode_run_stage(&msg.payload) {
-                    Ok((stage, fragment)) => {
+                    Ok((stage, fragment, extract)) => {
                         let label = plan
                             .stages
                             .get(stage as usize)
@@ -432,24 +849,30 @@ fn query_worker(
                         if let Some(f) = &fragment {
                             task_span.arg("rows_in", f.len());
                         }
-                        let t = Instant::now();
-                        let out = execute_stage_traced(
+                        let t = BusyTimer::start();
+                        let out = run_stage_task(
                             catalog,
                             plan,
-                            stage as usize,
+                            stage,
                             fragment,
+                            extract.as_ref(),
+                            &mut caches,
+                            &mut |m| {
+                                let _ = reply(m);
+                            },
                             eval,
                             obs,
                             site,
                         );
                         times
                             .lock()
-                            .push((query_id, site, stage as usize, t.elapsed().as_secs_f64()));
+                            .push((query_id, site, stage as usize, t.elapsed_s()));
                         match out {
-                            Ok(rel) => {
+                            Ok((mut msgs, rel)) => {
                                 task_span.arg("rows_out", rel.len());
                                 task_span.finish();
-                                chunked_results(stage, &rel, chunk_rows)
+                                msgs.extend(chunked_results(stage, &rel, chunk_rows));
+                                msgs
                             }
                             Err(e) => {
                                 task_span.arg("error", e.to_string());
@@ -460,6 +883,21 @@ fn query_worker(
                     }
                     Err(e) => vec![protocol::error(&e.to_string())],
                 };
+                for r in replies {
+                    if reply(r).is_err() {
+                        return;
+                    }
+                }
+            }
+            protocol::TAG_LOAN_TASK => {
+                let Some(plan) = &plan else {
+                    let _ = reply(protocol::error("loan task before plan"));
+                    continue;
+                };
+                let replies =
+                    loan_task_replies(plan, &msg.payload, eval, obs, track, site, |stage, secs| {
+                        times.lock().push((query_id, site, stage, secs));
+                    });
                 for r in replies {
                     if reply(r).is_err() {
                         return;

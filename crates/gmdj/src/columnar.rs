@@ -43,12 +43,13 @@ use std::sync::Arc;
 /// Per-key-column string interner: maps each distinct string to one `u32`
 /// code, shared between the detail and base sides of one equi-key pair so
 /// equal strings always canonicalize to equal words.
-struct StrCodes {
+#[derive(Debug)]
+pub(crate) struct StrCodes {
     map: HashMap<Arc<str>, u32>,
 }
 
 impl StrCodes {
-    fn new() -> StrCodes {
+    pub(crate) fn new() -> StrCodes {
         StrCodes {
             map: HashMap::new(),
         }
@@ -70,7 +71,7 @@ impl StrCodes {
 }
 
 /// The canonical `(tag, word)` of one value, interning strings.
-fn canon_value(v: &Value, codes: &mut StrCodes) -> (u8, u64) {
+pub(crate) fn canon_value(v: &Value, codes: &mut StrCodes) -> (u8, u64) {
     match v {
         Value::Null => CANON_NULL,
         Value::Int(i) => canon_i64(*i),
@@ -1026,6 +1027,7 @@ mod tests {
             morsel_rows: DEFAULT_MORSEL_ROWS,
             legacy_probe: false,
             columnar: true,
+            skew_balance: true,
             fault_panic_morsel: None,
         }
     }
@@ -1250,6 +1252,7 @@ mod tests {
             EvalOptions {
                 morsel_rows: 1,
                 parallelism: 2,
+                skew_balance: true,
                 fault_panic_morsel: Some(1),
                 ..opts_columnar()
             },

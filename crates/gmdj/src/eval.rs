@@ -72,6 +72,14 @@ pub struct EvalOptions {
     /// CLI `--no-columnar`) so fig benches can A/B the two kernels; both
     /// produce bit-identical results.
     pub columnar: bool,
+    /// Skew-resilient distribution: sites report heavy-hitter group keys
+    /// during round 1 and the coordinator re-routes hot groups away from
+    /// overloaded sites (with a final merge leg for the split
+    /// sub-aggregates). On by default; results are bit-identical either
+    /// way, so this is an ablation knob (env `SKALLA_SKEW=0`, CLI
+    /// `--no-skew-balance`) for the `fig_skew` bench and for operators
+    /// diagnosing balancer behaviour.
+    pub skew_balance: bool,
     /// Fault injection for robustness tests: panic when a worker starts
     /// the morsel with this index. `None` in production.
     pub fault_panic_morsel: Option<usize>,
@@ -88,11 +96,12 @@ fn env_flag(name: &str) -> Option<bool> {
 }
 
 impl Default for EvalOptions {
-    /// Defaults honour `SKALLA_THREADS`, `SKALLA_MORSEL_ROWS` and
-    /// `SKALLA_COLUMNAR` from the environment (used by `ci.sh` to run the
-    /// whole suite at several thread counts and under both kernels),
-    /// falling back to auto parallelism, [`DEFAULT_MORSEL_ROWS`] and the
-    /// columnar kernel.
+    /// Defaults honour `SKALLA_THREADS`, `SKALLA_MORSEL_ROWS`,
+    /// `SKALLA_COLUMNAR` and `SKALLA_SKEW` from the environment (used by
+    /// `ci.sh` to run the whole suite at several thread counts, under
+    /// both kernels, and with the skew balancer on and off), falling back
+    /// to auto parallelism, [`DEFAULT_MORSEL_ROWS`], the columnar kernel
+    /// and skew balancing enabled.
     fn default() -> Self {
         EvalOptions {
             hash_path: true,
@@ -102,6 +111,7 @@ impl Default for EvalOptions {
                 .max(1),
             legacy_probe: false,
             columnar: env_flag("SKALLA_COLUMNAR").unwrap_or(true),
+            skew_balance: env_flag("SKALLA_SKEW").unwrap_or(true),
             fault_panic_morsel: None,
         }
     }
@@ -805,6 +815,7 @@ mod tests {
             morsel_rows: DEFAULT_MORSEL_ROWS,
             legacy_probe: false,
             columnar: false,
+            skew_balance: true,
             fault_panic_morsel: None,
         }
     }

@@ -21,6 +21,7 @@ pub mod eval;
 pub mod operator;
 pub mod patterns;
 pub mod rewrite;
+pub mod sketch;
 pub mod theta;
 
 pub use agg::{AccLayout, AggFunc, AggSpec};
@@ -31,6 +32,7 @@ pub use eval::{
 };
 pub use operator::{Gmdj, GmdjBlock};
 pub use rewrite::{can_coalesce, coalesce, coalesce_chain, CoalesceReport};
+pub use sketch::SpaceSaving;
 pub use theta::{analyze_theta, ThetaAnalysis, ThetaBuilder};
 
 /// Convenience re-exports for building GMDJ queries.

@@ -4,6 +4,13 @@
 //! grouped into *rounds* (the paper's unit of synchronization). Figure 2
 //! (right) plots exactly these counters, and Theorem 2's bound is asserted
 //! against them in the integration tests.
+//!
+//! Skew-balancing frames — heavy-hitter reports, loaned detail segments,
+//! loan tasks and loan results — **are** counted, unlike telemetry export
+//! (which is out-of-band diagnostics, not query traffic): balancing
+//! trades real network bytes for compute balance, and hiding that cost
+//! would falsify the paper's traffic comparisons. An execution with
+//! `skew_balance` off reproduces the unbalanced counters exactly.
 
 use parking_lot::Mutex;
 use skalla_obs::{Obs, Track};

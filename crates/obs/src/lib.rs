@@ -26,8 +26,10 @@ pub mod expo;
 pub mod json;
 pub mod serve;
 pub mod telemetry;
+pub mod timing;
 
 pub use telemetry::{estimate_offset_us, ExportCursor, TelemetryDelta};
+pub use timing::BusyTimer;
 
 use parking_lot::Mutex;
 use std::collections::HashMap;

@@ -108,6 +108,10 @@ QUERY OPTIONS:
                               instead of the vectorized columnar kernel
                               (ablation; same bits either way; also
                               SKALLA_COLUMNAR=0)
+  --no-skew-balance           disable heavy-hitter skew balancing: sites
+                              neither report hot group keys nor take on
+                              loaned work (ablation; same bits either way;
+                              also SKALLA_SKEW=0)
   --concurrency N             submit the query N times at once through the
                               multi-query scheduler; the copies share the
                               persistent site sessions and must agree
@@ -300,6 +304,10 @@ fn build_engine(args: &[String], obs: Obs) -> Result<Box<dyn Warehouse>, String>
     }
     if args.iter().any(|a| a == "--no-columnar") {
         eval.columnar = false;
+        eval_set = true;
+    }
+    if args.iter().any(|a| a == "--no-skew-balance") {
+        eval.skew_balance = false;
         eval_set = true;
     }
     if eval_set {

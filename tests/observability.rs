@@ -67,14 +67,19 @@ fn chrome_trace_round_trips_and_has_all_span_kinds() {
     // Sync spans.
     assert!(spans.iter().any(|e| name(e) == "BaseSync"));
     assert!(spans.iter().any(|e| name(e) == "MergeSync"));
-    // Per-site task spans: every site track saw all three stages.
+    // Per-site task spans: every site track saw all three stages (skew
+    // balancing may add further "loan" task spans on helper tracks).
     for site in 0..3 {
         let tid = Track::Site(site).tid();
-        let site_spans = spans
-            .iter()
-            .filter(|e| e.get("tid").and_then(|t| t.as_u64()) == Some(tid))
-            .count();
-        assert_eq!(site_spans, 3, "site {site} task spans");
+        for label in ["base", "gmdj 1", "gmdj 2"] {
+            assert!(
+                spans
+                    .iter()
+                    .any(|e| e.get("tid").and_then(|t| t.as_u64()) == Some(tid)
+                        && name(e) == label),
+                "site {site} missing task span {label}"
+            );
+        }
     }
     // At least one optimizer decision event on the optimizer track.
     assert!(

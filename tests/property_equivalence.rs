@@ -180,6 +180,7 @@ proptest! {
             morsel_rows: 7,
             legacy_probe,
             columnar,
+            skew_balance: true,
             fault_panic_morsel: None,
         };
         let reference = skalla::gmdj::eval_local(&base, &detail, &op, opts(1, false, false))
@@ -238,6 +239,7 @@ proptest! {
             morsel_rows: 7,
             legacy_probe: false,
             columnar,
+            skew_balance: true,
             fault_panic_morsel: None,
         };
         let rowk = expr

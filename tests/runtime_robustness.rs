@@ -161,6 +161,7 @@ fn worker_panic_mid_morsel_is_a_clean_execution_error() {
     c.set_eval_options(EvalOptions {
         parallelism: 2,
         morsel_rows: 1,
+        skew_balance: true,
         fault_panic_morsel: Some(0),
         ..EvalOptions::default()
     });

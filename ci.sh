@@ -1,9 +1,32 @@
 #!/usr/bin/env bash
 # Local CI: build, test, lint. Run from the repo root.
+#
+#   ./ci.sh          full gate (test matrix, ablations, docs, benches,
+#                    TCP smoke tests)
+#   ./ci.sh --fast   inner-loop subset: release build, clippy, and the
+#                    skalla-lint invariant checker with its self-tests
 set -euo pipefail
 cd "$(dirname "$0")"
 
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST=1
+elif [[ -n "${1:-}" ]]; then
+  echo "ci.sh: unknown flag '$1' (only --fast is supported)" >&2
+  exit 2
+fi
+
 cargo build --release
+
+if [[ "$FAST" == 1 ]]; then
+  cargo clippy --all-targets --workspace -- -D warnings
+  # Lint self-tests first (a broken rule must fail loudly), then the
+  # workspace invariant check itself (see docs/STATIC_ANALYSIS.md).
+  cargo test -q -p skalla-lint
+  cargo run -q -p skalla-lint
+  echo "ci.sh: fast checks passed"
+  exit 0
+fi
 # Tier-1 suite at two kernel settings: serial and a 4-worker pool. The
 # morsel merge order is deterministic, so both runs must pass identically.
 # (Morsel size is left at its default: shrinking it globally would change
@@ -27,6 +50,12 @@ SKALLA_COLUMNAR=1 cargo test -q -p skalla-gmdj
 SKALLA_SKEW=0 cargo test -q -p skalla-gmdj -p skalla-core
 SKALLA_SKEW=1 cargo test -q -p skalla-gmdj -p skalla-core
 cargo clippy --all-targets -- -D warnings
+# The skalla-lint invariant checker (docs/STATIC_ANALYSIS.md): its own
+# unit + fixture self-tests first — a broken rule must fail loudly, not
+# silently pass the workspace — then the real check, which must be clean
+# modulo the frozen panic-hygiene baseline (lint-baseline.txt).
+cargo test -q -p skalla-lint
+cargo run -q -p skalla-lint
 
 # Extended (workspace-wide) checks; tier-1 above is the gate.
 cargo test --workspace -q

@@ -21,7 +21,7 @@
 //! * [`stats`] — per-round traffic/compute measurements and the simulated
 //!   cost breakdown.
 
-#![warn(missing_docs)]
+// missing_docs is denied workspace-wide (see [workspace.lints]).
 
 pub mod cluster;
 pub mod coordinator;

@@ -124,12 +124,14 @@ pub fn decode_run_stage(payload: &[u8]) -> Result<(u32, Option<Relation>, Option
         0 => None,
         1 => {
             let n_cols = dec.get_u32()? as usize;
-            let mut detail_cols = Vec::with_capacity(n_cols);
+            // Pre-size from the wire count, capped by what the buffer could
+            // possibly hold, so a corrupt length can't balloon the allocation.
+            let mut detail_cols = Vec::with_capacity(n_cols.min(dec.remaining()));
             for _ in 0..n_cols {
                 detail_cols.push(dec.get_str()?);
             }
             let n_keys = dec.get_u32()? as usize;
-            let mut keys = Vec::with_capacity(n_keys);
+            let mut keys = Vec::with_capacity(n_keys.min(dec.remaining()));
             for _ in 0..n_keys {
                 keys.push(get_key(&mut dec)?);
             }
@@ -152,7 +154,7 @@ fn put_key(enc: &mut Encoder, key: &[Value]) {
 
 fn get_key(dec: &mut Decoder<'_>) -> Result<Vec<Value>> {
     let arity = dec.get_u32()? as usize;
-    let mut key = Vec::with_capacity(arity);
+    let mut key = Vec::with_capacity(arity.min(dec.remaining()));
     for _ in 0..arity {
         key.push(dec.get_value()?);
     }
@@ -169,7 +171,7 @@ fn put_segments(enc: &mut Encoder, segments: &[(u32, Relation)]) {
 
 fn get_segments(dec: &mut Decoder<'_>) -> Result<Vec<(u32, Relation)>> {
     let n = dec.get_u32()? as usize;
-    let mut segments = Vec::with_capacity(n);
+    let mut segments = Vec::with_capacity(n.min(dec.remaining()));
     for _ in 0..n {
         let seg = dec.get_u32()?;
         segments.push((seg, dec.get_relation()?));
@@ -196,7 +198,7 @@ pub fn decode_hh_report(payload: &[u8]) -> Result<(u32, HotReport)> {
     let stage = dec.get_u32()?;
     let rows = dec.get_i64()? as u64;
     let n = dec.get_u32()? as usize;
-    let mut hitters = Vec::with_capacity(n);
+    let mut hitters = Vec::with_capacity(n.min(dec.remaining()));
     for _ in 0..n {
         let key = get_key(&mut dec)?;
         hitters.push((key, dec.get_i64()? as u64));
@@ -559,7 +561,7 @@ fn get_domain(dec: &mut Decoder<'_>) -> Result<Domain> {
         1 => Ok(Domain::IntRange(dec.get_i64()?, dec.get_i64()?)),
         2 => {
             let n = dec.get_u32()? as usize;
-            let mut values = Vec::with_capacity(n);
+            let mut values = Vec::with_capacity(n.min(dec.remaining()));
             for _ in 0..n {
                 values.push(dec.get_value()?);
             }
@@ -644,7 +646,7 @@ pub fn decode_catalog(payload: &[u8]) -> Result<Vec<SiteCatalogEntry>> {
         )));
     }
     let n = dec.get_u32()? as usize;
-    let mut entries = Vec::with_capacity(n);
+    let mut entries = Vec::with_capacity(n.min(dec.remaining()));
     for _ in 0..n {
         let table = dec.get_str()?;
         let schema = dec.get_schema()?;

@@ -89,10 +89,20 @@ pub(crate) fn catalog_handshake(coord: &dyn CoordinatorTransport) -> Result<Hand
             }
         }
     }
+    // A misbehaving site can answer twice, leaving another site's slot
+    // empty even after n receives — that's a protocol error, not a panic.
     let per_site: Vec<Vec<SiteCatalogEntry>> = per_site
         .into_iter()
-        .map(|e| e.expect("filled above"))
-        .collect();
+        .enumerate()
+        .map(|(site, e)| {
+            e.ok_or_else(|| {
+                Error::Execution(format!(
+                    "site {site} never answered the catalog handshake (another \
+                     site replied more than once)"
+                ))
+            })
+        })
+        .collect::<Result<_>>()?;
 
     let mut dist = DistributionInfo::new(n);
     let mut catalog: HashMap<String, Arc<Relation>> = HashMap::new();
@@ -155,9 +165,11 @@ pub struct RemoteCluster {
 
 impl std::fmt::Debug for RemoteCluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut tables: Vec<&String> = self.catalog.keys().collect(); // lint: allow(unordered-iter) sorted on the next line
+        tables.sort();
         f.debug_struct("RemoteCluster")
             .field("n_sites", &self.coord.n_sites())
-            .field("tables", &self.catalog.keys().collect::<Vec<_>>())
+            .field("tables", &tables)
             .finish()
     }
 }
@@ -328,8 +340,10 @@ pub struct SiteServer {
 
 impl std::fmt::Debug for SiteServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut tables: Vec<&String> = self.catalog.keys().collect(); // lint: allow(unordered-iter) sorted on the next line
+        tables.sort();
         f.debug_struct("SiteServer")
-            .field("tables", &self.catalog.keys().collect::<Vec<_>>())
+            .field("tables", &tables)
             .finish()
     }
 }

@@ -791,6 +791,7 @@ pub fn site_session_loop(
             }
         }
     }
+    // lint: allow(unordered-iter) shutdown join order — every worker is joined, nothing is encoded
     for (tx, handle) in workers.into_values() {
         drop(tx);
         let _ = handle.join();

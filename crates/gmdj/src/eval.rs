@@ -96,23 +96,26 @@ fn env_flag(name: &str) -> Option<bool> {
 }
 
 impl Default for EvalOptions {
-    /// Defaults honour `SKALLA_THREADS`, `SKALLA_MORSEL_ROWS`,
-    /// `SKALLA_COLUMNAR` and `SKALLA_SKEW` from the environment (used by
-    /// `ci.sh` to run the whole suite at several thread counts, under
-    /// both kernels, and with the skew balancer on and off), falling back
-    /// to auto parallelism, [`DEFAULT_MORSEL_ROWS`], the columnar kernel
-    /// and skew balancing enabled.
+    /// Defaults honour the `SKALLA_*` environment: every knob has an env
+    /// override (`SKALLA_THREADS`, `SKALLA_MORSEL_ROWS`,
+    /// `SKALLA_COLUMNAR`, `SKALLA_SKEW`, `SKALLA_HASH_PATH`,
+    /// `SKALLA_LEGACY_PROBE`, `SKALLA_FAULT_MORSEL`), used by `ci.sh` to
+    /// run the whole suite at several thread counts, under both kernels,
+    /// and with the skew balancer on and off. Fallbacks: auto
+    /// parallelism, [`DEFAULT_MORSEL_ROWS`], the hash path and columnar
+    /// kernel on, skew balancing on, no fault injection. The
+    /// `knob-wiring` lint enforces that this list stays complete.
     fn default() -> Self {
         EvalOptions {
-            hash_path: true,
+            hash_path: env_flag("SKALLA_HASH_PATH").unwrap_or(true),
             parallelism: env_usize("SKALLA_THREADS").unwrap_or(0),
             morsel_rows: env_usize("SKALLA_MORSEL_ROWS")
                 .unwrap_or(DEFAULT_MORSEL_ROWS)
                 .max(1),
-            legacy_probe: false,
+            legacy_probe: env_flag("SKALLA_LEGACY_PROBE").unwrap_or(false),
             columnar: env_flag("SKALLA_COLUMNAR").unwrap_or(true),
             skew_balance: env_flag("SKALLA_SKEW").unwrap_or(true),
-            fault_panic_morsel: None,
+            fault_panic_morsel: env_usize("SKALLA_FAULT_MORSEL"),
         }
     }
 }
@@ -410,6 +413,7 @@ fn run_caught<K: MorselKernel>(
     } else {
         None
     };
+    // lint: allow(wall-clock) feeds only the diagnostic morsel-latency histogram, never busy accounting
     let t = std::time::Instant::now();
     let out = catch_unwind(AssertUnwindSafe(|| kernel.run_morsel_into(m, state)))
         .unwrap_or_else(|payload| {

@@ -11,7 +11,7 @@
 //!
 //! Distributed evaluation of these expressions lives in `skalla-core`.
 
-#![warn(missing_docs)]
+// missing_docs is denied workspace-wide (see [workspace.lints]).
 
 pub mod agg;
 pub mod chain;

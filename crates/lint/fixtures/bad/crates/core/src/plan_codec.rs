@@ -1,0 +1,5 @@
+//! Fixture codec: encodes `parallelism` but not `ghost_knob`.
+
+fn put_options(o: &EvalOptions, enc: &mut Encoder) {
+    enc.put_u32(o.parallelism as u32);
+}

@@ -1,0 +1,9 @@
+//! Seeded violations: undocumented tag, duplicate value, unhandled tag.
+
+/// Run one stage.
+pub const TAG_RUN_STAGE: u8 = 1;
+pub const TAG_RESULT: u8 = 2;
+/// Reuses RUN_STAGE's value.
+pub const TAG_ERROR: u8 = 1;
+/// Never referenced by any dispatch file.
+pub const TAG_GHOST: u8 = 7;

@@ -1,0 +1,22 @@
+//! Seeded violations: wall clock, unordered iteration, bare unwrap.
+
+fn demux(tag: u8) {
+    let _ = tag == TAG_RUN_STAGE || tag == TAG_RESULT || tag == TAG_ERROR;
+}
+
+fn busy(work: fn()) -> u128 {
+    let t = std::time::Instant::now();
+    work();
+    t.elapsed().as_micros()
+}
+
+fn encode(groups: &HashMap<String, u64>, out: &mut Vec<u8>) {
+    for (k, v) in groups.iter() {
+        out.extend_from_slice(k.as_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,18 @@
+//! Seeded violation: `ghost_knob` is wired nowhere.
+
+/// Knobs.
+pub struct EvalOptions {
+    /// Wired everywhere.
+    pub parallelism: usize,
+    /// Missing from the codec, the env, and the CLI.
+    pub ghost_knob: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> EvalOptions {
+        EvalOptions {
+            parallelism: env_usize("SKALLA_THREADS").unwrap_or(0),
+            ghost_knob: false,
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: a NetStats record site with no tag classification.
+
+fn send(msg: &Msg, stats: &NetStats) {
+    stats.record_msg_for(msg);
+}

@@ -1,0 +1,5 @@
+//! Fixture CLI: only `parallelism` has a flag.
+
+fn flags(e: &mut EvalOptions) {
+    e.parallelism = 4;
+}

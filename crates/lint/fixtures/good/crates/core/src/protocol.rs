@@ -1,0 +1,8 @@
+//! A consistent registry: documented, unique, handled, catalogued.
+
+/// Run one stage.
+pub const TAG_RUN_STAGE: u8 = 1;
+/// A sub-result chunk.
+pub const TAG_RESULT: u8 = 2;
+/// Telemetry (alias of the transport constant).
+pub const TAG_TELEMETRY: u8 = skalla_net::TELEMETRY_TAG;

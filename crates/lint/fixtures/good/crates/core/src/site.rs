@@ -1,0 +1,17 @@
+//! Clean site code: CPU timer, sorted iteration, no panics.
+
+fn demux(tag: u8) {
+    let _ = tag == TAG_RUN_STAGE || tag == TAG_RESULT || tag == TAG_TELEMETRY;
+}
+
+fn encode(groups: &HashMap<String, u64>, out: &mut Vec<u8>) {
+    let mut keys: Vec<&String> = groups.keys().collect(); // lint: allow(unordered-iter) sorted on the next line
+    keys.sort();
+    for k in keys {
+        out.extend_from_slice(k.as_bytes());
+    }
+}
+
+fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}

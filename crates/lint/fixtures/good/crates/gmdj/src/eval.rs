@@ -1,0 +1,15 @@
+//! Fully wired knobs.
+
+/// Knobs.
+pub struct EvalOptions {
+    /// Worker threads.
+    pub parallelism: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> EvalOptions {
+        EvalOptions {
+            parallelism: env_usize("SKALLA_THREADS").unwrap_or(0),
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture transport constants.
+
+/// Transport-reserved telemetry tag.
+pub const TELEMETRY_TAG: u8 = 9;

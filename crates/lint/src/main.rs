@@ -1,0 +1,115 @@
+//! `cargo run -p skalla-lint` — check the workspace invariants.
+//!
+//! Exit codes: 0 clean, 1 violations, 2 configuration error (bad flags,
+//! unreadable workspace or baseline). Flags:
+//!
+//! * `--root <dir>` — workspace root (default: this crate's `../..`);
+//! * `--baseline <file>` — baseline path (default `<root>/lint-baseline.txt`);
+//! * `--update-baseline` — rewrite the baseline to freeze current
+//!   `panic-hygiene` findings instead of failing on them.
+
+use skalla_lint::baseline::Baseline;
+use skalla_lint::workspace::Workspace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    baseline: PathBuf,
+    update: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let mut baseline = None;
+    let mut update = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(argv.next().ok_or("--root needs a directory")?);
+            }
+            "--baseline" => {
+                baseline = Some(PathBuf::from(argv.next().ok_or("--baseline needs a file")?));
+            }
+            "--update-baseline" => update = true,
+            "--help" | "-h" => {
+                println!(
+                    "skalla-lint [--root DIR] [--baseline FILE] [--update-baseline]\n\
+                     Checks the workspace invariants (see docs/STATIC_ANALYSIS.md)."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let baseline = baseline.unwrap_or_else(|| root.join("lint-baseline.txt"));
+    Ok(Args {
+        root,
+        baseline,
+        update,
+    })
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let ws = Workspace::load(&args.root)
+        .map_err(|e| format!("cannot load workspace at {}: {e}", args.root.display()))?;
+    let diags = skalla_lint::run_all(&ws);
+
+    if args.update {
+        let frozen = Baseline::freeze(&ws, &diags);
+        std::fs::write(&args.baseline, frozen.render())
+            .map_err(|e| format!("cannot write {}: {e}", args.baseline.display()))?;
+        println!(
+            "skalla-lint: froze {} panic-hygiene entr{} into {}",
+            frozen.len(),
+            if frozen.len() == 1 { "y" } else { "ies" },
+            args.baseline.display()
+        );
+        // Strict rules still fail even in update mode.
+        let strict: Vec<_> = diags
+            .into_iter()
+            .filter(|d| !skalla_lint::baseline::BASELINED_RULES.contains(&d.rule))
+            .collect();
+        return Ok(report(&strict, 0, 0));
+    }
+
+    let base = match std::fs::read_to_string(&args.baseline) {
+        Ok(text) => Baseline::parse(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => return Err(format!("cannot read {}: {e}", args.baseline.display())),
+    };
+    let filtered = base.filter(&ws, diags);
+    Ok(report(&filtered.kept, filtered.suppressed, filtered.stale))
+}
+
+fn report(kept: &[skalla_lint::workspace::Diagnostic], suppressed: usize, stale: usize) -> ExitCode {
+    for d in kept {
+        println!("{}", d.render());
+    }
+    if stale > 0 {
+        eprintln!(
+            "skalla-lint: note: {stale} stale baseline entr{} (debt paid down — \
+             refresh with --update-baseline)",
+            if stale == 1 { "y" } else { "ies" }
+        );
+    }
+    if kept.is_empty() {
+        println!("skalla-lint: clean ({suppressed} baselined panic-hygiene findings suppressed)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("skalla-lint: {} violation(s)", kept.len());
+        ExitCode::from(1)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("skalla-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! `knob-wiring`: every ablation knob is fully wired.
+//!
+//! An `EvalOptions` field that exists in the struct but is missing from
+//! the plan codec silently resets to its default on remote sites; one
+//! missing from the env/CLI surface can't be ablated in experiments.
+//! This rule requires each field to appear in all three places:
+//!
+//! 1. the plan codec (`crates/core/src/plan_codec.rs`),
+//! 2. an `SKALLA_*` environment read in the field's default initializer,
+//! 3. the CLI (`src/bin/skalla-cli.rs`).
+
+use super::diag;
+use crate::scan::has_ident;
+use crate::workspace::{Diagnostic, Workspace};
+
+/// Where `EvalOptions` lives.
+const OPTIONS_FILE: &str = "crates/gmdj/src/eval.rs";
+/// Where plans (including `EvalOptions`) are encoded for the wire.
+const CODEC_FILE: &str = "crates/core/src/plan_codec.rs";
+/// The operator-facing CLI.
+const CLI_FILE: &str = "src/bin/skalla-cli.rs";
+
+/// Run the rule. Emits one diagnostic per missing wiring point.
+pub fn knob_wiring(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let Some(options) = ws.get(OPTIONS_FILE) else {
+        // A fixture workspace without the options file has nothing to check.
+        return out;
+    };
+    let fields = struct_fields(&options.scanned.code, "EvalOptions");
+    if fields.is_empty() {
+        out.push(diag(
+            "knob-wiring",
+            OPTIONS_FILE,
+            None,
+            "could not locate any `pub` fields of `struct EvalOptions`; \
+             the rule needs updating if the struct moved",
+        ));
+        return out;
+    }
+
+    let default_body = region(&options.scanned.code, "impl Default for EvalOptions");
+    for (lineno, name) in &fields {
+        // (1) plan codec.
+        let in_codec = ws
+            .get(CODEC_FILE)
+            .is_some_and(|f| mentions(&f.scanned.code, &f.scanned.in_test, name));
+        if !in_codec {
+            out.push(diag(
+                "knob-wiring",
+                OPTIONS_FILE,
+                Some(*lineno),
+                format!(
+                    "`EvalOptions::{name}` is not referenced in {CODEC_FILE}; \
+                     an un-encoded knob silently resets to its default on remote sites"
+                ),
+            ));
+        }
+        // (2) SKALLA_* env read in the default initializer. Env var names
+        // are string literals (blanked in the code view), so this check
+        // reads the raw text of the initializer lines.
+        let has_env = default_body
+            .as_ref()
+            .is_some_and(|(start, end)| initializer_has_env(options, *start, *end, name));
+        if !has_env {
+            out.push(diag(
+                "knob-wiring",
+                OPTIONS_FILE,
+                Some(*lineno),
+                format!(
+                    "`EvalOptions::{name}` has no `SKALLA_*` environment read in \
+                     `impl Default for EvalOptions`; every knob must be settable \
+                     without recompiling"
+                ),
+            ));
+        }
+        // (3) CLI flag.
+        let in_cli = ws
+            .get(CLI_FILE)
+            .is_some_and(|f| mentions(&f.scanned.code, &f.scanned.in_test, name));
+        if !in_cli {
+            out.push(diag(
+                "knob-wiring",
+                OPTIONS_FILE,
+                Some(*lineno),
+                format!(
+                    "`EvalOptions::{name}` is not referenced in {CLI_FILE}; \
+                     every knob needs an operator-facing flag"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// `(line0, name)` of each `pub name: ty` field of `struct NAME`.
+fn struct_fields(code: &[String], name: &str) -> Vec<(usize, String)> {
+    let marker = format!("pub struct {name}");
+    let Some((start, end)) = region(code, &marker) else {
+        return Vec::new();
+    };
+    let mut fields = Vec::new();
+    for (lineno, line) in code.iter().enumerate().take(end + 1).skip(start) {
+        let trimmed = line.trim_start();
+        let Some(rest) = trimmed.strip_prefix("pub ") else {
+            continue;
+        };
+        let Some(colon) = rest.find(':') else {
+            continue;
+        };
+        let field = rest[..colon].trim();
+        if !field.is_empty()
+            && field
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            fields.push((lineno, field.to_string()));
+        }
+    }
+    fields
+}
+
+/// `(start, end)` line span of the brace-matched region opened on the
+/// first line containing `marker`.
+fn region(code: &[String], marker: &str) -> Option<(usize, usize)> {
+    let start = code.iter().position(|l| l.contains(marker))?;
+    let mut depth = 0i32;
+    let mut opened = false;
+    for (lineno, line) in code.iter().enumerate().skip(start) {
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if opened && depth <= 0 {
+            return Some((start, lineno));
+        }
+    }
+    None
+}
+
+/// Does the field's initializer inside the `Default` impl read an
+/// `SKALLA_*` variable? The initializer runs from the `name:` line to
+/// the line before the next field initializer (or the region end).
+fn initializer_has_env(
+    file: &crate::workspace::SourceFile,
+    start: usize,
+    end: usize,
+    name: &str,
+) -> bool {
+    let code = &file.scanned.code;
+    let raw_lines: Vec<&str> = file.raw.split('\n').collect();
+    let field_at = (start..=end).find(|&l| {
+        let t = code[l].trim_start();
+        t.starts_with(&format!("{name}:")) || t.starts_with(&format!("{name} :"))
+    });
+    let Some(field_at) = field_at else {
+        return false;
+    };
+    for (l, line) in code.iter().enumerate().take(end + 1).skip(field_at) {
+        if l > field_at {
+            // Stop at the next field initializer.
+            let t = line.trim_start();
+            if t.chars().next().is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+                && t.contains(':')
+                && !t.contains("::")
+            {
+                break;
+            }
+        }
+        if raw_lines.get(l).is_some_and(|r| r.contains("SKALLA_")) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Is `name` used as an identifier on any non-test line?
+fn mentions(code: &[String], in_test: &[bool], name: &str) -> bool {
+    code.iter()
+        .enumerate()
+        .any(|(l, line)| !in_test[l] && has_ident(line, name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OPTIONS: &str = "\
+/// Knobs.
+pub struct EvalOptions {
+    /// Threads.
+    pub parallelism: usize,
+    /// Columnar kernel.
+    pub columnar: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> EvalOptions {
+        EvalOptions {
+            parallelism: env_usize(\"SKALLA_THREADS\", 1),
+            columnar: env_flag(\"SKALLA_COLUMNAR\", true),
+        }
+    }
+}
+";
+
+    fn full_ws() -> Workspace {
+        let mut ws = Workspace::default();
+        ws.add(OPTIONS_FILE, OPTIONS.into());
+        ws.add(
+            CODEC_FILE,
+            "fn put(o: &EvalOptions) { enc(o.parallelism); enc_b(o.columnar); }\n".into(),
+        );
+        ws.add(
+            CLI_FILE,
+            "fn flags(e: &mut EvalOptions) { e.parallelism = 4; e.columnar = false; }\n".into(),
+        );
+        ws
+    }
+
+    #[test]
+    fn fully_wired_passes() {
+        assert!(knob_wiring(&full_ws()).is_empty());
+    }
+
+    #[test]
+    fn each_missing_surface_fires() {
+        let mut ws = Workspace::default();
+        ws.add(OPTIONS_FILE, OPTIONS.into());
+        ws.add(CODEC_FILE, "fn put(o: &EvalOptions) { enc(o.parallelism); }\n".into());
+        ws.add(CLI_FILE, "fn flags(e: &mut EvalOptions) { e.parallelism = 4; }\n".into());
+        let d = knob_wiring(&ws);
+        // `columnar` missing from codec + CLI = 2 findings.
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|d| d.message.contains("columnar")));
+    }
+
+    #[test]
+    fn missing_env_read_fires() {
+        let mut ws = full_ws();
+        let no_env = OPTIONS.replace("env_flag(\"SKALLA_COLUMNAR\", true)", "true");
+        ws.add(OPTIONS_FILE, no_env);
+        let d = knob_wiring(&ws);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("SKALLA_"));
+    }
+
+    #[test]
+    fn missing_struct_is_a_config_error() {
+        let mut ws = Workspace::default();
+        ws.add(OPTIONS_FILE, "pub struct Other { pub x: u8 }\n".into());
+        let d = knob_wiring(&ws);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! `panic-hygiene`: library code must not panic on remote or malformed
+//! input.
+//!
+//! Flags `.unwrap(`, `.expect(`, `panic!`, `unreachable!`, `todo!` and
+//! `unimplemented!` in non-test library code. A justified use carries
+//! `// lint: allow(panic) <reason>`; everything else must either be
+//! rewritten as a proper `Result` or live in the frozen baseline
+//! (`lint-baseline.txt`), which records existing debt — new debt is a
+//! hard error.
+
+use super::{allowed, diag};
+use crate::scan::find_ident;
+use crate::workspace::{Diagnostic, Workspace};
+
+/// Library-source prefixes in scope. Binaries under `src/bin`, benches,
+/// examples and integration tests are out: a panic there aborts a tool,
+/// not a remote site serving someone else's query. The lint crate lints
+/// itself.
+const SCOPE: &[&str] = &[
+    "crates/relation/src/",
+    "crates/gmdj/src/",
+    "crates/net/src/",
+    "crates/core/src/",
+    "crates/query/src/",
+    "crates/obs/src/",
+    "crates/datagen/src/",
+    "crates/lint/src/",
+    "src/lib.rs",
+];
+
+/// The panic-capable method calls (matched as `.name(`).
+const METHODS: &[&str] = &["unwrap", "expect"];
+/// The panic-capable macros (matched as `name!`).
+const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Run the rule over every in-scope file.
+pub fn panic_hygiene(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (path, file) in ws.iter() {
+        if !SCOPE.iter().any(|p| path.starts_with(p)) {
+            continue;
+        }
+        for (lineno, code) in file.scanned.code.iter().enumerate() {
+            if file.scanned.in_test[lineno] {
+                continue;
+            }
+            for name in hits(code) {
+                if allowed(file, lineno, "panic") {
+                    continue;
+                }
+                out.push(diag(
+                    "panic-hygiene",
+                    path,
+                    Some(lineno),
+                    format!(
+                        "`{name}` in library code can panic on bad input; return an error, \
+                         or justify with `// lint: allow(panic) <reason>`"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Panic-capable constructs on one blanked code line, in order.
+pub(crate) fn hits(code: &str) -> Vec<&'static str> {
+    let bytes = code.as_bytes();
+    let mut found = Vec::new();
+    for m in METHODS {
+        // `.unwrap(` — exactly this method, so `.unwrap_or(..)` and
+        // free functions named `unwrap` don't match.
+        let mut from = 0;
+        while let Some(at) = find_ident(&code[from..], m).map(|p| p + from) {
+            let before_dot = at > 0 && bytes[at - 1] == b'.';
+            let after_paren = bytes.get(at + m.len()) == Some(&b'(');
+            if before_dot && after_paren {
+                found.push(*m);
+            }
+            from = at + m.len();
+        }
+    }
+    for m in MACROS {
+        let mut from = 0;
+        while let Some(at) = find_ident(&code[from..], m).map(|p| p + from) {
+            if bytes.get(at + m.len()) == Some(&b'!') {
+                found.push(*m);
+            }
+            from = at + m.len();
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_exact_constructs_only() {
+        assert_eq!(hits("x.unwrap()"), vec!["unwrap"]);
+        assert_eq!(hits("x.expect(\"\")"), vec!["expect"]);
+        assert_eq!(hits("panic!(\"boom\")"), vec!["panic"]);
+        assert!(hits("x.unwrap_or(1).unwrap_or_else(f)").is_empty());
+        assert!(hits("x.expect_err(\"\")").is_empty());
+        assert!(hits("let panic_count = 1; repanic!()").is_empty());
+        assert_eq!(hits("a.unwrap(); unreachable!()"), vec!["unwrap", "unreachable"]);
+    }
+
+    #[test]
+    fn test_code_and_out_of_scope_files_are_ignored() {
+        let mut ws = Workspace::default();
+        ws.add(
+            "crates/core/src/x.rs",
+            "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn g() { y.unwrap(); }\n}\n".into(),
+        );
+        ws.add("crates/bench/src/y.rs", "fn f() { x.unwrap(); }\n".into());
+        let d = panic_hygiene(&ws);
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].path.as_str(), d[0].line), ("crates/core/src/x.rs", 1));
+    }
+
+    #[test]
+    fn annotation_suppresses() {
+        let mut ws = Workspace::default();
+        ws.add(
+            "crates/core/src/x.rs",
+            "fn f() { x.unwrap(); } // lint: allow(panic) index bounded by loop above\n".into(),
+        );
+        assert!(panic_hygiene(&ws).is_empty());
+    }
+}

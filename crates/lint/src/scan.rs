@@ -1,0 +1,414 @@
+//! A hand-rolled, comment- and string-aware scan of one Rust source file.
+//!
+//! The workspace is offline (no `syn`), so the rules run over a *blanked*
+//! view of each file: string/char literals and comments are replaced by
+//! spaces, byte for byte, which preserves line and column positions while
+//! guaranteeing that a rule matching `panic!` or `HashMap` never fires on
+//! text inside a string literal or a comment. Comment text is kept
+//! separately, per line, so rules can still read `///` docs and
+//! `// lint: allow(...)` annotations.
+//!
+//! The scanner understands exactly the constructs that matter for
+//! blanking: line comments (`//`, `///`, `//!`), nested block comments,
+//! plain/byte/raw string literals (`"…"`, `b"…"`, `r"…"`, `r#"…"#`),
+//! char literals (`'x'`, `'\n'`, `'\''`) and — crucially — lifetimes
+//! (`'a`), which look like an unterminated char literal to a naive scan.
+
+/// One scanned source file: the original text plus the blanked view and
+/// per-line comment metadata.
+#[derive(Debug, Clone)]
+pub struct Scanned {
+    /// Code with comments and string/char literal *contents* blanked to
+    /// spaces, split into lines. Same line count and per-line byte
+    /// lengths as the input.
+    pub code: Vec<String>,
+    /// Per line: the comment text on that line (text after `//` or
+    /// inside a block comment), trimmed; empty if none.
+    pub comments: Vec<String>,
+    /// Per line: `true` if the line is inside a `#[cfg(test)]` item
+    /// (the attribute line itself, and the whole item it gates).
+    pub in_test: Vec<bool>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    /// Block comment with nesting depth.
+    BlockComment(u32),
+    /// String literal; the `u32` is the number of `#`s a raw string
+    /// closes with (`u32::MAX` = not raw, respect backslash escapes).
+    Str(u32),
+    CharLit,
+}
+
+/// Scan one file. Never fails: the scanner is total over byte strings
+/// (malformed files just blank conservatively to end of file).
+pub fn scan(src: &str) -> Scanned {
+    let mut code = Vec::new();
+    let mut comments = Vec::new();
+    for line in src.split('\n') {
+        code.push(String::with_capacity(line.len()));
+        comments.push(String::new());
+    }
+
+    let mut mode = Mode::Code;
+    let mut escaped = false;
+    for (lineno, line) in src.split('\n').enumerate() {
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        // A line comment never crosses a newline.
+        if mode == Mode::LineComment {
+            mode = Mode::Code;
+        }
+        escaped = escaped && matches!(mode, Mode::Str(u32::MAX));
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            match mode {
+                Mode::Code => {
+                    if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+                        mode = Mode::LineComment;
+                        comments[lineno].push_str(line[i + 2..].trim());
+                        // Blank the rest of the line.
+                        for _ in i..bytes.len() {
+                            code[lineno].push(' ');
+                        }
+                        i = bytes.len();
+                        continue;
+                    }
+                    if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+                        mode = Mode::BlockComment(1);
+                        code[lineno].push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        // Keep the delimiter so tokens stay aligned.
+                        code[lineno].push('"');
+                        mode = Mode::Str(u32::MAX);
+                        escaped = false;
+                        i += 1;
+                        continue;
+                    }
+                    if (c == 'r' || c == 'b')
+                        && is_raw_or_byte_string(bytes, i)
+                        && !prev_is_ident(&code[lineno])
+                    {
+                        // r"…", r#"…"#, b"…", br#"…"# — find the hash
+                        // count and enter raw-string mode.
+                        let (hashes, skip) = raw_string_open(bytes, i);
+                        for _ in 0..skip {
+                            code[lineno].push(' ');
+                        }
+                        code[lineno].push('"');
+                        mode = Mode::Str(hashes);
+                        i += skip + 1;
+                        continue;
+                    }
+                    if c == '\'' {
+                        if is_char_literal(bytes, i) {
+                            code[lineno].push('\'');
+                            mode = Mode::CharLit;
+                            escaped = false;
+                            i += 1;
+                            continue;
+                        }
+                        // A lifetime: copy through verbatim.
+                        code[lineno].push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    code[lineno].push(c);
+                    i += 1;
+                }
+                // Reset at the top of every line; if we ever get here the
+                // scan stays total by just resuming code mode.
+                Mode::LineComment => mode = Mode::Code,
+                Mode::BlockComment(depth) => {
+                    if c == '*' && bytes.get(i + 1) == Some(&b'/') {
+                        mode = if depth == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::BlockComment(depth - 1)
+                        };
+                        code[lineno].push_str("  ");
+                        i += 2;
+                    } else if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+                        mode = Mode::BlockComment(depth + 1);
+                        code[lineno].push_str("  ");
+                        i += 2;
+                    } else {
+                        comments[lineno].push(c);
+                        code[lineno].push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::Str(hashes) => {
+                    if hashes == u32::MAX {
+                        if escaped {
+                            escaped = false;
+                        } else if c == '\\' {
+                            escaped = true;
+                        } else if c == '"' {
+                            code[lineno].push('"');
+                            mode = Mode::Code;
+                            i += 1;
+                            continue;
+                        }
+                        code[lineno].push(' ');
+                        i += 1;
+                    } else {
+                        // Raw string: closes on `"` followed by `hashes`
+                        // `#`s; no escapes.
+                        if c == '"' && count_hashes(bytes, i + 1) >= hashes {
+                            code[lineno].push('"');
+                            for _ in 0..hashes {
+                                code[lineno].push(' ');
+                            }
+                            mode = Mode::Code;
+                            i += 1 + hashes as usize;
+                            continue;
+                        }
+                        code[lineno].push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::CharLit => {
+                    if escaped {
+                        escaped = false;
+                    } else if c == '\\' {
+                        escaped = true;
+                    } else if c == '\'' {
+                        code[lineno].push('\'');
+                        mode = Mode::Code;
+                        i += 1;
+                        continue;
+                    }
+                    code[lineno].push(' ');
+                    i += 1;
+                }
+            }
+        }
+        // Multi-line strings/comments: trim the comment text per line.
+        comments[lineno] = comments[lineno].trim().to_string();
+    }
+
+    let in_test = mark_test_regions(&code);
+    Scanned {
+        code,
+        comments,
+        in_test,
+    }
+}
+
+/// Is the `'` at `i` the start of a char literal (vs a lifetime)?
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        None => false,
+        Some(&b'\\') => true,                      // '\n', '\''
+        Some(&b'\'') => false,                     // '' — malformed; treat as lifetime-ish
+        Some(&c) if is_ident_byte(c) => {
+            // 'a could be a lifetime or 'a'; a literal has a closing
+            // quote right after one ident char (multi-byte chars are
+            // handled by the escape/verbatim paths well enough).
+            bytes.get(i + 2) == Some(&b'\'')
+        }
+        Some(_) => bytes.get(i + 2) == Some(&b'\''), // '(' etc: char if closed
+    }
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Does `r`/`b` at `i` open a raw/byte string (`r"`, `r#`, `b"`, `br`)?
+fn is_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if bytes.get(j) == Some(&b'"') {
+            return true; // b"…"
+        }
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&b'"');
+    }
+    false
+}
+
+/// Was the previous blanked char part of an identifier? (Rules out
+/// `var"` false positives like `attr = r` — identifiers ending in `r`.)
+fn prev_is_ident(blanked_so_far: &str) -> bool {
+    blanked_so_far
+        .as_bytes()
+        .last()
+        .is_some_and(|&c| is_ident_byte(c))
+}
+
+/// Hash count and prefix length of a raw/byte string opener at `i`
+/// (bytes up to but excluding the opening quote).
+fn raw_string_open(bytes: &[u8], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (if hashes == 0 && bytes[i] == b'b' && bytes.get(i + 1) == Some(&b'"') {
+        u32::MAX // b"…" is an escaped (non-raw) string
+    } else {
+        hashes
+    }, j - i)
+}
+
+fn count_hashes(bytes: &[u8], from: usize) -> u32 {
+    let mut n = 0;
+    while bytes.get(from + n as usize) == Some(&b'#') {
+        n += 1;
+    }
+    n
+}
+
+/// Mark every line covered by a `#[cfg(test)]`-gated item: the attribute
+/// line, any further attributes, and the braced item that follows.
+fn mark_test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut line = 0;
+    while line < code.len() {
+        if code[line].contains("#[cfg(test)]") {
+            let start = line;
+            // Find the opening brace of the gated item (skipping further
+            // attribute lines), then its matching close.
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut end = start;
+            'outer: for (l, text) in code.iter().enumerate().skip(start) {
+                for c in text.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        ';' if !opened && depth == 0 && l > start => {
+                            // Brace-less gated item (`#[cfg(test)] use …;`).
+                            end = l;
+                            break 'outer;
+                        }
+                        _ => {}
+                    }
+                }
+                if opened && depth == 0 {
+                    end = l;
+                    break;
+                }
+                end = l;
+            }
+            for flag in in_test.iter_mut().take(end + 1).skip(start) {
+                *flag = true;
+            }
+            line = end + 1;
+        } else {
+            line += 1;
+        }
+    }
+    in_test
+}
+
+/// Does `line` contain `word` as a whole identifier (not as a substring
+/// of a longer identifier)?
+pub fn has_ident(line: &str, word: &str) -> bool {
+    find_ident(line, word).is_some()
+}
+
+/// Byte offset of the first whole-identifier occurrence of `word`.
+pub fn find_ident(line: &str, word: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after = at + word.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + word.len().max(1);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_strings_and_comments() {
+        let s = scan("let x = \"panic!\"; // unwrap() here\nlet y = 1;");
+        assert!(!s.code[0].contains("panic"));
+        assert!(!s.code[0].contains("unwrap"));
+        assert_eq!(s.comments[0], "unwrap() here");
+        assert_eq!(s.code[1], "let y = 1;");
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let s = scan("let a = r#\"has \"quotes\" and panic!\"#; let b = 2;");
+        assert!(!s.code[0].contains("panic"));
+        assert!(s.code[0].contains("let b = 2;"));
+        let s = scan("let a = b\"panic!\\\"\"; let c = 3;");
+        assert!(!s.code[0].contains("panic"));
+        assert!(s.code[0].contains("let c = 3;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x'; let q = '\\''; g()");
+        assert!(s.code[0].contains("fn f<'a>"));
+        assert!(s.code[0].contains("let c = ' ';"), "char contents blanked: {}", s.code[0]);
+        assert!(s.code[0].contains("g()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("a(); /* outer /* inner unwrap() */ still out */ b();");
+        assert!(s.code[0].contains("a();"));
+        assert!(s.code[0].contains("b();"));
+        assert!(!s.code[0].contains("unwrap"));
+        assert!(s.comments[0].contains("inner unwrap()"));
+    }
+
+    #[test]
+    fn multiline_string_blanks_until_close() {
+        let s = scan("let m = \"line one\npanic! two\"; done();");
+        assert!(!s.code[1].contains("panic"));
+        assert!(s.code[1].contains("done();"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn b() { y.unwrap(); }\n}\nfn c() {}";
+        let s = scan(src);
+        assert!(!s.in_test[0]);
+        assert!(s.in_test[1] && s.in_test[2] && s.in_test[3] && s.in_test[4]);
+        assert!(!s.in_test[5]);
+    }
+
+    #[test]
+    fn ident_matching_respects_boundaries() {
+        assert!(has_ident("x.unwrap()", "unwrap"));
+        assert!(!has_ident("x.unwrap_or(1)", "unwrap"));
+        assert!(!has_ident("my_unwrap()", "unwrap"));
+        assert_eq!(find_ident("a unwrapped unwrap", "unwrap"), Some(12));
+    }
+}

@@ -1,0 +1,142 @@
+//! The lint's view of the workspace: a set of scanned source files (and
+//! verbatim docs) keyed by repo-relative path.
+//!
+//! Rules never touch the filesystem themselves — they read a
+//! [`Workspace`], which is either loaded from the real repository root
+//! ([`Workspace::load`]) or assembled in memory from fixture snippets
+//! (the rule self-tests), so every rule is testable against seeded
+//! violations without mutating the repo.
+
+use crate::scan::{scan, Scanned};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One source file: raw text plus the comment/string-aware scan.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Raw file contents (used for docs and baseline snippets).
+    pub raw: String,
+    /// The blanked scan (rules match against this, never against raw).
+    pub scanned: Scanned,
+}
+
+impl SourceFile {
+    /// Scan `raw` into a source file.
+    pub fn new(raw: String) -> SourceFile {
+        let scanned = scan(&raw);
+        SourceFile { raw, scanned }
+    }
+}
+
+/// The scanned workspace. Paths are repo-relative with `/` separators
+/// (`crates/core/src/protocol.rs`), so rules and baselines are portable.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    files: BTreeMap<String, SourceFile>,
+}
+
+/// Directories under the repo root that hold first-party sources the
+/// lint walks. The vendored `shims/` are API stand-ins for crates.io
+/// packages, not our code, and `target/` is build output.
+const SOURCE_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+impl Workspace {
+    /// Load every `.rs` file under the source roots, plus the Markdown
+    /// docs the rules cross-check (`docs/*.md`).
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut ws = Workspace::default();
+        for top in SOURCE_ROOTS {
+            let dir = root.join(top);
+            if dir.is_dir() {
+                walk(&dir, root, &mut ws)?;
+            }
+        }
+        let docs = root.join("docs");
+        if docs.is_dir() {
+            for entry in std::fs::read_dir(&docs)? {
+                let path = entry?.path();
+                if path.extension().is_some_and(|e| e == "md") {
+                    ws.insert_path(root, &path)?;
+                }
+            }
+        }
+        Ok(ws)
+    }
+
+    fn insert_path(&mut self, root: &Path, path: &Path) -> std::io::Result<()> {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let raw = std::fs::read_to_string(path)?;
+        self.add(&rel, raw);
+        Ok(())
+    }
+
+    /// Insert an in-memory file (fixtures and tests).
+    pub fn add(&mut self, rel_path: &str, raw: String) {
+        self.files.insert(rel_path.to_string(), SourceFile::new(raw));
+    }
+
+    /// Look up a file by exact repo-relative path.
+    pub fn get(&self, rel_path: &str) -> Option<&SourceFile> {
+        self.files.get(rel_path)
+    }
+
+    /// All files, in path order (deterministic diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &SourceFile)> {
+        self.files.iter().map(|(p, f)| (p.as_str(), f))
+    }
+
+    /// Files whose path starts with `prefix`, in path order.
+    pub fn under<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a str, &'a SourceFile)> {
+        self.iter().filter(move |(p, _)| p.starts_with(prefix))
+    }
+}
+
+fn walk(dir: &Path, root: &Path, ws: &mut Workspace) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+        let name = name.as_deref().unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            walk(&path, root, ws)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            ws.insert_path(root, &path)?;
+        }
+    }
+    Ok(())
+}
+
+/// One finding: where, which rule, what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Kebab-case rule id (e.g. `panic-hygiene`).
+    pub rule: &'static str,
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line, or 0 for whole-file/registry findings.
+    pub line: usize,
+    /// Human-readable description with the expected fix.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `file:line: rule: message`, the grep-able diagnostic format.
+    pub fn render(&self) -> String {
+        if self.line == 0 {
+            format!("{}: {}: {}", self.path, self.rule, self.message)
+        } else {
+            format!("{}:{}: {}: {}", self.path, self.line, self.rule, self.message)
+        }
+    }
+}

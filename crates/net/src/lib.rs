@@ -15,7 +15,7 @@
 //! simulated wire time so experiments reproduce the paper's communication
 //! behavior on a single machine.
 
-#![deny(missing_docs)]
+// missing_docs is denied workspace-wide (see [workspace.lints]).
 
 pub mod channel;
 pub mod cost;

@@ -135,8 +135,8 @@ fn read_frame(stream: &mut TcpStream, deadline: Option<Instant>) -> Result<Messa
     let mut header = [0u8; 9];
     read_full(stream, &mut header, deadline)?;
     let tag = header[0];
-    let query_id = u32::from_le_bytes(header[1..5].try_into().expect("4 bytes"));
-    let len = u32::from_le_bytes(header[5..9].try_into().expect("4 bytes")) as usize;
+    let query_id = u32::from_le_bytes([header[1], header[2], header[3], header[4]]);
+    let len = u32::from_le_bytes([header[5], header[6], header[7], header[8]]) as usize;
     if len > MAX_FRAME_LEN {
         return Err(NetError::Io(format!(
             "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit"
@@ -362,8 +362,9 @@ impl TcpSiteListener {
                 hello.tag
             )));
         }
-        let site_id = u32::from_le_bytes(hello.payload[0..4].try_into().expect("4 bytes")) as usize;
-        let n_sites = u32::from_le_bytes(hello.payload[4..8].try_into().expect("4 bytes")) as usize;
+        let p = &hello.payload;
+        let site_id = u32::from_le_bytes([p[0], p[1], p[2], p[3]]) as usize;
+        let n_sites = u32::from_le_bytes([p[4], p[5], p[6], p[7]]) as usize;
         if site_id >= n_sites {
             return Err(NetError::Io(format!(
                 "handshake assigned site {site_id} of {n_sites}"

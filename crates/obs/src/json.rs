@@ -13,12 +13,19 @@ use std::fmt::Write as _;
 /// and timestamps serialize exactly rather than through `f64`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// A signed integer, serialized without a decimal point.
     Int(i64),
+    /// An unsigned integer (counters, timestamps), serialized exactly.
     UInt(u64),
+    /// A float; non-finite values serialize as `null`.
     Float(f64),
+    /// A string, escaped per RFC 8259.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
     /// Insertion-ordered key/value pairs.
     Obj(Vec<(String, Json)>),

@@ -112,10 +112,15 @@ impl Track {
 /// An attribute value attached to spans and events.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ArgValue {
+    /// A signed integer attribute.
     Int(i64),
+    /// An unsigned integer attribute (counts, ids).
     UInt(u64),
+    /// A float attribute.
     Float(f64),
+    /// A string attribute.
     Str(String),
+    /// A boolean attribute.
     Bool(bool),
 }
 

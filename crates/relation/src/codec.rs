@@ -164,19 +164,19 @@ impl<'a> Decoder<'a> {
     /// Read a little-endian u32.
     pub fn get_u32(&mut self) -> Result<u32> {
         let b = self.take(4)?;
-        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     /// Read a little-endian i64.
     pub fn get_i64(&mut self) -> Result<i64> {
         let b = self.take(8)?;
-        Ok(i64::from_le_bytes(b.try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
 
     /// Read a little-endian f64.
     pub fn get_f64(&mut self) -> Result<f64> {
         let b = self.take(8)?;
-        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
 
     /// Read a length-prefixed UTF-8 string.
@@ -199,7 +199,9 @@ impl<'a> Decoder<'a> {
 
     /// Read a row of `arity` values.
     pub fn get_row(&mut self, arity: usize) -> Result<Row> {
-        let mut vs = Vec::with_capacity(arity);
+        // Capacity capped by the bytes actually left, so a corrupt count
+        // can't balloon the allocation before the decode fails.
+        let mut vs = Vec::with_capacity(arity.min(self.remaining()));
         for _ in 0..arity {
             vs.push(self.get_value()?);
         }
@@ -209,7 +211,7 @@ impl<'a> Decoder<'a> {
     /// Read a schema.
     pub fn get_schema(&mut self) -> Result<Schema> {
         let n = self.get_u32()? as usize;
-        let mut fields = Vec::with_capacity(n);
+        let mut fields = Vec::with_capacity(n.min(self.remaining()));
         for _ in 0..n {
             let name = self.get_str()?;
             let ty = match self.get_u8()? {
@@ -228,7 +230,7 @@ impl<'a> Decoder<'a> {
         let schema = self.get_schema()?;
         let n = self.get_u32()? as usize;
         let arity = schema.len();
-        let mut rows = Vec::with_capacity(n);
+        let mut rows = Vec::with_capacity(n.min(self.remaining()));
         for _ in 0..n {
             rows.push(self.get_row(arity)?);
         }
@@ -355,7 +357,7 @@ impl Decoder<'_> {
             EXPR_IN => {
                 let inner = self.get_expr()?;
                 let n = self.get_u32()? as usize;
-                let mut vs = Vec::with_capacity(n);
+                let mut vs = Vec::with_capacity(n.min(self.remaining()));
                 for _ in 0..n {
                     vs.push(self.get_value()?);
                 }

@@ -104,10 +104,22 @@ QUERY OPTIONS:
   --chunk N                   row blocking: ship results in chunks of N rows
   --threads N                 worker threads per site for the morsel-parallel
                               GMDJ kernel (default: available cores; 1 = serial)
+  --morsel-rows N             detail rows per morsel (default: 65536; fixes the
+                              accumulator merge structure, so output bits depend
+                              on it; also SKALLA_MORSEL_ROWS)
   --no-columnar               evaluate with the row-at-a-time GMDJ kernel
                               instead of the vectorized columnar kernel
                               (ablation; same bits either way; also
                               SKALLA_COLUMNAR=0)
+  --no-hash-path              disable the equi-key hash fast path and evaluate
+                              θ by nested loops (ablation; same bits either
+                              way; also SKALLA_HASH_PATH=0)
+  --legacy-probe              use the legacy allocating probe instead of the
+                              zero-allocation bucket index (ablation; same bits
+                              either way; also SKALLA_LEGACY_PROBE=1)
+  --fault-panic-morsel N      fault injection: panic the worker that starts
+                              morsel N, to exercise error recovery (testing
+                              only; also SKALLA_FAULT_MORSEL)
   --no-skew-balance           disable heavy-hitter skew balancing: sites
                               neither report hot group keys nor take on
                               loaned work (ablation; same bits either way;
@@ -302,12 +314,33 @@ fn build_engine(args: &[String], obs: Obs) -> Result<Box<dyn Warehouse>, String>
         eval.parallelism = n;
         eval_set = true;
     }
+    if let Some(rows) = opt(args, "--morsel-rows") {
+        let n: usize = rows.parse().map_err(|e| format!("bad --morsel-rows: {e}"))?;
+        if n == 0 {
+            return Err("--morsel-rows must be at least 1".to_string());
+        }
+        eval.morsel_rows = n;
+        eval_set = true;
+    }
     if args.iter().any(|a| a == "--no-columnar") {
         eval.columnar = false;
         eval_set = true;
     }
+    if args.iter().any(|a| a == "--no-hash-path") {
+        eval.hash_path = false;
+        eval_set = true;
+    }
+    if args.iter().any(|a| a == "--legacy-probe") {
+        eval.legacy_probe = true;
+        eval_set = true;
+    }
     if args.iter().any(|a| a == "--no-skew-balance") {
         eval.skew_balance = false;
+        eval_set = true;
+    }
+    if let Some(m) = opt(args, "--fault-panic-morsel") {
+        let n: usize = m.parse().map_err(|e| format!("bad --fault-panic-morsel: {e}"))?;
+        eval.fault_panic_morsel = Some(n);
         eval_set = true;
     }
     if eval_set {

@@ -49,6 +49,12 @@ SKALLA_COLUMNAR=1 cargo test -q -p skalla-gmdj
 # bit-identity between the two paths on every run above).
 SKALLA_SKEW=0 cargo test -q -p skalla-gmdj -p skalla-core
 SKALLA_SKEW=1 cargo test -q -p skalla-gmdj -p skalla-core
+# Cache ablation: the semantic result cache must be invisible to
+# correctness — tier-1 passes identically with it forced off and on.
+# (Tests that depend on a specific hit/miss pattern pin the knob
+# explicitly, so both runs exercise the same assertions.)
+SKALLA_CACHE=0 cargo test -q
+SKALLA_CACHE=1 cargo test -q
 cargo clippy --all-targets -- -D warnings
 # The skalla-lint invariant checker (docs/STATIC_ANALYSIS.md): its own
 # unit + fixture self-tests first — a broken rule must fail loudly, not
@@ -85,6 +91,12 @@ cargo run --release -q -p skalla-bench --bin fig_kernel -- \
 # (Zipf 1.2, 8 sites) under both kernels, plus bit-identity of the
 # balanced and unbalanced results everywhere.
 cargo run --release -q -p skalla-bench --bin fig_skew -- \
+  --quick --check --out "$(mktemp)"
+# Semantic cache smoke: quick fig_cache run; --check asserts the
+# dashboard workload's hit-rate floor (≥80%) and traffic-reduction floor
+# (≥2x), cube roll-up bit-identity on the integral measure, and that
+# cache-off executions pay byte-for-byte the serial baseline traffic.
+cargo run --release -q -p skalla-bench --bin fig_cache -- \
   --quick --check --out "$(mktemp)"
 
 # Multi-process TCP smoke test: two standalone site processes on ephemeral

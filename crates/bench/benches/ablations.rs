@@ -24,8 +24,13 @@ fn bench_eval_strategy(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(2));
     for (label, hash) in [("hash_path", true), ("nested_loop", false)] {
         let mut cluster = cluster_of(&parts, 4);
-        #[allow(deprecated)] // ablations pin the serial Cluster's setter path
-        cluster.set_eval_options(EvalOptions { hash_path: hash, ..EvalOptions::default() });
+        cluster.configure(&skalla_core::EngineConfig {
+            eval: EvalOptions {
+                hash_path: hash,
+                ..EvalOptions::default()
+            },
+            ..skalla_core::EngineConfig::default()
+        });
         let plan = Planner::new(cluster.distribution()).optimize(&expr, OptFlags::all());
         g.bench_function(label, |b| {
             b.iter(|| cluster.execute(&plan).expect("query runs"));

@@ -99,8 +99,10 @@ fn bench_query(c: &mut Criterion) {
     });
     g.bench_function("execute_traced", |b| {
         let mut traced = cluster.clone();
-        #[allow(deprecated)] // the serial figure harness drives a bare Cluster
-        traced.set_obs(Obs::recording());
+        traced.configure(&skalla_core::EngineConfig {
+            obs: Obs::recording(),
+            ..skalla_core::EngineConfig::default()
+        });
         b.iter(|| black_box(traced.execute(&plan).unwrap()))
     });
     g.finish();

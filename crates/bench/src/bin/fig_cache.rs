@@ -1,0 +1,284 @@
+//! **Semantic cache — repeated-query dashboard workload.**
+//!
+//! Not a paper figure: the paper's experiments run each query once, but
+//! the motivating deployment (an ISP dashboard refreshing the same OLAP
+//! panels) re-submits a small pool of queries continuously. This
+//! benchmark measures what the semantic result cache buys on that
+//! workload: a pool of distinct GMDJ chains over range-partitioned TPCR
+//! re-runs for `refreshes` rounds on an in-process [`Skalla`] engine,
+//! with the cache on and off, plus a `CUBE BY` served by hierarchical
+//! roll-up versus one distributed query per grouping set.
+//!
+//! Reported: cache hit rate, total site traffic with the cache on/off
+//! (and the off/on reduction factor), cube traffic rolled-up vs direct,
+//! and the correctness contract — cache-served repeats and rolled-up
+//! cube levels are **bit-identical** to fresh distributed execution
+//! (f64 compared by bit pattern), and with the cache off every
+//! execution's per-round traffic is **byte-for-byte** the serial
+//! [`Cluster`] baseline (the pre-cache engine).
+//!
+//! Results are written to `BENCH_cache.json` (override with `--out`).
+//! `--check` additionally asserts hit rate ≥ 80% and traffic reduction
+//! ≥ 2×.
+
+use skalla_bench::harness::{arg_value, has_flag};
+use skalla_core::{Cluster, EngineConfig, OptFlags, Planner, Skalla};
+use skalla_datagen::partition::{observe_int_ranges, partition_by_int_ranges, Partition};
+use skalla_datagen::tpcr::{generate_tpcr, TpcrConfig};
+use skalla_gmdj::prelude::*;
+use skalla_gmdj::EvalOptions;
+use skalla_obs::json::Json;
+use skalla_query::cube_with_rollup;
+use skalla_relation::Value;
+
+const SITES: usize = 8;
+
+/// The dashboard's query pool: distinct GMDJ chains over TPCR, all
+/// carrying order-sensitive AVG / VAR / STDDEV so bit-identity is a real
+/// constraint.
+fn dashboard() -> Vec<(&'static str, GmdjExpr)> {
+    let revenue_by_nation = GmdjExprBuilder::distinct_base("tpcr", &["nation_key"])
+        .gmdj(Gmdj::new("tpcr").block(
+            ThetaBuilder::group_by(&["nation_key"]).build(),
+            vec![
+                AggSpec::count("lines"),
+                AggSpec::sum("extended_price", "revenue"),
+                AggSpec::avg("extended_price", "avg_price"),
+            ],
+        ))
+        .build();
+    let above_avg_by_nation = GmdjExprBuilder::distinct_base("tpcr", &["nation_key"])
+        .gmdj(Gmdj::new("tpcr").block(
+            ThetaBuilder::group_by(&["nation_key"]).build(),
+            vec![AggSpec::avg("extended_price", "av")],
+        ))
+        .gmdj(Gmdj::new("tpcr").block(
+            ThetaBuilder::group_by(&["nation_key"])
+                .and(Expr::dcol("extended_price").ge(Expr::bcol("av")))
+                .build(),
+            vec![AggSpec::count("above"), AggSpec::max("extended_price", "mx")],
+        ))
+        .build();
+    let spread_by_group = GmdjExprBuilder::distinct_base("tpcr", &["cust_group"])
+        .gmdj(Gmdj::new("tpcr").block(
+            ThetaBuilder::group_by(&["cust_group"]).build(),
+            vec![
+                AggSpec::sum("quantity", "units"),
+                AggSpec::var("extended_price", "price_var"),
+                AggSpec::min("extended_price", "mn"),
+            ],
+        ))
+        .build();
+    let returns_by_flag = GmdjExprBuilder::distinct_base("tpcr", &["return_flag"])
+        .gmdj(Gmdj::new("tpcr").block(
+            ThetaBuilder::group_by(&["return_flag"]).build(),
+            vec![
+                AggSpec::count("lines"),
+                AggSpec::sum("extended_price", "revenue"),
+            ],
+        ))
+        .build();
+    let priority_profile = GmdjExprBuilder::distinct_base("tpcr", &["order_priority"])
+        .gmdj(Gmdj::new("tpcr").block(
+            ThetaBuilder::group_by(&["order_priority"]).build(),
+            vec![
+                AggSpec::count("lines"),
+                AggSpec::stddev("extended_price", "price_sd"),
+            ],
+        ))
+        .build();
+    vec![
+        ("revenue_by_nation", revenue_by_nation),
+        ("above_avg_by_nation", above_avg_by_nation),
+        ("spread_by_group", spread_by_group),
+        ("returns_by_flag", returns_by_flag),
+        ("priority_profile", priority_profile),
+    ]
+}
+
+fn opts(cache: bool) -> EvalOptions {
+    EvalOptions {
+        cache,
+        ..EvalOptions::default()
+    }
+}
+
+/// Compare two relations with exact f64 bit equality.
+fn bit_identical(a: &Relation, b: &Relation) -> bool {
+    a.len() == b.len()
+        && a.rows().iter().zip(b.rows()).all(|(ra, rb)| {
+            ra.values().iter().zip(rb.values()).all(|(va, vb)| match (va, vb) {
+                (Value::Double(x), Value::Double(y)) => x.to_bits() == y.to_bits(),
+                _ => va == vb,
+            })
+        })
+}
+
+fn parts(rows: usize) -> Vec<Partition> {
+    let tpcr = generate_tpcr(&TpcrConfig::new(rows, 42));
+    let mut parts = partition_by_int_ranges(&tpcr, "nation_key", SITES);
+    observe_int_ranges(&mut parts, &["cust_key", "cust_group"]);
+    parts
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = has_flag(&args, "--quick");
+    let rows: usize = if quick { 30_000 } else { 200_000 };
+    let refreshes: usize = arg_value(&args, "--refreshes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 6 } else { 12 });
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_cache.json".into());
+
+    let pool = dashboard();
+    println!("# Semantic cache: repeated-query dashboard workload");
+    println!(
+        "# rows = {rows}, sites = {SITES}, pool = {} queries, refreshes = {refreshes}",
+        pool.len()
+    );
+
+    // Three warehouses over identical partitions: the cached engine, the
+    // cache-disabled engine, and the serial pre-cache baseline.
+    let engine_on = Skalla::builder()
+        .partitions("tpcr", parts(rows))
+        .eval_options(opts(true))
+        .build()
+        .expect("cached engine builds");
+    let engine_off = Skalla::builder()
+        .partitions("tpcr", parts(rows))
+        .eval_options(opts(false))
+        .build()
+        .expect("uncached engine builds");
+    let mut baseline = Cluster::from_partitions("tpcr", parts(rows));
+    baseline.configure(&EngineConfig {
+        eval: opts(false),
+        ..EngineConfig::default()
+    });
+
+    let planner = Planner::new(engine_on.distribution());
+    let plans: Vec<_> = pool
+        .iter()
+        .map(|(name, e)| (*name, planner.optimize(e, OptFlags::all())))
+        .collect();
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut entries = Vec::new();
+    let (mut bytes_on, mut bytes_off) = (0u64, 0u64);
+    for round in 0..refreshes {
+        for (name, plan) in &plans {
+            let on = engine_on.execute(plan).expect("cached engine runs");
+            let off = engine_off.execute(plan).expect("uncached engine runs");
+            bytes_on += on.stats.total_bytes();
+            bytes_off += off.stats.total_bytes();
+            // Every uncached execution pays byte-for-byte the traffic of
+            // the serial pre-cache engine — repeats included.
+            let oracle = baseline.execute(plan).expect("baseline runs");
+            if off.stats.net != oracle.stats.net {
+                failures.push(format!(
+                    "{name} refresh {round}: cache-off per-round traffic diverges \
+                     from the serial baseline"
+                ));
+            }
+            if !bit_identical(&on.relation, &oracle.relation) {
+                failures.push(format!(
+                    "{name} refresh {round}: cached result differs from baseline"
+                ));
+            }
+            if round > 0 && !on.stats.is_cache_hit() {
+                failures.push(format!("{name} refresh {round}: repeat not cache-served"));
+            }
+        }
+    }
+    let cache = engine_on.semantic_cache().stats();
+    let executions = (refreshes * plans.len()) as u64;
+    let hit_rate = (cache.hits + cache.coalesced) as f64 / executions as f64;
+    let reduction = bytes_off as f64 / (bytes_on as f64).max(1.0);
+    println!(
+        "# workload: {executions} executions, hit rate {:.1}%, traffic {bytes_off} B off \
+         vs {bytes_on} B on ({reduction:.1}x reduction)",
+        hit_rate * 100.0
+    );
+
+    // Hierarchical cube serving: coarse grouping sets rolled up locally
+    // from the finest level vs one distributed query per grouping set.
+    // The measure is the integral `quantity`, where every f64 in play is
+    // exact, so the roll-up contract is full bit-identity (on inexact
+    // Double measures roll-up is deterministic but reassociates sums,
+    // which direct per-level execution orders differently).
+    let dims = ["nation_key", "return_flag"];
+    let cube_aggs = [
+        AggSpec::count("lines"),
+        AggSpec::sum("quantity", "units"),
+        AggSpec::avg("quantity", "avg_units"),
+        AggSpec::var("quantity", "units_var"),
+    ];
+    let rolled = cube_with_rollup(&engine_off, "tpcr", &dims, &cube_aggs, OptFlags::all(), true)
+        .expect("rolled cube runs");
+    let direct = cube_with_rollup(&engine_off, "tpcr", &dims, &cube_aggs, OptFlags::all(), false)
+        .expect("direct cube runs");
+    let sort = |r: &Relation| r.sorted_by(&dims).expect("sortable");
+    let cube_identical = bit_identical(&sort(&rolled.relation), &sort(&direct.relation));
+    println!(
+        "# cube: {} B rolled-up ({} levels local) vs {} B direct, bit-identical: {cube_identical}",
+        rolled.total_bytes(),
+        rolled.rolled_up_levels(),
+        direct.total_bytes()
+    );
+    if !cube_identical {
+        failures.push("rolled-up cube differs from per-grouping-set execution".into());
+    }
+
+    entries.push(Json::obj(vec![
+        ("executions", Json::UInt(executions)),
+        ("hits", Json::UInt(cache.hits)),
+        ("coalesced", Json::UInt(cache.coalesced)),
+        ("misses", Json::UInt(cache.misses)),
+        ("hit_rate", Json::Float(hit_rate)),
+        ("bytes_cache_on", Json::UInt(bytes_on)),
+        ("bytes_cache_off", Json::UInt(bytes_off)),
+        ("traffic_reduction", Json::Float(reduction)),
+        ("cache_entry_bytes", Json::UInt(cache.bytes)),
+        ("cube_bytes_rolled", Json::UInt(rolled.total_bytes())),
+        ("cube_bytes_direct", Json::UInt(direct.total_bytes())),
+        ("cube_levels_rolled_up", Json::UInt(rolled.rolled_up_levels() as u64)),
+        ("cube_bit_identical", Json::Bool(cube_identical)),
+    ]));
+
+    if has_flag(&args, "--check") {
+        if hit_rate < 0.80 {
+            failures.push(format!("hit rate {:.3} below the 0.80 floor", hit_rate));
+        }
+        if reduction < 2.0 {
+            failures.push(format!("traffic reduction {reduction:.2}x below the 2x floor"));
+        }
+        if rolled.total_bytes() >= direct.total_bytes() {
+            failures.push(format!(
+                "rolled-up cube traffic {} B not below direct {} B",
+                rolled.total_bytes(),
+                direct.total_bytes()
+            ));
+        }
+    }
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("fig_cache".into())),
+        ("rows", Json::UInt(rows as u64)),
+        ("sites", Json::UInt(SITES as u64)),
+        ("pool", Json::UInt(plans.len() as u64)),
+        ("refreshes", Json::UInt(refreshes as u64)),
+        ("entries", Json::Arr(entries)),
+    ]);
+    std::fs::write(&out_path, report.to_json())
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        panic!("{} cache check(s) failed", failures.len());
+    }
+    if has_flag(&args, "--check") {
+        println!("semantic cache check passed ✓");
+    }
+}

@@ -114,6 +114,7 @@ fn main() {
             legacy_probe,
             columnar,
             skew_balance: true,
+            cache: true,
             fault_panic_morsel: None,
         }
     };

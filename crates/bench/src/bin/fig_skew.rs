@@ -141,14 +141,16 @@ struct ConfigRun {
     relation: Relation,
 }
 
-#[allow(deprecated)] // the figure harness drives a bare serial Cluster
 fn run_config(
     cluster: &mut Cluster,
     plan: &skalla_core::DistributedPlan,
     eval: EvalOptions,
     repeats: usize,
 ) -> ConfigRun {
-    cluster.set_eval_options(eval);
+    cluster.configure(&skalla_core::EngineConfig {
+        eval,
+        ..skalla_core::EngineConfig::default()
+    });
     let n = cluster.n_sites();
     let mut maxes = Vec::with_capacity(repeats);
     let mut skews = Vec::with_capacity(repeats);

@@ -2,7 +2,7 @@
 //! criterion benches: run a (query, flags) pair on a cluster, collect the
 //! paper's metrics, print series tables, and check curve shapes.
 
-use skalla_core::{Cluster, DistributedPlan, OptFlags, Planner, QueryResult};
+use skalla_core::{Cluster, DistributedPlan, EngineConfig, OptFlags, Planner, QueryResult};
 use skalla_gmdj::GmdjExpr;
 use skalla_net::CostModel;
 use skalla_obs::chrome::metrics_snapshot;
@@ -70,7 +70,6 @@ pub fn run_once(
 /// measurement plus a trace-derived JSON report: headline numbers,
 /// per-span-name duration roll-ups, and the flat metrics snapshot.
 /// Serialize with [`Json::to_json`].
-#[allow(deprecated)] // the serial figure harness drives a bare Cluster
 pub fn run_traced(
     cluster: &Cluster,
     expr: &GmdjExpr,
@@ -79,7 +78,10 @@ pub fn run_traced(
 ) -> (Measurement, Json) {
     let obs = Obs::recording();
     let mut cluster = cluster.clone();
-    cluster.set_obs(obs.clone());
+    cluster.configure(&EngineConfig {
+        obs: obs.clone(),
+        ..EngineConfig::default()
+    });
     let planner = Planner::new(cluster.distribution()).with_obs(obs.clone());
     let (plan, decisions) = planner.optimize_with_decisions(expr, flags);
     let result = cluster

@@ -22,6 +22,7 @@ use skalla_net::{star, CoordinatorTransport, Direction, NetStats};
 use skalla_obs::{Obs, Track};
 use skalla_relation::{DomainMap, Error, Relation, Result, Row, Schema, Value};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,7 +30,14 @@ use std::time::{Duration, Instant};
 /// fragment of every fact relation, plus the coordinator logic.
 #[derive(Debug, Clone)]
 pub struct Cluster {
-    sites: Vec<HashMap<String, Arc<Relation>>>,
+    /// Per-site catalogs, `Arc`-shared so site threads and the
+    /// [`crate::Warehouse::catalog`] surface borrow the same metadata
+    /// instead of cloning maps (copy-on-write under mutation).
+    sites: Vec<Arc<HashMap<String, Arc<Relation>>>>,
+    /// Partition epoch: bumped on every catalog mutation
+    /// ([`Cluster::add_table`]), shared across clones so any handle
+    /// observes every swap. The semantic cache keys on it.
+    epoch: Arc<AtomicU64>,
     dist: DistributionInfo,
     eval: EvalOptions,
     timeout: Duration,
@@ -42,7 +50,8 @@ impl Cluster {
     pub fn new(n_sites: usize) -> Cluster {
         assert!(n_sites > 0, "a cluster needs at least one site");
         Cluster {
-            sites: vec![HashMap::new(); n_sites],
+            sites: (0..n_sites).map(|_| Arc::new(HashMap::new())).collect(),
+            epoch: Arc::new(AtomicU64::new(0)),
             dist: DistributionInfo::new(n_sites),
             eval: EvalOptions::default(),
             timeout: Duration::from_secs(120),
@@ -51,18 +60,22 @@ impl Cluster {
         }
     }
 
-    /// Attach an observability handle: executions record a query span,
-    /// per-stage coordinator spans, ship/sync sub-spans, per-site task
-    /// spans, and group-reduction events, and wire the same handle into
-    /// the transport's [`NetStats`].
-    #[deprecated(note = "configure through Skalla::builder().obs(..) / EngineConfig instead")]
-    pub fn set_obs(&mut self, obs: Obs) -> &mut Cluster {
-        self.obs = obs;
+    /// Adopt an engine configuration: evaluation options, round timeout,
+    /// row-blocking chunk size, and observability handle. The
+    /// scheduler settings don't apply to this serial runtime (it
+    /// executes one query at a time) and are ignored.
+    pub fn configure(&mut self, cfg: &crate::warehouse::EngineConfig) -> &mut Cluster {
+        self.eval = cfg.eval;
+        self.timeout = cfg.timeout;
+        self.chunk_rows = cfg.chunk_rows.filter(|r| *r > 0);
+        self.obs = cfg.obs.clone();
         self
     }
 
     /// Register a partitioned fact relation: one fragment (with its φ
-    /// description) per site, in site order.
+    /// description) per site, in site order. Re-registering a table
+    /// replaces its partitions (a partition swap) and, like every
+    /// catalog mutation, bumps the partition epoch.
     ///
     /// # Panics
     /// Panics if the fragment count differs from the cluster size or the
@@ -87,9 +100,10 @@ impl Cluster {
                 Some(s) => assert_eq!(s, rel.schema(), "fragment schemas must agree across sites"),
             }
             domains.push(dom);
-            self.sites[site].insert(table.clone(), Arc::new(rel));
+            Arc::make_mut(&mut self.sites[site]).insert(table.clone(), Arc::new(rel));
         }
         self.dist.set_table(table, domains);
+        self.epoch.fetch_add(1, AtomicOrdering::SeqCst);
         self
     }
 
@@ -115,31 +129,11 @@ impl Cluster {
         self.dist.clone()
     }
 
-    /// Local evaluation options used at every site (hash vs nested loop).
-    #[deprecated(
-        note = "configure through Skalla::builder().eval_options(..) / EngineConfig instead"
-    )]
-    pub fn set_eval_options(&mut self, eval: EvalOptions) -> &mut Cluster {
-        self.eval = eval;
-        self
-    }
-
-    /// Per-round receive timeout.
-    #[deprecated(note = "configure through Skalla::builder().timeout(..) / EngineConfig instead")]
-    pub fn set_timeout(&mut self, timeout: Duration) -> &mut Cluster {
-        self.timeout = timeout;
-        self
-    }
-
-    /// Enable row blocking: sites ship their sub-results in chunks of
-    /// `rows`, and the coordinator synchronizes chunks as they arrive
-    /// (paper Sect. 3.2). `None` ships one message per stage.
-    #[deprecated(
-        note = "configure through Skalla::builder().chunk_rows(..) / EngineConfig instead"
-    )]
-    pub fn set_chunk_rows(&mut self, rows: Option<usize>) -> &mut Cluster {
-        self.chunk_rows = rows.filter(|r| *r > 0);
-        self
+    /// The partition epoch: the count of catalog mutations this cluster
+    /// (or any clone sharing its lineage) has seen. Cache keys carry it
+    /// so a partition swap makes every dependent entry unreachable.
+    pub fn partition_epoch(&self) -> u64 {
+        self.epoch.load(AtomicOrdering::SeqCst)
     }
 
     /// One site's catalog (for tests and for plan validation).
@@ -147,12 +141,18 @@ impl Cluster {
         &self.sites[site]
     }
 
+    /// One site's catalog as a shared handle (what site threads and the
+    /// [`crate::Warehouse::catalog`] surface hold — no map clone).
+    pub fn site_catalog_shared(&self, site: usize) -> Arc<HashMap<String, Arc<Relation>>> {
+        Arc::clone(&self.sites[site])
+    }
+
     /// The union of all fragments of every table — the conceptual global
     /// fact relations (test oracle input).
     pub fn global_catalog(&self) -> HashMap<String, Relation> {
         let mut out: HashMap<String, Relation> = HashMap::new();
         for site in &self.sites {
-            for (name, rel) in site {
+            for (name, rel) in site.iter() {
                 match out.get_mut(name) {
                     None => {
                         out.insert(name.clone(), rel.as_ref().clone());
@@ -176,7 +176,7 @@ impl Cluster {
         plan.check_structure(n)?;
         // Validate once against site 0's schemas; B₀…B_m schemas drive
         // finalization typing.
-        let schemas = plan.expr.validate(&self.sites[0])?;
+        let schemas = plan.expr.validate(self.site_catalog(0))?;
         let detail_schemas: HashMap<String, Schema> = self.sites[0]
             .iter()
             .map(|(k, v)| (k.clone(), v.schema().clone()))
@@ -220,6 +220,8 @@ impl Cluster {
                 self.timeout,
                 &self.obs,
                 Track::Coordinator,
+                None,
+                None,
             )
         });
 
@@ -330,6 +332,22 @@ impl Cluster {
 /// each query its own [`Track::Query`] so span nesting (which is
 /// per-track) stays correct under interleaving. Spans carry a
 /// `query_id` attribute when the track names one.
+///
+/// `resume` seeds execution from a cached prefix snapshot: `(j, b)`
+/// adopts `b` as the synchronized base structure after stage `j` and
+/// skips stages `0..=j` entirely — no site is contacted for them, but
+/// each still contributes an empty round (and a zero
+/// [`StageTimes`] entry) so round indices, traffic series, and the
+/// busy-time merge stay aligned with the plan. Sites evaluate each
+/// stage statelessly from the shipped fragment, so the resumed suffix
+/// is bit-identical to a cold run. Skipping the base stage also skips
+/// heavy-hitter collection, leaving the skew routing trivial — which
+/// is result-safe because balanced and unbalanced runs are
+/// bit-identical by construction.
+///
+/// `snapshots`, when present, receives `(j, b)` for every non-final
+/// stage the coordinator actually synchronized — the prefix snapshots
+/// the semantic cache stores for later resumes.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_coordinator(
     coord: &dyn CoordinatorTransport,
@@ -340,15 +358,23 @@ pub(crate) fn run_coordinator(
     timeout: Duration,
     obs: &Obs,
     track: Track,
+    resume: Option<(usize, Relation)>,
+    mut snapshots: Option<&mut Vec<(usize, Relation)>>,
 ) -> Result<(Relation, Vec<StageTimes>)> {
     let query_id = match track {
         Track::Query(q) => q,
         _ => 0,
     };
     let n = coord.n_sites();
-    let mut b_cur: Option<Relation> = match &plan.expr.base {
-        BaseQuery::Literal(rel) => Some(rel.clone()),
-        BaseQuery::DistinctProject { .. } => None,
+    let (resume_after, mut b_cur) = match resume {
+        Some((j, rel)) => (Some(j), Some(rel)),
+        None => (
+            None,
+            match &plan.expr.base {
+                BaseQuery::Literal(rel) => Some(rel.clone()),
+                BaseQuery::DistinctProject { .. } => None,
+            },
+        ),
     };
     let mut stage_times = Vec::with_capacity(plan.stages.len());
     // Skew balancing: when the knob is on and the plan is eligible, the
@@ -362,6 +388,17 @@ pub(crate) fn run_coordinator(
     let mut skew_plan = SkewPlan::default();
 
     for (sidx, stage) in plan.stages.iter().enumerate() {
+        if resume_after.is_some_and(|j| sidx <= j) {
+            // Answered by the resume snapshot: keep the round series and
+            // stage/stat alignment with an empty round, ship nothing.
+            coord.stats().begin_round(stage.label.clone());
+            stage_times.push(StageTimes {
+                label: stage.label.clone(),
+                site_busy_s: vec![0.0; n],
+                ..StageTimes::default()
+            });
+            continue;
+        }
         coord.stats().begin_round(stage.label.clone());
         let mut stage_span = obs.span(track, stage.label.as_str());
         if query_id != 0 {
@@ -630,6 +667,11 @@ pub(crate) fn run_coordinator(
         stage_span.arg("rows_up", st.rows_up);
         stage_span.finish();
         stage_times.push(st);
+        if sidx + 1 < plan.stages.len() {
+            if let (Some(snaps), Some(b)) = (snapshots.as_deref_mut(), b_cur.as_ref()) {
+                snaps.push((sidx, b.clone()));
+            }
+        }
     }
 
     let relation = b_cur.ok_or_else(|| Error::Execution("plan produced no result".into()))?;
@@ -1138,11 +1180,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercises the serial Cluster's legacy setter
     fn execution_records_full_span_tree() {
         let mut c = cluster();
         let obs = Obs::recording();
-        c.set_obs(obs.clone());
+        c.configure(&crate::warehouse::EngineConfig {
+            obs: obs.clone(),
+            ..crate::warehouse::EngineConfig::default()
+        });
         let plan = Planner::new(c.distribution())
             .with_obs(obs.clone())
             .optimize(&expr(), OptFlags::none());
@@ -1188,11 +1232,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercises the serial Cluster's legacy setter
     fn group_reduction_emits_elimination_events() {
         let mut c = cluster();
         let obs = Obs::recording();
-        c.set_obs(obs.clone());
+        c.configure(&crate::warehouse::EngineConfig {
+            obs: obs.clone(),
+            ..crate::warehouse::EngineConfig::default()
+        });
         // Restrict to g <= 2: site 1 (g = 3) is skipped under Thm 4.
         let e = GmdjExprBuilder::distinct_base("t", &["g"])
             .gmdj(

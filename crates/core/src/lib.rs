@@ -20,9 +20,13 @@
 //!   synchronization.
 //! * [`stats`] — per-round traffic/compute measurements and the simulated
 //!   cost breakdown.
+//! * [`cache`] — the semantic result cache: canonical plan fingerprints,
+//!   partition epochs, prefix-snapshot reuse, and in-flight coalescing
+//!   behind the [`warehouse::Warehouse`] API.
 
 // missing_docs is denied workspace-wide (see [workspace.lints]).
 
+pub mod cache;
 pub mod cluster;
 pub mod coordinator;
 pub mod distribution;
@@ -37,6 +41,7 @@ pub mod stats;
 pub mod topology;
 pub mod warehouse;
 
+pub use cache::{plan_fingerprint, plan_fingerprints, CacheStats, Fingerprint, SemanticCache};
 pub use cluster::Cluster;
 pub use distribution::DistributionInfo;
 pub use plan::{
@@ -48,4 +53,4 @@ pub use scheduler::{AdmissionError, QueryId, QueryScheduler, SchedulerConfig};
 pub use skew::{plan_routing, skew_eligible, HotReport, SkewPlan, SkewSpec};
 pub use stats::{ExecStats, QueryResult, RoundSummary, SimBreakdown, StageTimes};
 pub use topology::{execute_tree, TreeQueryResult, TreeTopology};
-pub use warehouse::{EngineConfig, Skalla, SkallaBuilder, Warehouse};
+pub use warehouse::{EngineConfig, SharedCatalog, Skalla, SkallaBuilder, Warehouse};

@@ -99,6 +99,7 @@ fn put_eval_options(enc: &mut Encoder, opts: &EvalOptions) {
     enc.put_u8(opts.legacy_probe as u8);
     enc.put_u8(opts.columnar as u8);
     enc.put_u8(opts.skew_balance as u8);
+    enc.put_u8(opts.cache as u8);
     match opts.fault_panic_morsel {
         Some(m) => {
             enc.put_u8(1);
@@ -115,6 +116,7 @@ fn get_eval_options(dec: &mut Decoder<'_>) -> Result<EvalOptions> {
     let legacy_probe = dec.get_u8()? != 0;
     let columnar = dec.get_u8()? != 0;
     let skew_balance = dec.get_u8()? != 0;
+    let cache = dec.get_u8()? != 0;
     let fault_panic_morsel = match dec.get_u8()? {
         0 => None,
         1 => Some(dec.get_u32()? as usize),
@@ -127,6 +129,7 @@ fn get_eval_options(dec: &mut Decoder<'_>) -> Result<EvalOptions> {
         legacy_probe,
         columnar,
         skew_balance,
+        cache,
         fault_panic_morsel,
     })
 }
@@ -287,6 +290,7 @@ mod tests {
                 legacy_probe: false,
                 columnar: true,
                 skew_balance: true,
+                cache: true,
                 fault_panic_morsel: None,
             },
             EvalOptions {
@@ -296,6 +300,7 @@ mod tests {
                 legacy_probe: true,
                 columnar: false,
                 skew_balance: false,
+                cache: false,
                 fault_panic_morsel: Some(3),
             },
         ] {
@@ -310,6 +315,7 @@ mod tests {
                 assert_eq!(back_opts.legacy_probe, opts.legacy_probe);
                 assert_eq!(back_opts.columnar, opts.columnar);
                 assert_eq!(back_opts.skew_balance, opts.skew_balance);
+                assert_eq!(back_opts.cache, opts.cache);
                 assert_eq!(back_opts.fault_panic_morsel, opts.fault_panic_morsel);
             }
         }

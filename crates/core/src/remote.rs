@@ -155,7 +155,7 @@ pub(crate) fn catalog_handshake(coord: &dyn CoordinatorTransport) -> Result<Hand
 pub struct RemoteCluster {
     coord: TcpCoordinator,
     dist: DistributionInfo,
-    catalog: HashMap<String, Arc<Relation>>,
+    catalog: Arc<HashMap<String, Arc<Relation>>>,
     rows_per_site: Vec<u64>,
     eval: EvalOptions,
     timeout: Duration,
@@ -190,7 +190,7 @@ impl RemoteCluster {
         Ok(RemoteCluster {
             coord,
             dist,
-            catalog,
+            catalog: Arc::new(catalog),
             rows_per_site,
             eval: EvalOptions::default(),
             timeout: Duration::from_secs(120),
@@ -220,38 +220,22 @@ impl RemoteCluster {
         &self.catalog
     }
 
-    /// Local evaluation options shipped to every site with the plan.
-    #[deprecated(
-        note = "configure through Skalla::builder().eval_options(..) / EngineConfig instead"
-    )]
-    pub fn set_eval_options(&mut self, eval: EvalOptions) -> &mut RemoteCluster {
-        self.eval = eval;
-        self
+    /// The handshake catalog as a shared handle (what
+    /// [`crate::Warehouse::catalog`] hands out — no map clone).
+    pub fn catalog_shared(&self) -> Arc<HashMap<String, Arc<Relation>>> {
+        Arc::clone(&self.catalog)
     }
 
-    /// Per-round receive timeout.
-    #[deprecated(note = "configure through Skalla::builder().timeout(..) / EngineConfig instead")]
-    pub fn set_timeout(&mut self, timeout: Duration) -> &mut RemoteCluster {
-        self.timeout = timeout;
-        self
-    }
-
-    /// Enable row blocking, exactly as
-    /// [`crate::Cluster::set_chunk_rows`]; the chunk size travels to the
-    /// sites inside the plan message.
-    #[deprecated(
-        note = "configure through Skalla::builder().chunk_rows(..) / EngineConfig instead"
-    )]
-    pub fn set_chunk_rows(&mut self, rows: Option<usize>) -> &mut RemoteCluster {
-        self.chunk_rows = rows.filter(|r| *r > 0);
-        self
-    }
-
-    /// Attach an observability handle (message events gain
-    /// `transport: "tcp"`).
-    #[deprecated(note = "configure through Skalla::builder().obs(..) / EngineConfig instead")]
-    pub fn set_obs(&mut self, obs: Obs) -> &mut RemoteCluster {
-        self.obs = obs;
+    /// Adopt an engine configuration: evaluation options (shipped to
+    /// every site with the plan), round timeout, row-blocking chunk
+    /// size, and observability handle (message events gain `transport:
+    /// "tcp"`). The scheduler settings don't apply to this serial
+    /// runtime (one query per session) and are ignored.
+    pub fn configure(&mut self, cfg: &crate::warehouse::EngineConfig) -> &mut RemoteCluster {
+        self.eval = cfg.eval;
+        self.timeout = cfg.timeout;
+        self.chunk_rows = cfg.chunk_rows.filter(|r| *r > 0);
+        self.obs = cfg.obs.clone();
         self
     }
 
@@ -264,7 +248,7 @@ impl RemoteCluster {
         let n = self.n_sites();
         let wall_start = Instant::now();
         plan.check_structure(n)?;
-        let schemas = plan.expr.validate(&self.catalog)?;
+        let schemas = plan.expr.validate(self.catalog.as_ref())?;
         let detail_schemas: HashMap<String, Schema> = self
             .catalog
             .iter()
@@ -296,6 +280,8 @@ impl RemoteCluster {
                 self.timeout,
                 &self.obs,
                 Track::Coordinator,
+                None,
+                None,
             )
         });
 

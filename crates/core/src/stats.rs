@@ -93,6 +93,27 @@ impl ExecStats {
         self.stages.iter().filter(|s| s.label != "plan").count()
     }
 
+    /// Stats for a query served entirely from the semantic cache (a
+    /// full-result hit or a coalesced in-flight result): one marker
+    /// round labeled `"cache"`, zero traffic.
+    pub fn cache_hit(n_sites: usize, wall_s: f64) -> ExecStats {
+        ExecStats {
+            stages: vec![StageTimes {
+                label: "cache".to_string(),
+                site_busy_s: vec![0.0; n_sites],
+                ..StageTimes::default()
+            }],
+            net: Vec::new(),
+            wall_s,
+        }
+    }
+
+    /// Whether these stats describe a query answered without contacting
+    /// sites (see [`ExecStats::cache_hit`]).
+    pub fn is_cache_hit(&self) -> bool {
+        self.net.is_empty() && self.stages.iter().any(|s| s.label == "cache")
+    }
+
     /// Simulated evaluation-time breakdown under a cost model. Site time
     /// counts the slowest site per round (sites run in parallel; the
     /// coordinator barriers each round).

@@ -1028,6 +1028,7 @@ mod tests {
             legacy_probe: false,
             columnar: true,
             skew_balance: true,
+            cache: true,
             fault_panic_morsel: None,
         }
     }

@@ -80,6 +80,15 @@ pub struct EvalOptions {
     /// `--no-skew-balance`) for the `fig_skew` bench and for operators
     /// diagnosing balancer behaviour.
     pub skew_balance: bool,
+    /// Semantic result caching at the concurrent engine: repeated plans
+    /// are answered from the coordinator's sub-aggregate cache (and
+    /// in-flight duplicates coalesce) instead of re-contacting the
+    /// sites, and `query::cube` rolls coarse grouping sets up from the
+    /// finest level locally. On by default; a served result is the
+    /// bit-identical relation the sites produced, so this is an ablation
+    /// knob (env `SKALLA_CACHE=0`, CLI `--no-cache`) for the `fig_cache`
+    /// bench and for reproducing pre-cache traffic byte-for-byte.
+    pub cache: bool,
     /// Fault injection for robustness tests: panic when a worker starts
     /// the morsel with this index. `None` in production.
     pub fault_panic_morsel: Option<usize>,
@@ -98,13 +107,15 @@ fn env_flag(name: &str) -> Option<bool> {
 impl Default for EvalOptions {
     /// Defaults honour the `SKALLA_*` environment: every knob has an env
     /// override (`SKALLA_THREADS`, `SKALLA_MORSEL_ROWS`,
-    /// `SKALLA_COLUMNAR`, `SKALLA_SKEW`, `SKALLA_HASH_PATH`,
-    /// `SKALLA_LEGACY_PROBE`, `SKALLA_FAULT_MORSEL`), used by `ci.sh` to
-    /// run the whole suite at several thread counts, under both kernels,
-    /// and with the skew balancer on and off. Fallbacks: auto
-    /// parallelism, [`DEFAULT_MORSEL_ROWS`], the hash path and columnar
-    /// kernel on, skew balancing on, no fault injection. The
-    /// `knob-wiring` lint enforces that this list stays complete.
+    /// `SKALLA_COLUMNAR`, `SKALLA_SKEW`, `SKALLA_CACHE`,
+    /// `SKALLA_HASH_PATH`, `SKALLA_LEGACY_PROBE`,
+    /// `SKALLA_FAULT_MORSEL`), used by `ci.sh` to run the whole suite at
+    /// several thread counts, under both kernels, with the skew balancer
+    /// on and off, and with the semantic cache on and off. Fallbacks:
+    /// auto parallelism, [`DEFAULT_MORSEL_ROWS`], the hash path and
+    /// columnar kernel on, skew balancing on, semantic caching on, no
+    /// fault injection. The `knob-wiring` lint enforces that this list
+    /// stays complete.
     fn default() -> Self {
         EvalOptions {
             hash_path: env_flag("SKALLA_HASH_PATH").unwrap_or(true),
@@ -115,6 +126,7 @@ impl Default for EvalOptions {
             legacy_probe: env_flag("SKALLA_LEGACY_PROBE").unwrap_or(false),
             columnar: env_flag("SKALLA_COLUMNAR").unwrap_or(true),
             skew_balance: env_flag("SKALLA_SKEW").unwrap_or(true),
+            cache: env_flag("SKALLA_CACHE").unwrap_or(true),
             fault_panic_morsel: env_usize("SKALLA_FAULT_MORSEL"),
         }
     }
@@ -820,6 +832,7 @@ mod tests {
             legacy_probe: false,
             columnar: false,
             skew_balance: true,
+            cache: true,
             fault_panic_morsel: None,
         }
     }

@@ -2,4 +2,5 @@
 
 fn put_options(o: &EvalOptions, enc: &mut Encoder) {
     enc.put_u32(o.parallelism as u32);
+    enc.put_bool(o.cache);
 }

@@ -4,12 +4,15 @@
 pub struct EvalOptions {
     /// Worker threads.
     pub parallelism: usize,
+    /// Semantic result cache.
+    pub cache: bool,
 }
 
 impl Default for EvalOptions {
     fn default() -> EvalOptions {
         EvalOptions {
             parallelism: env_usize("SKALLA_THREADS").unwrap_or(0),
+            cache: env_flag("SKALLA_CACHE").unwrap_or(true),
         }
     }
 }

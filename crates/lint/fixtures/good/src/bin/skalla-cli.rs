@@ -2,4 +2,5 @@
 
 fn flags(e: &mut EvalOptions) {
     e.parallelism = 4;
+    e.cache = false;
 }

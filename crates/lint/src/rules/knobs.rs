@@ -198,6 +198,8 @@ pub struct EvalOptions {
     pub parallelism: usize,
     /// Columnar kernel.
     pub columnar: bool,
+    /// Semantic result cache.
+    pub cache: bool,
 }
 
 impl Default for EvalOptions {
@@ -205,6 +207,7 @@ impl Default for EvalOptions {
         EvalOptions {
             parallelism: env_usize(\"SKALLA_THREADS\", 1),
             columnar: env_flag(\"SKALLA_COLUMNAR\", true),
+            cache: env_flag(\"SKALLA_CACHE\", true),
         }
     }
 }
@@ -215,11 +218,13 @@ impl Default for EvalOptions {
         ws.add(OPTIONS_FILE, OPTIONS.into());
         ws.add(
             CODEC_FILE,
-            "fn put(o: &EvalOptions) { enc(o.parallelism); enc_b(o.columnar); }\n".into(),
+            "fn put(o: &EvalOptions) { enc(o.parallelism); enc_b(o.columnar); enc_b(o.cache); }\n"
+                .into(),
         );
         ws.add(
             CLI_FILE,
-            "fn flags(e: &mut EvalOptions) { e.parallelism = 4; e.columnar = false; }\n".into(),
+            "fn flags(e: &mut EvalOptions) { e.parallelism = 4; e.columnar = false; e.cache = false; }\n"
+                .into(),
         );
         ws
     }
@@ -233,8 +238,14 @@ impl Default for EvalOptions {
     fn each_missing_surface_fires() {
         let mut ws = Workspace::default();
         ws.add(OPTIONS_FILE, OPTIONS.into());
-        ws.add(CODEC_FILE, "fn put(o: &EvalOptions) { enc(o.parallelism); }\n".into());
-        ws.add(CLI_FILE, "fn flags(e: &mut EvalOptions) { e.parallelism = 4; }\n".into());
+        ws.add(
+            CODEC_FILE,
+            "fn put(o: &EvalOptions) { enc(o.parallelism); enc_b(o.cache); }\n".into(),
+        );
+        ws.add(
+            CLI_FILE,
+            "fn flags(e: &mut EvalOptions) { e.parallelism = 4; e.cache = false; }\n".into(),
+        );
         let d = knob_wiring(&ws);
         // `columnar` missing from codec + CLI = 2 findings.
         assert_eq!(d.len(), 2, "{d:?}");

@@ -1,18 +1,75 @@
-//! Distributed data cubes (Gray et al., the paper's reference \[12\]).
+//! Distributed data cubes (Gray et al., the paper's reference \[12\])
+//! served from the aggregation lattice.
 //!
 //! The paper lists data cubes among the OLAP queries GMDJ expressions
 //! capture. A cube over dimensions `d₁…d_k` is the union of 2^k grouped
 //! aggregations, one per grouping set, with `ALL` markers (here `NULL`)
-//! on the rolled-up dimensions. Each grouping set is a one-operator GMDJ
-//! expression; every one of them enjoys the full optimization suite
-//! (group reduction, Prop 2 folding, …), so the cube runs in at most 2^k
-//! rounds — and in exactly 2^k single synchronizations when the finest
-//! grouping is partition-aligned.
+//! on the rolled-up dimensions.
+//!
+//! Two serving strategies:
+//!
+//! * **Roll-up** (the default, [`cube`]): ONE distributed query computes
+//!   the finest grouping set with its aggregates *decomposed into
+//!   physical sub-aggregates* (AVG → SUM + COUNT, VAR/STDDEV → SUM +
+//!   SUM² + COUNT — the same decomposition sites ship in Theorem 1).
+//!   Every coarser grouping set, down to the grand total, is then derived
+//!   locally by merging those sub-aggregates along the lattice with
+//!   [`AggSpec::merge`]/[`AggSpec::finalize`] — zero additional site
+//!   traffic, and deterministic: finest groups merge in sorted key
+//!   order, so the derived bits never depend on arrival order.
+//! * **Direct** ([`cube_with_rollup`] with `rollup = false`): every
+//!   grouping set runs as its own distributed GMDJ plan, each enjoying
+//!   the full optimization suite (and, behind a [`Skalla`] engine, the
+//!   semantic cache).
+//!
+//! Each level of the result records its provenance ([`LevelSource`]):
+//! whether it was computed by a distributed query, served from the
+//! semantic result cache, or rolled up locally from the finest level.
+//!
+//! [`Skalla`]: skalla_core::Skalla
 
 use skalla_core::{ExecStats, OptFlags, Planner, Warehouse};
 use skalla_gmdj::patterns::group_by;
-use skalla_gmdj::AggSpec;
-use skalla_relation::{Error, Field, Relation, Result, Row, Schema, Value};
+use skalla_gmdj::{AggFunc, AggSpec};
+use skalla_relation::{Error, Expr, Field, Relation, Result, Row, Schema, Value};
+use std::collections::HashMap;
+
+/// How one grouping set of a cube was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LevelSource {
+    /// A distributed GMDJ query ran against the sites.
+    Computed,
+    /// The distributed query was answered by the semantic result cache
+    /// without contacting any site.
+    CacheHit,
+    /// Derived locally by merging the finest level's sub-aggregates —
+    /// no distributed query at all.
+    RolledUp,
+}
+
+impl std::fmt::Display for LevelSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LevelSource::Computed => "computed",
+            LevelSource::CacheHit => "cache-hit",
+            LevelSource::RolledUp => "rolled-up",
+        })
+    }
+}
+
+/// One grouping set of a cube result, with provenance.
+#[derive(Debug, Clone)]
+pub struct CubeLevel {
+    /// The grouping-set dimensions (empty for the grand total).
+    pub dims: Vec<String>,
+    /// How this level was produced.
+    pub source: LevelSource,
+    /// Rows this level contributed to [`CubeResult::relation`].
+    pub rows: usize,
+    /// Execution statistics of the distributed query that produced this
+    /// level; `None` for rolled-up levels (they cost no site traffic).
+    pub stats: Option<ExecStats>,
+}
 
 /// The result of a cube computation.
 #[derive(Debug, Clone)]
@@ -20,22 +77,36 @@ pub struct CubeResult {
     /// Dimension columns (in the requested order) followed by aggregate
     /// columns; rolled-up dimensions are `NULL`.
     pub relation: Relation,
-    /// Execution statistics per grouping set, coarsest last.
-    pub per_grouping_set: Vec<(Vec<String>, ExecStats)>,
+    /// Per-grouping-set provenance and statistics, finest first,
+    /// grand total last.
+    pub levels: Vec<CubeLevel>,
 }
 
 impl CubeResult {
-    /// Total bytes moved across all grouping-set queries.
+    /// Total bytes moved across all distributed queries.
     pub fn total_bytes(&self) -> u64 {
-        self.per_grouping_set
+        self.levels
             .iter()
-            .map(|(_, s)| s.total_bytes())
+            .filter_map(|l| l.stats.as_ref())
+            .map(ExecStats::total_bytes)
             .sum()
     }
 
-    /// Total synchronization rounds across all grouping-set queries.
+    /// Total synchronization rounds across all distributed queries.
     pub fn total_rounds(&self) -> usize {
-        self.per_grouping_set.iter().map(|(_, s)| s.n_rounds()).sum()
+        self.levels
+            .iter()
+            .filter_map(|l| l.stats.as_ref())
+            .map(ExecStats::n_rounds)
+            .sum()
+    }
+
+    /// Number of grouping sets served without any distributed query.
+    pub fn rolled_up_levels(&self) -> usize {
+        self.levels
+            .iter()
+            .filter(|l| l.source == LevelSource::RolledUp)
+            .count()
     }
 }
 
@@ -56,11 +127,9 @@ fn grouping_sets(dims: &[&str]) -> Vec<Vec<String>> {
     sets
 }
 
-/// Compute `CUBE BY dims` of `aggs` over a distributed fact relation.
-///
-/// The grand-total grouping set (no dimensions) is evaluated against a
-/// one-row literal base; all others derive their base from the fact
-/// relation and run as ordinary distributed GMDJ plans under `flags`.
+/// Compute `CUBE BY dims` of `aggs` over a distributed fact relation,
+/// serving coarse grouping sets by local roll-up of the finest level
+/// (see the module docs; use [`cube_with_rollup`] to ablate).
 pub fn cube(
     warehouse: &(impl Warehouse + ?Sized),
     table: &str,
@@ -68,13 +137,26 @@ pub fn cube(
     aggs: &[AggSpec],
     flags: OptFlags,
 ) -> Result<CubeResult> {
+    cube_with_rollup(warehouse, table, dims, aggs, flags, true)
+}
+
+/// [`cube`] with the roll-up strategy explicit: `rollup = true` derives
+/// coarse grouping sets locally from the finest level's sub-aggregates;
+/// `rollup = false` runs one distributed query per grouping set.
+pub fn cube_with_rollup(
+    warehouse: &(impl Warehouse + ?Sized),
+    table: &str,
+    dims: &[&str],
+    aggs: &[AggSpec],
+    flags: OptFlags,
+    rollup: bool,
+) -> Result<CubeResult> {
     if dims.is_empty() {
         return Err(Error::Plan("cube needs at least one dimension".into()));
     }
     if aggs.is_empty() {
         return Err(Error::Plan("cube needs at least one aggregate".into()));
     }
-    let planner = Planner::new(warehouse.distribution());
 
     // Output schema: dims (typed from the fact schema) ⊕ aggregates.
     let fact_schema = {
@@ -93,8 +175,276 @@ pub fn cube(
     }
     let out_schema = Schema::new(fields)?;
 
+    if rollup {
+        cube_rolled(warehouse, table, dims, aggs, flags, out_schema)
+    } else {
+        cube_direct(warehouse, table, dims, aggs, flags, out_schema)
+    }
+}
+
+/// The provenance of one distributed query's result.
+fn query_source(stats: &ExecStats) -> LevelSource {
+    if stats.is_cache_hit() {
+        LevelSource::CacheHit
+    } else {
+        LevelSource::Computed
+    }
+}
+
+/// Decompose the requested aggregates into the *physical* sub-aggregate
+/// specs the finest-level query computes — the same SUM/COUNT/SUM²
+/// decomposition [`AggSpec::physical_fields`] ships between sites, so
+/// the merged-and-finalized values carry the engine's exact bits.
+fn decompose(aggs: &[AggSpec]) -> Result<Vec<AggSpec>> {
+    let mut phys = Vec::new();
+    for a in aggs {
+        match a.func {
+            AggFunc::Count | AggFunc::Sum | AggFunc::Min | AggFunc::Max => phys.push(a.clone()),
+            AggFunc::Avg => {
+                let e = input_of(a)?;
+                phys.push(AggSpec::over_expr(
+                    AggFunc::Sum,
+                    e.clone(),
+                    format!("{}__sum", a.name),
+                ));
+                phys.push(AggSpec::over_expr(
+                    AggFunc::Count,
+                    e.clone(),
+                    format!("{}__cnt", a.name),
+                ));
+            }
+            AggFunc::Var | AggFunc::StdDev => {
+                let e = input_of(a)?;
+                phys.push(AggSpec::over_expr(
+                    AggFunc::Sum,
+                    e.clone(),
+                    format!("{}__sum", a.name),
+                ));
+                phys.push(AggSpec::over_expr(
+                    AggFunc::Sum,
+                    e.clone().mul(e.clone()),
+                    format!("{}__sumsq", a.name),
+                ));
+                phys.push(AggSpec::over_expr(
+                    AggFunc::Count,
+                    e.clone(),
+                    format!("{}__cnt", a.name),
+                ));
+            }
+        }
+    }
+    Ok(phys)
+}
+
+fn input_of(a: &AggSpec) -> Result<&Expr> {
+    a.input
+        .as_ref()
+        .ok_or_else(|| Error::Plan(format!("{} aggregate {:?} has no input", a.func, a.name)))
+}
+
+/// Column indices of one aggregate's accumulator slots in the finest
+/// (physical) result schema, in [`AggSpec::init_acc`] order.
+fn acc_columns(a: &AggSpec, schema: &Schema) -> Result<Vec<usize>> {
+    let names: Vec<String> = match a.func {
+        AggFunc::Count | AggFunc::Sum | AggFunc::Min | AggFunc::Max => vec![a.name.clone()],
+        AggFunc::Avg => vec![format!("{}__sum", a.name), format!("{}__cnt", a.name)],
+        AggFunc::Var | AggFunc::StdDev => vec![
+            format!("{}__sum", a.name),
+            format!("{}__sumsq", a.name),
+            format!("{}__cnt", a.name),
+        ],
+    };
+    names.iter().map(|n| schema.index_of(n)).collect()
+}
+
+/// Roll-up serving: one distributed query at the finest level, every
+/// coarser grouping set merged locally along the lattice.
+fn cube_rolled(
+    warehouse: &(impl Warehouse + ?Sized),
+    table: &str,
+    dims: &[&str],
+    aggs: &[AggSpec],
+    flags: OptFlags,
+    out_schema: Schema,
+) -> Result<CubeResult> {
+    let planner = Planner::new(warehouse.distribution());
+    let phys_aggs = decompose(aggs)?;
+    let expr = group_by(table, dims, phys_aggs);
+    let plan = planner.optimize(&expr, flags);
+    let out = warehouse.execute(&plan)?;
+    let finest_source = query_source(&out.stats);
+
+    // Sorted finest groups: the lattice merges below run in this order,
+    // so every derived bit is independent of site arrival order.
+    let finest = out.relation.sorted_by(dims)?;
+    let fschema = finest.schema().clone();
+    let dim_idx: Vec<usize> = dims
+        .iter()
+        .map(|d| fschema.index_of(d))
+        .collect::<Result<_>>()?;
+    let agg_cols: Vec<Vec<usize>> = aggs
+        .iter()
+        .map(|a| acc_columns(a, &fschema))
+        .collect::<Result<_>>()?;
+
     let mut rows: Vec<Row> = Vec::new();
-    let mut per_set = Vec::new();
+    let mut levels = Vec::new();
+    for set in grouping_sets(dims) {
+        let keep: Vec<usize> = (0..dims.len())
+            .filter(|i| set.iter().any(|s| s == dims[*i]))
+            .collect();
+        let (level_rows, source, stats) = if keep.len() == dims.len() {
+            // Finest level: finalize each group's accumulators directly.
+            let mut out_rows = Vec::with_capacity(finest.len());
+            for row in finest.rows() {
+                out_rows.push(finalize_row(row, &dim_idx, &keep, dims, aggs, &agg_cols)?);
+            }
+            (out_rows, finest_source, Some(out.stats.clone()))
+        } else {
+            // Coarser level: merge finest accumulators group by group.
+            (
+                roll_up(&finest, &dim_idx, &keep, dims, aggs, &agg_cols)?,
+                LevelSource::RolledUp,
+                None,
+            )
+        };
+        levels.push(CubeLevel {
+            dims: set,
+            source,
+            rows: level_rows.len(),
+            stats,
+        });
+        rows.extend(level_rows);
+    }
+
+    if let Some(cache) = warehouse.semantic_cache() {
+        cache.tally_rollups(
+            levels
+                .iter()
+                .filter(|l| l.source == LevelSource::RolledUp)
+                .count() as u64,
+        );
+    }
+
+    Ok(CubeResult {
+        relation: Relation::new(out_schema, rows)?,
+        levels,
+    })
+}
+
+/// Finalize one finest-level row into an output row: kept dimensions
+/// pass through, rolled-up dimensions become `NULL`, and each
+/// aggregate's physical slots finalize to its logical value.
+fn finalize_row(
+    row: &Row,
+    dim_idx: &[usize],
+    keep: &[usize],
+    dims: &[&str],
+    aggs: &[AggSpec],
+    agg_cols: &[Vec<usize>],
+) -> Result<Row> {
+    let mut vs = Vec::with_capacity(dims.len() + aggs.len());
+    for (i, idx) in dim_idx.iter().enumerate() {
+        if keep.contains(&i) {
+            vs.push(row.get(*idx).clone());
+        } else {
+            vs.push(Value::Null);
+        }
+    }
+    for (a, cols) in aggs.iter().zip(agg_cols) {
+        let acc: Vec<Value> = cols.iter().map(|c| row.get(*c).clone()).collect();
+        vs.push(a.finalize(&acc)?);
+    }
+    Ok(Row::new(vs))
+}
+
+/// Merge the finest level's sub-aggregates into one coarser grouping
+/// set. Groups appear in first-occurrence order of the (sorted) finest
+/// relation and each group's accumulators merge in that same order —
+/// fully deterministic.
+fn roll_up(
+    finest: &Relation,
+    dim_idx: &[usize],
+    keep: &[usize],
+    dims: &[&str],
+    aggs: &[AggSpec],
+    agg_cols: &[Vec<usize>],
+) -> Result<Vec<Row>> {
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut accs: Vec<Vec<Vec<Value>>> = Vec::new();
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    for row in finest.rows() {
+        let key: Vec<Value> = keep.iter().map(|i| row.get(dim_idx[*i]).clone()).collect();
+        let at = match index.get(&key) {
+            Some(at) => *at,
+            None => {
+                let at = order.len();
+                index.insert(key.clone(), at);
+                order.push(key);
+                accs.push(
+                    aggs.iter()
+                        .map(|a| {
+                            let mut acc = Vec::with_capacity(a.acc_width());
+                            a.init_acc(&mut acc);
+                            acc
+                        })
+                        .collect(),
+                );
+                at
+            }
+        };
+        for ((a, cols), acc) in aggs.iter().zip(agg_cols).zip(accs[at].iter_mut()) {
+            let other: Vec<Value> = cols.iter().map(|c| row.get(*c).clone()).collect();
+            a.merge(acc, &other)?;
+        }
+    }
+    // The grand total has exactly one (empty-key) group even over an
+    // empty finest level: initial accumulators finalize to COUNT 0 /
+    // NULL, matching an aggregate over an empty range.
+    if keep.is_empty() && order.is_empty() {
+        order.push(Vec::new());
+        accs.push(
+            aggs.iter()
+                .map(|a| {
+                    let mut acc = Vec::with_capacity(a.acc_width());
+                    a.init_acc(&mut acc);
+                    acc
+                })
+                .collect(),
+        );
+    }
+    let mut out = Vec::with_capacity(order.len());
+    for (key, group) in order.iter().zip(&accs) {
+        let mut vs = Vec::with_capacity(dims.len() + aggs.len());
+        let mut key_it = key.iter();
+        for i in 0..dims.len() {
+            if keep.contains(&i) {
+                vs.push(key_it.next().cloned().unwrap_or(Value::Null));
+            } else {
+                vs.push(Value::Null);
+            }
+        }
+        for (a, acc) in aggs.iter().zip(group) {
+            vs.push(a.finalize(acc)?);
+        }
+        out.push(Row::new(vs));
+    }
+    Ok(out)
+}
+
+/// Direct serving: one distributed GMDJ query per grouping set (the
+/// pre-roll-up strategy, kept as an ablation and oracle).
+fn cube_direct(
+    warehouse: &(impl Warehouse + ?Sized),
+    table: &str,
+    dims: &[&str],
+    aggs: &[AggSpec],
+    flags: OptFlags,
+    out_schema: Schema,
+) -> Result<CubeResult> {
+    let planner = Planner::new(warehouse.distribution());
+    let mut rows: Vec<Row> = Vec::new();
+    let mut levels = Vec::new();
     for set in grouping_sets(dims) {
         let set_refs: Vec<&str> = set.iter().map(String::as_str).collect();
         let expr = if set.is_empty() {
@@ -119,6 +469,7 @@ pub fn cube(
 
         // Reshape into the cube schema with NULL (ALL) markers.
         let res_schema = out.relation.schema().clone();
+        let mut level_rows = 0usize;
         for row in out.relation.rows() {
             let mut vs = Vec::with_capacity(out_schema.len());
             for d in dims {
@@ -135,13 +486,19 @@ pub fn cube(
                 vs.push(row.get(idx).clone());
             }
             rows.push(Row::new(vs));
+            level_rows += 1;
         }
-        per_set.push((set, out.stats));
+        levels.push(CubeLevel {
+            dims: set,
+            source: query_source(&out.stats),
+            rows: level_rows,
+            stats: Some(out.stats),
+        });
     }
 
     Ok(CubeResult {
         relation: Relation::new(out_schema, rows)?,
-        per_grouping_set: per_set,
+        levels,
     })
 }
 
@@ -174,6 +531,18 @@ mod tests {
                 (p1, DomainMap::new().with("g", Domain::IntRange(2, 2))),
             ],
         )
+    }
+
+    fn all_aggs() -> Vec<AggSpec> {
+        vec![
+            AggSpec::count("n"),
+            AggSpec::sum("v", "s"),
+            AggSpec::avg("v", "a"),
+            AggSpec::min("v", "mn"),
+            AggSpec::max("v", "mx"),
+            AggSpec::var("v", "vr"),
+            AggSpec::stddev("v", "sd"),
+        ]
     }
 
     #[test]
@@ -219,9 +588,34 @@ mod tests {
         assert_eq!(total.get(2), &Value::Int(4));
         assert_eq!(total.get(3), &Value::Int(50));
 
-        assert_eq!(result.per_grouping_set.len(), 4);
+        // Roll-up serving: only the finest level ran distributed.
+        assert_eq!(result.levels.len(), 4);
+        assert_eq!(result.levels[0].source, LevelSource::Computed);
+        assert_eq!(result.rolled_up_levels(), 3);
         assert!(result.total_bytes() > 0);
-        assert!(result.total_rounds() >= 4);
+        assert!(result.total_rounds() >= 1);
+    }
+
+    #[test]
+    fn rollup_matches_direct_on_every_aggregate() {
+        // Int inputs: every f64 in play is exactly representable, so the
+        // rolled-up lattice must agree with per-level distributed
+        // execution bit for bit — including AVG, VAR and STDDEV.
+        let c = cluster();
+        let rolled = cube_with_rollup(&c, "t", &["g", "h"], &all_aggs(), OptFlags::all(), true)
+            .unwrap();
+        let direct = cube_with_rollup(&c, "t", &["g", "h"], &all_aggs(), OptFlags::all(), false)
+            .unwrap();
+        let key = |r: &Relation| r.canonicalized();
+        assert_eq!(key(&rolled.relation), key(&direct.relation));
+        // Provenance: direct ran 4 distributed queries, rolled ran 1.
+        assert_eq!(direct.rolled_up_levels(), 0);
+        assert_eq!(rolled.rolled_up_levels(), 3);
+        assert!(rolled.total_bytes() < direct.total_bytes());
+        assert!(
+            direct.levels.iter().all(|l| l.stats.is_some()),
+            "direct levels all carry stats"
+        );
     }
 
     #[test]

@@ -26,6 +26,6 @@ pub mod render;
 
 pub use ast::{AggDef, BaseStmt, MdStmt, Query};
 pub use compile::{compile, compile_text, explain, run};
-pub use cube::{cube, CubeResult};
+pub use cube::{cube, cube_with_rollup, CubeLevel, CubeResult, LevelSource};
 pub use parser::parse_query;
-pub use render::render;
+pub use render::{render, render_cube_levels};

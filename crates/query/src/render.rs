@@ -7,6 +7,7 @@
 //! renderable expression (the base must be a `DistinctProject`; literal
 //! bases have no textual form).
 
+use crate::cube::CubeResult;
 use skalla_gmdj::{AggSpec, BaseQuery, GmdjExpr};
 use skalla_relation::{Error, Result};
 use std::fmt::Write as _;
@@ -51,6 +52,48 @@ pub fn render(expr: &GmdjExpr) -> Result<String> {
         }
     }
     Ok(out)
+}
+
+/// Render a cube result's per-level provenance as an aligned text table:
+/// one line per grouping set with its source (computed / cache-hit /
+/// rolled-up), row count, and — for levels that ran a distributed
+/// query — rounds and bytes moved. Consumed by the CLI and examples.
+pub fn render_cube_levels(result: &CubeResult) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<44} {:>10} {:>7} {:>7} {:>12}",
+        "grouping set", "source", "rows", "rounds", "bytes"
+    )
+    .expect("string writes are infallible"); // lint: allow(panic) fmt::Write to String never errors
+    for level in &result.levels {
+        let name = if level.dims.is_empty() {
+            "()".to_string()
+        } else {
+            format!("({})", level.dims.join(", "))
+        };
+        let (rounds, bytes) = match &level.stats {
+            Some(s) => (s.n_rounds().to_string(), s.total_bytes().to_string()),
+            None => ("-".to_string(), "-".to_string()),
+        };
+        writeln!(
+            out,
+            "{name:<44} {:>10} {:>7} {rounds:>7} {bytes:>12}",
+            level.source.to_string(),
+            level.rows,
+        )
+        .expect("string write"); // lint: allow(panic) fmt::Write to String never errors
+    }
+    writeln!(
+        out,
+        "total: {} rows, {} rounds, {} bytes, {} level(s) rolled up locally",
+        result.relation.len(),
+        result.total_rounds(),
+        result.total_bytes(),
+        result.rolled_up_levels(),
+    )
+    .expect("string write"); // lint: allow(panic) fmt::Write to String never errors
+    out
 }
 
 #[cfg(test)]
@@ -140,6 +183,25 @@ mod tests {
         let text = render(&e).unwrap();
         assert!(text.contains("KEY (a)"));
         assert_eq!(compile_text(&text).unwrap(), e);
+    }
+
+    #[test]
+    fn cube_levels_table_shows_provenance() {
+        use crate::cube::cube;
+        use skalla_core::{Cluster, OptFlags};
+        use skalla_relation::{Domain, DomainMap};
+        let schema = Schema::of(&[("g", DataType::Int), ("v", DataType::Int)]);
+        let part = Relation::new(schema, vec![row![1i64, 10i64], row![2i64, 20i64]]).unwrap();
+        let c = Cluster::from_partitions(
+            "t",
+            vec![(part, DomainMap::new().with("g", Domain::IntRange(1, 2)))],
+        );
+        let result = cube(&c, "t", &["g"], &[AggSpec::count("n")], OptFlags::all()).unwrap();
+        let text = render_cube_levels(&result);
+        assert!(text.contains("(g)"), "{text}");
+        assert!(text.contains("computed"), "{text}");
+        assert!(text.contains("rolled-up"), "{text}");
+        assert!(text.contains("1 level(s) rolled up locally"), "{text}");
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! evaluated over the distributed warehouse without moving detail data.
 //!
 //! Cubes TPCR over (nation_key, return_flag, order_priority) with COUNT
-//! and SUM(extended_price), prints a roll-up slice, and shows how the
-//! optimizer treats each grouping set (the nation-level sets are
-//! partition-aligned and fold to single rounds).
+//! and SUM(extended_price), prints a roll-up slice, and shows the
+//! per-level provenance: only the finest grouping set runs distributed;
+//! every coarser level is rolled up locally from its sub-aggregates.
 //!
 //! Run with: `cargo run --release --example data_cube`
 
@@ -13,7 +13,7 @@ use skalla::core::{OptFlags, Skalla};
 use skalla::datagen::partition::partition_by_int_ranges;
 use skalla::datagen::tpcr::{generate_tpcr, TpcrConfig};
 use skalla::gmdj::AggSpec;
-use skalla::query::cube;
+use skalla::query::{cube, render_cube_levels};
 use skalla::relation::Value;
 
 fn main() {
@@ -42,26 +42,13 @@ fn main() {
     println!(
         "cube has {} rows across {} grouping sets ({} total rounds, {} bytes moved)\n",
         result.relation.len(),
-        result.per_grouping_set.len(),
+        result.levels.len(),
         result.total_rounds(),
         result.total_bytes()
     );
 
     println!("=== per grouping set ===");
-    println!("{:<44} {:>7} {:>10}", "grouping set", "rounds", "bytes");
-    for (set, stats) in &result.per_grouping_set {
-        let name = if set.is_empty() {
-            "()".to_string()
-        } else {
-            format!("({})", set.join(", "))
-        };
-        println!(
-            "{:<44} {:>7} {:>10}",
-            name,
-            stats.n_rounds(),
-            stats.total_bytes()
-        );
-    }
+    print!("{}", render_cube_levels(&result));
 
     // A roll-up slice: revenue by nation with ALL (grand-total) rows.
     println!("\n=== revenue by nation (ALL = rolled up) ===");

@@ -40,6 +40,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "run" => cmd_run(rest, true),
         "explain" => cmd_run(rest, false),
+        "cube" => cmd_cube(rest),
         "gen" => cmd_gen(rest),
         "site" => cmd_site(rest),
         "net-probe" => cmd_net_probe(),
@@ -67,6 +68,7 @@ USAGE:
   skalla-cli run     [data options] [--opt LEVEL] (-q QUERY | --query-file F) [--limit N]
   skalla-cli run     --sites ADDR,ADDR,… [tcp options] [--opt LEVEL] (-q … | --query-file F)
   skalla-cli explain [data options] [--opt LEVEL] (-q QUERY | --query-file F)
+  skalla-cli cube    [data options] --dims C1,C2,… [--aggs SPEC,…] [--no-rollup]
   skalla-cli gen     --dataset flow|tpcr [--rows N] [--seed S] --out FILE.csv
   skalla-cli site    --listen ADDR --site-index I [data options] [tcp options] [--once]
   skalla-cli trace-check FILE.json   assert a merged Chrome trace has site-* spans
@@ -124,10 +126,23 @@ QUERY OPTIONS:
                               neither report hot group keys nor take on
                               loaned work (ablation; same bits either way;
                               also SKALLA_SKEW=0)
+  --no-cache                  disable the semantic result cache: every
+                              query pays its full site traffic, repeats
+                              included (ablation; same bits either way;
+                              also SKALLA_CACHE=0)
   --concurrency N             submit the query N times at once through the
                               multi-query scheduler; the copies share the
                               persistent site sessions and must agree
                               (default: 1)
+
+CUBE OPTIONS:
+  --dims C1,C2,…              cube dimensions (required)
+  --aggs SPEC,…               aggregates: count | sum:COL | avg:COL | min:COL |
+                              max:COL | var:COL | stddev:COL (default: count)
+  --table NAME                fact table (default: the --csv name or --dataset)
+  --no-rollup                 run one distributed query per grouping set
+                              instead of rolling coarse levels up locally from
+                              the finest level's sub-aggregates (ablation)
 
 OBSERVABILITY:
   --trace FILE.json           (run) record spans/events and write a Chrome trace
@@ -336,6 +351,10 @@ fn build_engine(args: &[String], obs: Obs) -> Result<Box<dyn Warehouse>, String>
     }
     if args.iter().any(|a| a == "--no-skew-balance") {
         eval.skew_balance = false;
+        eval_set = true;
+    }
+    if args.iter().any(|a| a == "--no-cache") {
+        eval.cache = false;
         eval_set = true;
     }
     if let Some(m) = opt(args, "--fault-panic-morsel") {
@@ -610,6 +629,79 @@ fn cmd_run(args: &[String], execute: bool) -> Result<(), String> {
 /// one process per site with the same data options and pass their
 /// addresses to `skalla-cli run --sites`; results and recorded traffic
 /// match the in-process cluster exactly.
+/// Parse `--aggs count,sum:COL,…` into named [`skalla::gmdj::AggSpec`]s.
+fn parse_cube_aggs(spec: &str) -> Result<Vec<skalla::gmdj::AggSpec>, String> {
+    use skalla::gmdj::AggSpec;
+    let mut aggs = Vec::new();
+    for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let agg = match item.split_once(':').map(|(f, c)| (f.trim(), c.trim())) {
+            None if item == "count" => AggSpec::count("count"),
+            Some(("sum", c)) => AggSpec::sum(c, format!("sum_{c}")),
+            Some(("avg", c)) => AggSpec::avg(c, format!("avg_{c}")),
+            Some(("min", c)) => AggSpec::min(c, format!("min_{c}")),
+            Some(("max", c)) => AggSpec::max(c, format!("max_{c}")),
+            Some(("var", c)) => AggSpec::var(c, format!("var_{c}")),
+            Some(("stddev", c)) => AggSpec::stddev(c, format!("stddev_{c}")),
+            _ => {
+                return Err(format!(
+                    "bad --aggs item {item:?} (count | sum:COL | avg:COL | min:COL \
+                     | max:COL | var:COL | stddev:COL)"
+                ))
+            }
+        };
+        aggs.push(agg);
+    }
+    Ok(aggs)
+}
+
+/// `CUBE BY` over the fact table: the finest grouping set runs as one
+/// distributed query with decomposed sub-aggregates; every coarser level
+/// is rolled up locally (disable with `--no-rollup` to run one query per
+/// grouping set). Prints the per-level provenance table.
+fn cmd_cube(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let dims_spec = opt(args, "--dims").ok_or_else(|| "cube needs --dims C1,C2,…".to_string())?;
+    let dims: Vec<String> = dims_spec
+        .split(',')
+        .map(|d| d.trim().to_string())
+        .filter(|d| !d.is_empty())
+        .collect();
+    let dim_refs: Vec<&str> = dims.iter().map(String::as_str).collect();
+    let aggs = parse_cube_aggs(&opt(args, "--aggs").unwrap_or_else(|| "count".to_string()))?;
+    let rollup = !args.iter().any(|a| a == "--no-rollup");
+    let table = opt(args, "--table")
+        .or_else(|| {
+            opt(args, "--csv").and_then(|s| s.split_once('=').map(|(n, _)| n.to_string()))
+        })
+        .or_else(|| opt(args, "--dataset"))
+        .unwrap_or_else(|| "flow".to_string());
+
+    let engine = build_engine(args, Obs::disabled())?;
+    let result = query::cube_with_rollup(&*engine, &table, &dim_refs, &aggs, flags, rollup)
+        .map_err(|e| e.to_string())?;
+
+    println!("\n=== grouping sets ===");
+    print!("{}", query::render_cube_levels(&result));
+
+    let limit: usize = opt(args, "--limit")
+        .map(|s| s.parse().map_err(|e| format!("bad --limit: {e}")))
+        .transpose()?
+        .unwrap_or(20);
+    println!("\n=== cube ({} rows) ===", result.relation.len());
+    let shown = Relation::from_shared(
+        result.relation.schema_ref(),
+        result.relation.rows().iter().take(limit).cloned().collect(),
+    );
+    print!("{}", csv::to_csv(&shown));
+    if result.relation.len() > limit {
+        println!(
+            "… ({} more rows; raise --limit)",
+            result.relation.len() - limit
+        );
+    }
+    Ok(())
+}
+
 fn cmd_site(args: &[String]) -> Result<(), String> {
     let listen = opt(args, "--listen").ok_or_else(|| "missing --listen ADDR".to_string())?;
     let index: usize = opt(args, "--site-index")

@@ -1,0 +1,208 @@
+//! Property tests for the semantic cache and hierarchical roll-up
+//! serving: cached and rolled-up answers must be **bit-identical** to
+//! fresh distributed execution, across random data, random GMDJ chains,
+//! thread counts, and both evaluation kernels — and a partition-epoch
+//! bump must make every dependent entry unreachable.
+//!
+//! Inputs are bounded integers, so every f64 the aggregates produce
+//! (AVG / VAR / STDDEV included) is exact and the comparisons below can
+//! demand raw bit equality rather than approximate agreement.
+
+use proptest::prelude::*;
+use skalla::core::{plan::Planner, Cluster, EngineConfig, OptFlags, Skalla, Warehouse};
+use skalla::datagen::partition::partition_by_int_ranges;
+use skalla::gmdj::eval::EvalOptions;
+use skalla::gmdj::prelude::*;
+use skalla::query::{cube_with_rollup, LevelSource};
+use skalla::relation::{DataType, Relation, Row, Schema, Value};
+
+fn detail_relation(rows: Vec<(i64, i64, i64)>) -> Relation {
+    Relation::new(
+        Schema::of(&[
+            ("g", DataType::Int),
+            ("h", DataType::Int),
+            ("v", DataType::Int),
+        ]),
+        rows.into_iter()
+            .map(|(g, h, v)| Row::new(vec![g.into(), h.into(), v.into()]))
+            .collect(),
+    )
+    .expect("static schema")
+}
+
+/// Explicit evaluation options so the tests are independent of SKALLA_*
+/// variables in the environment. Tiny morsels force many merge steps.
+fn eval_opts(parallelism: usize, columnar: bool) -> EvalOptions {
+    EvalOptions {
+        hash_path: true,
+        parallelism,
+        morsel_rows: 7,
+        legacy_probe: false,
+        columnar,
+        skew_balance: true,
+        cache: true,
+        fault_panic_morsel: None,
+    }
+}
+
+/// Compare two relations row by row after sorting on `key`, demanding
+/// raw bit equality on Doubles (Value equality treats -0.0 == 0.0).
+fn assert_bits_equal(got: &Relation, want: &Relation, key: &[&str], ctx: &str) {
+    let got = got.sorted_by(key).expect("sortable");
+    let want = want.sorted_by(key).expect("sortable");
+    assert_eq!(got.len(), want.len(), "row count ({ctx})\n{got}\nvs\n{want}");
+    for (g, w) in got.rows().iter().zip(want.rows()) {
+        for (gv, wv) in g.values().iter().zip(w.values()) {
+            let same = match (gv, wv) {
+                (Value::Double(a), Value::Double(b)) => a.to_bits() == b.to_bits(),
+                _ => gv == wv,
+            };
+            assert!(same, "bit mismatch ({ctx}): {gv:?} vs {wv:?}\nrow {g:?}\nvs  {w:?}");
+        }
+    }
+}
+
+fn all_aggs() -> Vec<AggSpec> {
+    vec![
+        AggSpec::count("cnt"),
+        AggSpec::sum("v", "sm"),
+        AggSpec::avg("v", "av"),
+        AggSpec::min("v", "mn"),
+        AggSpec::max("v", "mx"),
+        AggSpec::var("v", "vr"),
+        AggSpec::stddev("v", "sd"),
+    ]
+}
+
+/// A randomly shaped two-operator GMDJ chain (correlated second block
+/// when `correlated` — its residual references first-block outputs).
+fn chain(correlated: bool) -> GmdjExpr {
+    let mut b = GmdjExprBuilder::distinct_base("t", &["g"]).gmdj(Gmdj::new("t").block(
+        ThetaBuilder::group_by(&["g"]).build(),
+        vec![AggSpec::count("cnt"), AggSpec::avg("v", "av")],
+    ));
+    if correlated {
+        b = b.gmdj(Gmdj::new("t").block(
+            ThetaBuilder::group_by(&["g"])
+                .and(Expr::dcol("v").ge(Expr::bcol("av")))
+                .build(),
+            vec![AggSpec::count("above")],
+        ));
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Hierarchical roll-up serving is bit-identical to running every
+    /// grouping set as its own distributed query — across random data,
+    /// partitionings, dimensionality, thread counts, and both kernels.
+    #[test]
+    fn cube_rollup_is_bit_identical_to_direct(
+        rows in proptest::collection::vec((-4i64..4, 0i64..3, -20i64..20), 0..60),
+        n_sites in 1usize..4,
+        two_dims in any::<bool>(),
+        parallelism in 1usize..5,
+        columnar in any::<bool>(),
+    ) {
+        let detail = detail_relation(rows);
+        let parts = partition_by_int_ranges(&detail, "g", n_sites);
+        let mut cluster = Cluster::from_partitions("t", parts);
+        cluster.configure(&EngineConfig {
+            eval: eval_opts(parallelism, columnar),
+            ..EngineConfig::default()
+        });
+        let dims: Vec<&str> = if two_dims { vec!["g", "h"] } else { vec!["g"] };
+        let aggs = all_aggs();
+
+        let rolled =
+            cube_with_rollup(&cluster, "t", &dims, &aggs, OptFlags::all(), true).expect("rolled");
+        let direct =
+            cube_with_rollup(&cluster, "t", &dims, &aggs, OptFlags::all(), false).expect("direct");
+
+        assert_bits_equal(
+            &rolled.relation,
+            &direct.relation,
+            &dims,
+            &format!("p={parallelism} columnar={columnar} sites={n_sites}"),
+        );
+        // Provenance: only the finest level of the rolled cube ran a
+        // distributed query; the direct cube ran one per grouping set.
+        prop_assert_eq!(rolled.rolled_up_levels(), (1usize << dims.len()) - 1);
+        prop_assert!(rolled.levels[0].source != LevelSource::RolledUp);
+        prop_assert_eq!(direct.rolled_up_levels(), 0);
+        prop_assert!(rolled.total_rounds() <= direct.total_rounds());
+        prop_assert!(rolled.total_bytes() <= direct.total_bytes());
+    }
+
+    /// A cache-served repeat of a random GMDJ chain is bit-identical to
+    /// its first (computed) execution, across thread counts and kernels.
+    #[test]
+    fn cached_repeat_is_bit_identical(
+        rows in proptest::collection::vec((-4i64..4, 0i64..3, -20i64..20), 0..60),
+        n_sites in 1usize..4,
+        correlated in any::<bool>(),
+        parallelism in 1usize..5,
+        columnar in any::<bool>(),
+    ) {
+        let detail = detail_relation(rows);
+        let engine = Skalla::builder()
+            .partitions("t", partition_by_int_ranges(&detail, "g", n_sites))
+            .eval_options(eval_opts(parallelism, columnar))
+            .build()
+            .expect("engine builds");
+        let expr = chain(correlated);
+        let plan = Planner::new(engine.distribution()).optimize(&expr, OptFlags::all());
+
+        let first = engine.execute(&plan).expect("first run");
+        prop_assert!(!first.stats.is_cache_hit());
+        let second = engine.execute(&plan).expect("second run");
+        prop_assert!(second.stats.is_cache_hit(), "repeat must be cache-served");
+        prop_assert_eq!(second.stats.total_bytes(), 0, "cache hits move no bytes");
+
+        assert_bits_equal(
+            &second.relation,
+            &first.relation,
+            &["g"],
+            &format!("p={parallelism} columnar={columnar} correlated={correlated}"),
+        );
+    }
+}
+
+/// A partition-epoch bump (what every catalog mutation performs) makes
+/// every cached entry unreachable: the same plan pays its full cold
+/// traffic again instead of serving a stale answer, and the hit/miss
+/// counters record the sequence.
+#[test]
+fn epoch_bump_after_partition_swap_invalidates_the_cache() {
+    let detail = detail_relation(vec![(1, 0, 10), (1, 1, 30), (2, 0, 20)]);
+    let engine = Skalla::builder()
+        .partitions("t", partition_by_int_ranges(&detail, "g", 2))
+        .eval_options(eval_opts(2, true))
+        .build()
+        .expect("engine builds");
+    let plan = Planner::new(engine.distribution()).optimize(&chain(true), OptFlags::all());
+
+    let cold = engine.execute(&plan).expect("cold run");
+    assert!(!cold.stats.is_cache_hit());
+    let warm = engine.execute(&plan).expect("warm run");
+    assert!(warm.stats.is_cache_hit(), "repeat must be cache-served");
+    assert_bits_equal(&warm.relation, &cold.relation, &["g"], "warm repeat");
+
+    let epoch = engine.bump_partition_epoch();
+    assert_eq!(Warehouse::catalog(&engine).epoch(), epoch);
+
+    let reexec = engine.execute(&plan).expect("post-bump run");
+    assert!(
+        !reexec.stats.is_cache_hit(),
+        "post-bump run must re-execute against the sites"
+    );
+    assert_eq!(
+        reexec.stats.net, cold.stats.net,
+        "post-bump traffic is byte-for-byte the cold traffic"
+    );
+    let stats = engine.semantic_cache().stats();
+    assert_eq!(stats.epoch, epoch);
+    assert!(stats.hits >= 1 && stats.misses >= 2, "{stats:?}");
+}

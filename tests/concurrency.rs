@@ -168,13 +168,19 @@ fn concurrent_queries_match_serial_over_tcp() {
 }
 
 /// Repeated concurrent batches over one engine: the persistent sessions
-/// and query-id assignment must stay coherent across batches.
+/// and query-id assignment must stay coherent across batches. The
+/// semantic cache is pinned off — this test asserts every batch pays the
+/// full serial traffic, which a cache hit would (correctly) zero out.
 #[test]
 fn repeated_concurrent_batches_reuse_the_sessions() {
     let parts = fig2_partitions();
     let engine = Skalla::builder()
         .partitions("tpcr", parts.clone())
         .max_concurrent(workload().len())
+        .eval_options(skalla::gmdj::EvalOptions {
+            cache: false,
+            ..skalla::gmdj::EvalOptions::default()
+        })
         .build()
         .unwrap();
     for _ in 0..3 {

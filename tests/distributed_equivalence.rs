@@ -227,7 +227,6 @@ fn single_site_cluster_equals_centralized() {
 }
 
 #[test]
-#[allow(deprecated)] // pins the serial Cluster's legacy setter path
 fn nested_loop_and_hash_paths_agree_distributed() {
     let flows = generate_flows(&FlowConfig::small(33));
     let expr = example1_flows();
@@ -236,7 +235,13 @@ fn nested_loop_and_hash_paths_agree_distributed() {
             "flow",
             partition_by_int_ranges(&flows, "source_as", 3),
         );
-        c.set_eval_options(EvalOptions { hash_path: hash, ..EvalOptions::default() });
+        c.configure(&skalla::core::EngineConfig {
+            eval: EvalOptions {
+                hash_path: hash,
+                ..EvalOptions::default()
+            },
+            ..skalla::core::EngineConfig::default()
+        });
         let plan = Planner::new(c.distribution()).optimize(&expr, OptFlags::all());
         c.execute(&plan).unwrap().relation
     };

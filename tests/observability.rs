@@ -12,13 +12,15 @@ use skalla::query;
 
 const EXAMPLE1: &str = include_str!("../queries/example1.skl");
 
-#[allow(deprecated)] // pins the serial Cluster's legacy setter path
 fn traced_run(flags: OptFlags) -> (Obs, skalla::core::QueryResult) {
     let flows = generate_flows(&FlowConfig::new(1500, 11));
     let parts = partition_by_int_ranges(&flows, "source_as", 3);
     let mut cluster = Cluster::from_partitions("flow", parts);
     let obs = Obs::recording();
-    cluster.set_obs(obs.clone());
+    cluster.configure(&skalla::core::EngineConfig {
+        obs: obs.clone(),
+        ..skalla::core::EngineConfig::default()
+    });
     let expr = query::compile_text(EXAMPLE1).unwrap();
     let planner = Planner::new(cluster.distribution()).with_obs(obs.clone());
     let (plan, decisions) = planner.optimize_with_decisions(&expr, flags);
@@ -155,7 +157,10 @@ fn disabled_obs_records_nothing_and_execution_matches() {
     let obs = Obs::disabled();
     assert!(!obs.is_recording());
     assert!(obs.recorder().is_none());
-    cluster.set_obs(obs);
+    cluster.configure(&skalla::core::EngineConfig {
+        obs,
+        ..skalla::core::EngineConfig::default()
+    });
     let traced = cluster.execute(&plan).unwrap();
     assert!(plain.relation.same_bag(&traced.relation));
 }

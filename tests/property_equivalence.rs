@@ -181,6 +181,7 @@ proptest! {
             legacy_probe,
             columnar,
             skew_balance: true,
+            cache: true,
             fault_panic_morsel: None,
         };
         let reference = skalla::gmdj::eval_local(&base, &detail, &op, opts(1, false, false))
@@ -240,6 +241,7 @@ proptest! {
             legacy_probe: false,
             columnar,
             skew_balance: true,
+            cache: true,
             fault_panic_morsel: None,
         };
         let rowk = expr

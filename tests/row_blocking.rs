@@ -22,7 +22,6 @@ fn expr() -> GmdjExpr {
         .build()
 }
 
-#[allow(deprecated)] // pins the serial Cluster's legacy setter path
 fn make_cluster(chunk: Option<usize>) -> Cluster {
     let flows = generate_flows(&FlowConfig {
         flows: 4000,
@@ -33,7 +32,10 @@ fn make_cluster(chunk: Option<usize>) -> Cluster {
         seed: 3,
     });
     let mut c = Cluster::from_partitions("flow", partition_by_int_ranges(&flows, "source_as", 4));
-    c.set_chunk_rows(chunk);
+    c.configure(&skalla::core::EngineConfig {
+        chunk_rows: chunk,
+        ..skalla::core::EngineConfig::default()
+    });
     c
 }
 
@@ -84,15 +86,17 @@ fn chunking_increases_messages_not_rows() {
 }
 
 #[test]
-#[allow(deprecated)] // pins the serial Cluster's legacy setter path
 fn chunk_size_zero_means_off() {
     let mut c = make_cluster(None);
-    c.set_chunk_rows(Some(0));
     // Pin the skew balancer off: its report/loan frames would add to the
     // exact per-round message count this test asserts.
-    c.set_eval_options(EvalOptions {
-        skew_balance: false,
-        ..EvalOptions::default()
+    c.configure(&skalla::core::EngineConfig {
+        chunk_rows: Some(0),
+        eval: EvalOptions {
+            skew_balance: false,
+            ..EvalOptions::default()
+        },
+        ..skalla::core::EngineConfig::default()
     });
     let plan = Planner::new(c.distribution()).optimize(&expr(), OptFlags::none());
     let out = c.execute(&plan).unwrap();

@@ -151,19 +151,22 @@ fn multi_table_chain_executes() {
 }
 
 #[test]
-#[allow(deprecated)] // pins the serial Cluster's legacy setter path
 fn worker_panic_mid_morsel_is_a_clean_execution_error() {
+    use skalla::core::EngineConfig;
     use skalla::gmdj::EvalOptions;
     let mut c = cluster();
     // One-row morsels with two workers, and a fault injected into morsel 0:
     // the panicking worker must not poison the cluster — the site catches
     // the unwind and reports a clean execution error upstream.
-    c.set_eval_options(EvalOptions {
-        parallelism: 2,
-        morsel_rows: 1,
-        skew_balance: true,
-        fault_panic_morsel: Some(0),
-        ..EvalOptions::default()
+    c.configure(&EngineConfig {
+        eval: EvalOptions {
+            parallelism: 2,
+            morsel_rows: 1,
+            skew_balance: true,
+            fault_panic_morsel: Some(0),
+            ..EvalOptions::default()
+        },
+        ..EngineConfig::default()
     });
     let plan = Planner::new(c.distribution()).optimize(&expr(), OptFlags::none());
     let err = c.execute(&plan).unwrap_err();
@@ -175,10 +178,13 @@ fn worker_panic_mid_morsel_is_a_clean_execution_error() {
 
     // The same cluster value with clean options executes normally — no
     // poisoned state survives the failed run.
-    c.set_eval_options(EvalOptions {
-        parallelism: 2,
-        morsel_rows: 1,
-        ..EvalOptions::default()
+    c.configure(&EngineConfig {
+        eval: EvalOptions {
+            parallelism: 2,
+            morsel_rows: 1,
+            ..EvalOptions::default()
+        },
+        ..EngineConfig::default()
     });
     let out = c.execute(&plan).unwrap();
     let sorted = out.relation.sorted_by(&["g"]).unwrap();

@@ -114,15 +114,24 @@ fn assert_bit_identical(on: &Relation, off: &Relation, ctx: &str) {
     }
 }
 
-fn opts(skew_balance: bool, columnar: bool, parallelism: usize, morsel_rows: usize) -> EvalOptions {
-    EvalOptions {
-        hash_path: true,
-        parallelism,
-        morsel_rows,
-        legacy_probe: false,
-        columnar,
-        skew_balance,
-        fault_panic_morsel: None,
+fn opts(
+    skew_balance: bool,
+    columnar: bool,
+    parallelism: usize,
+    morsel_rows: usize,
+) -> skalla::core::EngineConfig {
+    skalla::core::EngineConfig {
+        eval: EvalOptions {
+            hash_path: true,
+            parallelism,
+            morsel_rows,
+            legacy_probe: false,
+            columnar,
+            skew_balance,
+            cache: true,
+            fault_panic_morsel: None,
+        },
+        ..skalla::core::EngineConfig::default()
     }
 }
 
@@ -133,7 +142,6 @@ proptest! {
     /// counts and morsel sizes: the balanced execution is bit-identical
     /// to the unbalanced one under both kernels.
     #[test]
-    #[allow(deprecated)] // drives a bare serial Cluster, as the figure harnesses do
     fn balanced_matches_unbalanced_bitwise(
         rows in 200usize..900,
         keys in 8usize..64,
@@ -153,9 +161,9 @@ proptest! {
         let flags = if all_flags { OptFlags::all() } else { OptFlags::none() };
         let plan = Planner::new(cluster.distribution()).optimize(&expr, flags);
 
-        cluster.set_eval_options(opts(false, columnar, parallelism, morsel_rows));
+        cluster.configure(&opts(false, columnar, parallelism, morsel_rows));
         let off = cluster.execute(&plan).expect("unbalanced run");
-        cluster.set_eval_options(opts(true, columnar, parallelism, morsel_rows));
+        cluster.configure(&opts(true, columnar, parallelism, morsel_rows));
         let on = cluster.execute(&plan).expect("balanced run");
 
         assert_bit_identical(
@@ -175,7 +183,6 @@ proptest! {
 /// traffic accounting — heavy-hitter reports and loan frames included —
 /// must match the channel transport byte for byte.
 #[test]
-#[allow(deprecated)]
 fn tcp_transport_matches_channel_under_balancing() {
     let detail = zipf_detail(6_000, 64, 1.3, 7);
     let parts = partition_by_int_ranges(&detail, "g", 4);
@@ -185,9 +192,9 @@ fn tcp_transport_matches_channel_under_balancing() {
 
     let mut local = Cluster::from_partitions("t", parts.clone());
     let plan = Planner::new(local.distribution()).optimize(&expr, OptFlags::all());
-    local.set_eval_options(opts(false, true, 2, 512));
+    local.configure(&opts(false, true, 2, 512));
     let local_off = local.execute(&plan).expect("local unbalanced");
-    local.set_eval_options(opts(true, true, 2, 512));
+    local.configure(&opts(true, true, 2, 512));
     let local_on = local.execute(&plan).expect("local balanced");
     assert_bit_identical(&local_on.relation, &local_off.relation, "local on/off");
 
@@ -207,7 +214,7 @@ fn tcp_transport_matches_channel_under_balancing() {
     };
 
     let mut remote = RemoteCluster::connect(&spawn(&parts), &TcpConfig::default()).unwrap();
-    remote.set_eval_options(opts(true, true, 2, 512));
+    remote.configure(&opts(true, true, 2, 512));
     let remote_on = remote.execute(&plan).expect("remote balanced");
 
     assert_bit_identical(

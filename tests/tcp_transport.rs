@@ -109,19 +109,22 @@ fn loopback_tcp_matches_channel_transport_exactly() {
 }
 
 #[test]
-#[allow(deprecated)] // pins the legacy serial setter path on both runtimes
 fn loopback_tcp_matches_channel_transport_with_row_blocking() {
     let parts = fig2_partitions();
     let expr = fig2_query();
+    let chunked = skalla::core::EngineConfig {
+        chunk_rows: Some(64),
+        ..skalla::core::EngineConfig::default()
+    };
 
     let mut local = Cluster::from_partitions("tpcr", parts.clone());
-    local.set_chunk_rows(Some(64));
+    local.configure(&chunked);
     let plan = Planner::new(local.distribution()).optimize(&expr, OptFlags::all());
     let local_out = local.execute(&plan).unwrap();
 
     let addrs = spawn_sites(&parts);
     let mut remote = RemoteCluster::connect(&addrs, &TcpConfig::default()).unwrap();
-    remote.set_chunk_rows(Some(64));
+    remote.configure(&chunked);
     let remote_out = remote.execute(&plan).unwrap();
 
     assert_eq!(
